@@ -1,0 +1,110 @@
+//! Synthetic web-graph generator for the Pagerank workload.
+//!
+//! The paper uses CRONO's Pagerank \[2\] on a web graph where "the variable
+//! corresponding to inaccessible pages ... (around 25%)" is protected by
+//! a contended lock. We generate a directed graph with a power-law-ish
+//! out-degree distribution and a configurable fraction of *dangling*
+//! pages (no out-edges) — the "inaccessible" pages whose rank mass must
+//! be globally accumulated.
+//!
+//! The adjacency structure itself is host-side, read-only data: in the
+//! simulated run it would be private, cache-resident, and uncontended,
+//! so modeling it in simulated memory would only add uniform background
+//! traffic. The rank/accumulator arrays and the dangling-mass cell — the
+//! contended state — live in simulated memory (see `pagerank`).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A directed graph in CSR-like form.
+#[derive(Debug, Clone)]
+pub struct Graph {
+    /// Out-neighbour lists, one per node (empty = dangling page).
+    pub out: Vec<Vec<u32>>,
+    /// Nodes with no out-edges.
+    pub dangling: Vec<u32>,
+}
+
+impl Graph {
+    /// Generate `n` nodes with roughly `dangling_frac` dangling pages and
+    /// a skewed out-degree distribution for the rest.
+    pub fn synthesize(n: usize, dangling_frac: f64, seed: u64) -> Self {
+        assert!(n >= 2);
+        assert!((0.0..1.0).contains(&dangling_frac));
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut out = vec![Vec::new(); n];
+        let mut dangling = Vec::new();
+        for (u, edges) in out.iter_mut().enumerate() {
+            if rng.gen_bool(dangling_frac) {
+                dangling.push(u as u32);
+                continue;
+            }
+            // Skewed out-degree: 1 + geometric-ish tail, capped.
+            let r: u32 = rng.gen_range(0..16);
+            let deg = 1 + r.trailing_ones().min(4) * 3 + rng.gen_range(0..3);
+            for _ in 0..deg {
+                // Preferential-ish attachment: bias towards low ids.
+                let v = if rng.gen_bool(0.5) {
+                    rng.gen_range(0..n.max(8) / 8) as u32
+                } else {
+                    rng.gen_range(0..n) as u32
+                };
+                if v as usize != u {
+                    edges.push(v);
+                }
+            }
+            if edges.is_empty() {
+                dangling.push(u as u32);
+            }
+        }
+        Graph { out, dangling }
+    }
+
+    /// Node count.
+    pub fn nodes(&self) -> usize {
+        self.out.len()
+    }
+
+    /// Edge count.
+    pub fn edges(&self) -> usize {
+        self.out.iter().map(|e| e.len()).sum()
+    }
+
+    /// Fraction of dangling pages.
+    pub fn dangling_fraction(&self) -> f64 {
+        self.dangling.len() as f64 / self.nodes() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dangling_fraction_near_target() {
+        let g = Graph::synthesize(2000, 0.25, 42);
+        let f = g.dangling_fraction();
+        assert!((0.20..=0.32).contains(&f), "dangling fraction {f}");
+    }
+
+    #[test]
+    fn no_self_loops_and_degrees_positive() {
+        let g = Graph::synthesize(500, 0.25, 7);
+        for (u, edges) in g.out.iter().enumerate() {
+            for &v in edges {
+                assert_ne!(v as usize, u, "self loop at {u}");
+                assert!((v as usize) < g.nodes());
+            }
+        }
+        assert!(g.edges() > g.nodes() / 2);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = Graph::synthesize(300, 0.25, 11);
+        let b = Graph::synthesize(300, 0.25, 11);
+        assert_eq!(a.out, b.out);
+        let c = Graph::synthesize(300, 0.25, 12);
+        assert_ne!(a.out, c.out);
+    }
+}

@@ -1,0 +1,72 @@
+//! Criterion microbenchmarks of the simulator itself: event-queue
+//! throughput, coherence-transaction latency, and full-machine
+//! instruction round-trip cost. These track the *simulator's* host-side
+//! performance (how many simulated events/ops per wall second), not any
+//! paper result.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lr_machine::{Machine, SystemConfig, ThreadCtx, ThreadFn};
+use lr_sim_core::EventQueue;
+use std::hint::black_box;
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_push_pop_1k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..1000u64 {
+                q.push_at(i * 7 % 997, i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, v)) = q.pop() {
+                sum = sum.wrapping_add(v);
+            }
+            black_box(sum)
+        })
+    });
+}
+
+fn bench_machine_roundtrip(c: &mut Criterion) {
+    c.bench_function("machine_1_thread_1k_cached_reads", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(SystemConfig::with_cores(1));
+            let a = m.setup(|mem| mem.alloc_line_aligned(8));
+            let stats = m.run(vec![Box::new(move |ctx: &mut ThreadCtx| {
+                for _ in 0..1000 {
+                    black_box(ctx.read(a));
+                }
+            }) as ThreadFn]);
+            black_box(stats.total_cycles)
+        })
+    });
+}
+
+fn bench_contended_transactions(c: &mut Criterion) {
+    c.bench_function("machine_4_threads_contended_faa", |b| {
+        b.iter(|| {
+            let mut m = Machine::new(SystemConfig::with_cores(4));
+            let a = m.setup(|mem| mem.alloc_line_aligned(8));
+            let progs: Vec<ThreadFn> = (0..4)
+                .map(|_| {
+                    Box::new(move |ctx: &mut ThreadCtx| {
+                        for _ in 0..100 {
+                            ctx.faa(a, 1);
+                        }
+                    }) as ThreadFn
+                })
+                .collect();
+            black_box(m.run(progs).total_cycles)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    // The full-machine benches spawn OS threads per iteration: keep the
+    // sample counts small so `cargo bench --workspace` stays quick.
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_event_queue, bench_machine_roundtrip, bench_contended_transactions
+}
+criterion_main!(benches);

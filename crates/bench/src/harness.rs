@@ -1,0 +1,144 @@
+//! Output helpers shared by all figure/table bench binaries.
+//!
+//! Every bench prints (a) the system configuration (the paper's Table 1),
+//! (b) an aligned human-readable table, and (c) the same rows as CSV
+//! lines prefixed with `CSV,` for machine consumption.
+
+use lr_sim_core::{MachineStats, SystemConfig};
+
+/// One measured point of a figure/table series.
+#[derive(Debug, Clone)]
+pub struct BenchRow {
+    /// Series name (e.g. "treiber-base", "treiber-lease").
+    pub series: String,
+    /// Thread count.
+    pub threads: usize,
+    /// Throughput, million operations per second.
+    pub mops: f64,
+    /// Energy per operation, nanojoules.
+    pub nj_per_op: f64,
+    /// L1 misses per operation.
+    pub misses_per_op: f64,
+    /// Coherence messages per operation.
+    pub msgs_per_op: f64,
+    /// CAS failure ratio (failures / attempts), if CASes were issued.
+    pub cas_fail_ratio: f64,
+}
+
+impl BenchRow {
+    /// Extract a row from a finished run's statistics.
+    pub fn from_stats(series: &str, threads: usize, cfg: &SystemConfig, s: &MachineStats) -> Self {
+        let t = s.core_totals();
+        let cas_fail_ratio = if t.cas_attempts > 0 {
+            t.cas_failures as f64 / t.cas_attempts as f64
+        } else {
+            0.0
+        };
+        BenchRow {
+            series: series.to_string(),
+            threads,
+            mops: s.throughput_ops_per_sec(cfg.freq_ghz) / 1e6,
+            nj_per_op: s.energy_per_op_nj(&cfg.energy),
+            misses_per_op: s.misses_per_op(),
+            msgs_per_op: s.messages_per_op(),
+            cas_fail_ratio,
+        }
+    }
+}
+
+/// Print the bench banner and Table 1 configuration.
+pub fn print_header(title: &str, cfg: &SystemConfig) {
+    println!("==================================================================");
+    println!("{title}");
+    println!("==================================================================");
+    println!("{}", cfg.table1());
+    println!("------------------------------------------------------------------");
+    println!(
+        "{:<24} {:>7} {:>12} {:>12} {:>10} {:>10} {:>9}",
+        "series", "threads", "Mops/s", "nJ/op", "miss/op", "msg/op", "casfail"
+    );
+}
+
+/// Print one row, both human-aligned and as CSV.
+pub fn print_row(r: &BenchRow) {
+    println!(
+        "{:<24} {:>7} {:>12.3} {:>12.1} {:>10.2} {:>10.2} {:>8.1}%",
+        r.series,
+        r.threads,
+        r.mops,
+        r.nj_per_op,
+        r.misses_per_op,
+        r.msgs_per_op,
+        r.cas_fail_ratio * 100.0
+    );
+    println!(
+        "CSV,{},{},{:.6},{:.3},{:.4},{:.4},{:.4}",
+        r.series, r.threads, r.mops, r.nj_per_op, r.misses_per_op, r.msgs_per_op, r.cas_fail_ratio
+    );
+}
+
+/// The paper's thread counts ("We tested for 2, 4, 8, 16, 32, 64
+/// threads/cores"), capped by `max` (useful for quick runs and hosts with
+/// few cores). Controlled by the `LR_MAX_THREADS` environment variable.
+pub fn threads_sweep() -> Vec<usize> {
+    let max = std::env::var("LR_MAX_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(64);
+    [1, 2, 4, 8, 16, 32, 64]
+        .into_iter()
+        .filter(|&t| t <= max)
+        .collect()
+}
+
+/// Per-thread operation count, scaled down for quick runs via the
+/// `LR_OPS` environment variable.
+pub fn ops_per_thread(default: u64) -> u64 {
+    std::env::var("LR_OPS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lr_sim_core::MachineStats;
+
+    #[test]
+    fn bench_row_computes_per_op_metrics() {
+        let cfg = SystemConfig::default();
+        let mut s = MachineStats::new(2);
+        s.total_cycles = 1_000_000;
+        s.app_ops = 1_000;
+        s.cores[0].l1_misses = 2_100;
+        s.cores[0].cas_attempts = 500;
+        s.cores[0].cas_failures = 50;
+        s.msgs_control = 6_000;
+        s.msgs_data = 3_500;
+        let r = BenchRow::from_stats("x", 2, &cfg, &s);
+        assert!((r.mops - 1.0).abs() < 1e-9, "1000 ops in 1 ms = 1 Mops");
+        assert!((r.misses_per_op - 2.1).abs() < 1e-9);
+        assert!((r.msgs_per_op - 9.5).abs() < 1e-9);
+        assert!((r.cas_fail_ratio - 0.1).abs() < 1e-9);
+        assert!(r.nj_per_op > 0.0);
+    }
+
+    #[test]
+    fn cas_ratio_zero_without_cas() {
+        let cfg = SystemConfig::default();
+        let mut s = MachineStats::new(1);
+        s.total_cycles = 10;
+        s.app_ops = 1;
+        let r = BenchRow::from_stats("x", 1, &cfg, &s);
+        assert_eq!(r.cas_fail_ratio, 0.0);
+    }
+
+    #[test]
+    fn sweep_is_powers_of_two_up_to_64() {
+        // Without the env override the sweep is the paper's thread set.
+        if std::env::var("LR_MAX_THREADS").is_err() {
+            assert_eq!(threads_sweep(), vec![1, 2, 4, 8, 16, 32, 64]);
+        }
+    }
+}

@@ -1,0 +1,7 @@
+//! # lr-bench
+//!
+//! Shared harness utilities for the per-figure/table bench targets.
+
+pub mod harness;
+
+pub use harness::{print_header, print_row, threads_sweep, BenchRow};

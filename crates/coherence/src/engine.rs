@@ -1,0 +1,646 @@
+//! The MSI directory protocol engine.
+//!
+//! State machine overview (one transaction = one core's one outstanding
+//! miss; cores are in-order and blocking, so there is at most one
+//! transaction per core):
+//!
+//! ```text
+//! access() ──miss──► DirArrive ──► [per-line FIFO] ──► service()
+//!    service: Uncached/Shared ──► GrantArrive at requester
+//!             Modified(owner) ──► ProbeArrive at owner
+//!    ProbeArrive: lease valid ──► stall (resumed by lease_released())
+//!                 otherwise   ──► downgrade owner ──► GrantArrive
+//!    GrantArrive: install in L1, notify completion,
+//!                 ack ──► DirUnlock ──► service next queued request
+//! ```
+
+use crate::{AccessKind, CohContext, CohEvent, DirState, L1State, ProbeAction, XactId};
+use lr_sim_cache::{Inserted, SetAssocCache};
+use lr_sim_core::{CoreId, Cycle, LineAddr, MachineStats, SystemConfig};
+use lr_sim_noc::{Mesh, MsgClass};
+use std::collections::{HashMap, VecDeque};
+
+/// A probe queued at an owning core behind a lease (Section 3: at most one
+/// per (core, line) can exist — Proposition 1).
+#[derive(Debug, Clone, Copy)]
+pub struct PendingProbe {
+    /// The transaction whose probe is stalled.
+    pub xact: XactId,
+    /// When the probe arrived (for queued-cycles accounting).
+    pub since: Cycle,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Xact {
+    token: u64,
+    core: CoreId,
+    line: LineAddr,
+    kind: AccessKind,
+    lease_intent: bool,
+    regular: bool,
+    /// MESI: grant the line in Exclusive (clean) state.
+    grant_exclusive: bool,
+    enq_time: Cycle,
+}
+
+#[derive(Debug, Default)]
+struct LineChannel {
+    active: Option<XactId>,
+    queue: VecDeque<XactId>,
+}
+
+/// The directory-based MSI coherence engine for all tiles.
+pub struct CoherenceEngine {
+    cfg: SystemConfig,
+    mesh: Mesh,
+    /// Private L1 per core: resident lines and their M/S state.
+    l1: Vec<SetAssocCache<L1State>>,
+    /// Shared L2 slice per tile: resident lines and their directory entry.
+    /// A line's L2 entry is pinned while its channel is active, so the
+    /// slice never evicts a line with an in-flight transaction.
+    l2: Vec<SetAssocCache<DirState>>,
+    /// Per-line FIFO request channels (Assumption 1 of the paper).
+    channels: HashMap<LineAddr, LineChannel>,
+    xacts: HashMap<u64, Xact>,
+    next_xact: u64,
+    /// Probes stalled behind leases, keyed by (owning core, line).
+    stalled: HashMap<(CoreId, LineAddr), PendingProbe>,
+    stats: MachineStats,
+}
+
+fn bit(c: CoreId) -> u64 {
+    1u64 << c.idx()
+}
+
+fn cores_in(mask: u64) -> impl Iterator<Item = CoreId> {
+    (0..64u16).filter(move |i| mask & (1 << i) != 0).map(CoreId)
+}
+
+impl CoherenceEngine {
+    /// Build the engine for `cfg.num_cores` tiles.
+    pub fn new(cfg: &SystemConfig) -> Self {
+        assert!(
+            cfg.num_cores >= 1 && cfg.num_cores <= 64,
+            "sharer bitmasks support up to 64 cores"
+        );
+        let l1 = (0..cfg.num_cores)
+            .map(|_| SetAssocCache::new(cfg.l1_sets(), cfg.l1_ways))
+            .collect();
+        let l2 = (0..cfg.num_cores)
+            .map(|_| SetAssocCache::new(cfg.l2_sets(), cfg.l2_ways))
+            .collect();
+        CoherenceEngine {
+            mesh: Mesh::new(cfg),
+            cfg: cfg.clone(),
+            l1,
+            l2,
+            channels: HashMap::new(),
+            xacts: HashMap::new(),
+            next_xact: 0,
+            stalled: HashMap::new(),
+            stats: MachineStats::new(cfg.num_cores),
+        }
+    }
+
+    /// Home tile (L2 slice / directory) of a line: stride interleaving.
+    #[inline]
+    pub fn home_of(&self, line: LineAddr) -> CoreId {
+        CoreId((line.0 % self.cfg.num_cores as u64) as u16)
+    }
+
+    /// Protocol statistics collected so far.
+    pub fn stats(&self) -> &MachineStats {
+        &self.stats
+    }
+
+    /// Mutable access to the statistics (the machine layer merges its own
+    /// per-thread counters in here).
+    pub fn stats_mut(&mut self) -> &mut MachineStats {
+        &mut self.stats
+    }
+
+    /// Current L1 state of `line` at `core` (None = Invalid).
+    pub fn l1_state(&self, core: CoreId, line: LineAddr) -> Option<L1State> {
+        self.l1[core.idx()].peek(line).copied()
+    }
+
+    /// Current directory state of `line` (None = not resident in L2).
+    pub fn dir_state(&self, line: LineAddr) -> Option<DirState> {
+        self.l2[self.home_of(line).idx()].peek(line).copied()
+    }
+
+    /// Pin or unpin `line` in `core`'s L1 (lease layer: leased lines are
+    /// pinned so they cannot be picked as eviction victims).
+    pub fn pin(&mut self, core: CoreId, line: LineAddr, pinned: bool) -> bool {
+        self.l1[core.idx()].set_pinned(line, pinned)
+    }
+
+    /// Is a probe currently stalled behind a lease at (core, line)?
+    pub fn has_stalled_probe(&self, core: CoreId, line: LineAddr) -> bool {
+        self.stalled.contains_key(&(core, line))
+    }
+
+    /// Number of in-flight transactions (for quiescence checks).
+    pub fn in_flight(&self) -> usize {
+        self.xacts.len()
+    }
+
+    /// Diagnostic dump of in-flight protocol state (for deadlock reports).
+    pub fn debug_dump(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        for (id, x) in &self.xacts {
+            let _ = writeln!(
+                s,
+                "  xact {id}: core={} line={} kind={:?} lease_intent={}",
+                x.core, x.line, x.kind, x.lease_intent
+            );
+        }
+        for ((c, l), p) in &self.stalled {
+            let _ = writeln!(
+                s,
+                "  stalled probe at {c} for {l}: xact {:?} since {}",
+                p.xact, p.since
+            );
+        }
+        for (l, ch) in &self.channels {
+            let _ = writeln!(
+                s,
+                "  channel {l}: active={:?} queued={:?}",
+                ch.active, ch.queue
+            );
+        }
+        s
+    }
+
+    fn msg(&mut self, from: CoreId, to: CoreId, class: MsgClass) -> Cycle {
+        match class {
+            MsgClass::Control => self.stats.msgs_control += 1,
+            MsgClass::Data => self.stats.msgs_data += 1,
+        }
+        self.stats.flit_hops += self.mesh.flit_hops(from, to, class);
+        self.mesh.latency(from, to, class)
+    }
+
+    /// Issue a memory access. Returns `Some(completion_time)` on an L1
+    /// hit; otherwise the access goes through the protocol and finishes
+    /// with a `ctx.xact_completed(token, ..)` callback.
+    ///
+    /// `lease_intent` marks the access as a lease acquisition: exclusive
+    /// ownership triggers `ctx.exclusive_granted`. `regular` marks the
+    /// request as a plain (non-lease) access for the §5 prioritization
+    /// option.
+    #[allow(clippy::too_many_arguments)]
+    pub fn access(
+        &mut self,
+        now: Cycle,
+        token: u64,
+        core: CoreId,
+        line: LineAddr,
+        kind: AccessKind,
+        lease_intent: bool,
+        regular: bool,
+        ctx: &mut dyn CohContext,
+    ) -> Option<Cycle> {
+        if lease_intent {
+            debug_assert!(kind.needs_exclusive(), "leases demand Exclusive state");
+        }
+        let st = self.l1[core.idx()].touch(line).map(|s| *s);
+        let hit = match (st, kind.needs_exclusive()) {
+            (Some(s), true) => s.writable(),
+            (Some(_), false) => true,
+            (None, _) => false,
+        };
+        if hit {
+            if kind.needs_exclusive() && st == Some(L1State::Exclusive) {
+                // MESI silent upgrade: E → M without any message.
+                *self.l1[core.idx()].peek_mut(line).unwrap() = L1State::Modified;
+            }
+            self.stats.cores[core.idx()].l1_hits += 1;
+            let done = now + self.cfg.l1_latency;
+            if lease_intent {
+                ctx.exclusive_granted(core, line, done);
+            }
+            return Some(done);
+        }
+        self.stats.cores[core.idx()].l1_misses += 1;
+        let id = XactId(self.next_xact);
+        self.next_xact += 1;
+        self.xacts.insert(
+            id.0,
+            Xact {
+                token,
+                core,
+                line,
+                kind,
+                lease_intent,
+                regular,
+                grant_exclusive: false,
+                enq_time: 0,
+            },
+        );
+        let home = self.home_of(line);
+        let lat = self.msg(core, home, MsgClass::Control);
+        ctx.schedule(lat, CohEvent::DirArrive(id));
+        None
+    }
+
+    /// Feed a previously scheduled coherence event back into the engine.
+    pub fn handle(&mut self, now: Cycle, ev: CohEvent, ctx: &mut dyn CohContext) {
+        match ev {
+            CohEvent::DirArrive(x) => self.dir_arrive(now, x, ctx),
+            CohEvent::ProbeArrive(x) => self.probe_arrive(now, x, ctx),
+            CohEvent::GrantArrive(x) => self.grant_arrive(now, x, ctx),
+            CohEvent::DirUnlock(line) => self.dir_unlock(now, line, ctx),
+        }
+    }
+
+    /// The lease on `(core, line)` ended (voluntarily or not): unpin the
+    /// line and resume any probe stalled behind the lease.
+    pub fn lease_released(
+        &mut self,
+        now: Cycle,
+        core: CoreId,
+        line: LineAddr,
+        ctx: &mut dyn CohContext,
+    ) {
+        self.l1[core.idx()].set_pinned(line, false);
+        if let Some(p) = self.stalled.remove(&(core, line)) {
+            self.stats.cores[core.idx()].probe_queued_cycles += now - p.since;
+            self.owner_downgrade(now, p.xact, core, ctx);
+        }
+    }
+
+    fn dir_arrive(&mut self, now: Cycle, x: XactId, ctx: &mut dyn CohContext) {
+        let line = self.xacts[&x.0].line;
+        let ch = self.channels.entry(line).or_default();
+        if ch.active.is_some() {
+            ch.queue.push_back(x);
+            self.xacts.get_mut(&x.0).unwrap().enq_time = now;
+            let qlen = ch.queue.len();
+            if qlen > self.stats.max_dir_queue_len {
+                self.stats.max_dir_queue_len = qlen;
+            }
+        } else {
+            ch.active = Some(x);
+            self.service(now, x, ctx);
+        }
+    }
+
+    fn dir_unlock(&mut self, now: Cycle, line: LineAddr, ctx: &mut dyn CohContext) {
+        let home = self.home_of(line);
+        self.l2[home.idx()].set_pinned(line, false);
+        let ch = self
+            .channels
+            .get_mut(&line)
+            .expect("unlock without channel");
+        ch.active = None;
+        if let Some(next) = ch.queue.pop_front() {
+            ch.active = Some(next);
+            let enq = self.xacts[&next.0].enq_time;
+            self.stats.dir_queue_wait_cycles += now - enq;
+            self.service(now, next, ctx);
+        } else {
+            self.channels.remove(&line);
+        }
+    }
+
+    /// Directory services the transaction at the head of the line queue.
+    fn service(&mut self, now: Cycle, x: XactId, ctx: &mut dyn CohContext) {
+        let Xact {
+            core, line, kind, ..
+        } = self.xacts[&x.0];
+        let home = self.home_of(line);
+        self.stats.dir_requests += 1;
+        let mut t = now + self.cfg.l2_tag_latency;
+
+        if self.l2[home.idx()].touch(line).is_some() {
+            self.stats.l2_hits += 1;
+        } else {
+            self.stats.l2_misses += 1;
+            t += self.cfg.dram_latency;
+            self.l2_install(now, home, line, ctx);
+        }
+        // Keep the line resident while its transaction is in flight.
+        self.l2[home.idx()].set_pinned(line, true);
+
+        let dir = *self.l2[home.idx()].peek(line).unwrap();
+        match dir {
+            DirState::Uncached => self.grant_from_home(now, t, x, ctx),
+            DirState::Shared(mask) => {
+                if !kind.needs_exclusive() {
+                    self.grant_from_home(now, t, x, ctx)
+                } else {
+                    // Invalidate all other sharers; acks go to the requester.
+                    let others = mask & !bit(core);
+                    let mut inv_lat = 0;
+                    for s in cores_in(others) {
+                        let to_s = self.msg(home, s, MsgClass::Control);
+                        let ack = self.msg(s, core, MsgClass::Control);
+                        inv_lat = inv_lat.max(to_s + ack);
+                        self.l1[s.idx()].remove(line);
+                        self.stats.invalidations += 1;
+                    }
+                    let upgrade = mask & bit(core) != 0;
+                    let data_lat = if upgrade {
+                        // Permission-only grant.
+                        self.msg(home, core, MsgClass::Control)
+                    } else {
+                        self.cfg.l2_data_latency + self.msg(home, core, MsgClass::Data)
+                    };
+                    *self.l2[home.idx()].peek_mut(line).unwrap() = DirState::Modified(core);
+                    ctx.schedule(t - now + data_lat.max(inv_lat), CohEvent::GrantArrive(x));
+                }
+            }
+            DirState::Modified(o) if o == core => {
+                // The requester still owns the line (e.g. a redundant
+                // upgrade after a race); confirm ownership.
+                let lat = self.msg(home, core, MsgClass::Control);
+                ctx.schedule(t - now + lat, CohEvent::GrantArrive(x));
+            }
+            DirState::Modified(o) => {
+                self.stats.owner_probes += 1;
+                let lat = self.msg(home, o, MsgClass::Control);
+                ctx.schedule(t - now + lat, CohEvent::ProbeArrive(x));
+            }
+        }
+    }
+
+    /// Serve data (or permission) straight from the home slice.
+    fn grant_from_home(&mut self, now: Cycle, t_ready: Cycle, x: XactId, ctx: &mut dyn CohContext) {
+        let Xact {
+            core, line, kind, ..
+        } = self.xacts[&x.0];
+        let home = self.home_of(line);
+        let mesi = self.cfg.protocol == lr_sim_core::CoherenceProtocol::Mesi;
+        let dir = self.l2[home.idx()].peek_mut(line).unwrap();
+        *dir = if kind.needs_exclusive() {
+            DirState::Modified(core)
+        } else {
+            match *dir {
+                DirState::Shared(mask) => DirState::Shared(mask | bit(core)),
+                // MESI: a sole reader of an uncached line gets Exclusive;
+                // the directory tracks it like any exclusive owner.
+                _ if mesi => {
+                    self.xacts.get_mut(&x.0).unwrap().grant_exclusive = true;
+                    DirState::Modified(core)
+                }
+                _ => DirState::Shared(bit(core)),
+            }
+        };
+        let lat = self.cfg.l2_data_latency + self.msg(home, core, MsgClass::Data);
+        ctx.schedule(t_ready - now + lat, CohEvent::GrantArrive(x));
+    }
+
+    fn probe_arrive(&mut self, now: Cycle, x: XactId, ctx: &mut dyn CohContext) {
+        let Xact { line, regular, .. } = self.xacts[&x.0];
+        let dir = self.dir_state(line);
+        match dir {
+            Some(DirState::Modified(o)) if self.l1[o.idx()].contains(line) => {
+                self.stats.cores[o.idx()].probes_received += 1;
+                match ctx.probe_action(o, line, regular, now) {
+                    ProbeAction::Queue => {
+                        self.stats.cores[o.idx()].probes_queued += 1;
+                        let prev = self.stalled.insert(
+                            (o, line),
+                            PendingProbe {
+                                xact: x,
+                                since: now,
+                            },
+                        );
+                        assert!(
+                            prev.is_none(),
+                            "two probes stalled at {o} for {line}: violates Proposition 1"
+                        );
+                    }
+                    ProbeAction::ProceedBreakingLease => {
+                        self.l1[o.idx()].set_pinned(line, false);
+                        self.owner_downgrade(now, x, o, ctx);
+                    }
+                    ProbeAction::Proceed => self.owner_downgrade(now, x, o, ctx),
+                }
+            }
+            _ => {
+                // The owner evicted the line (writeback raced the probe):
+                // data is back home; serve from there.
+                let t = now + self.cfg.l2_tag_latency;
+                self.grant_from_home(now, t, x, ctx);
+            }
+        }
+    }
+
+    /// The owning core downgrades/invalidates its copy and forwards data
+    /// cache-to-cache to the requester.
+    fn owner_downgrade(&mut self, now: Cycle, x: XactId, o: CoreId, ctx: &mut dyn CohContext) {
+        let Xact {
+            core: req,
+            line,
+            kind,
+            ..
+        } = self.xacts[&x.0];
+        let home = self.home_of(line);
+        let t = now + self.cfg.l1_latency;
+        assert!(
+            !self.l1[o.idx()].is_pinned(line),
+            "downgrading a pinned (leased) line at {o} for {line}"
+        );
+        let owner_state = *self.l1[o.idx()].peek(line).unwrap();
+        if kind.needs_exclusive() {
+            self.l1[o.idx()].remove(line);
+            *self.l2[home.idx()].peek_mut(line).unwrap() = DirState::Modified(req);
+        } else {
+            *self.l1[o.idx()].peek_mut(line).unwrap() = L1State::Shared;
+            *self.l2[home.idx()].peek_mut(line).unwrap() = DirState::Shared(bit(o) | bit(req));
+        }
+        if owner_state == L1State::Modified {
+            // Only dirty copies write back; an Exclusive (clean) copy is
+            // downgraded without one (MESI).
+            self.stats.cores[o.idx()].l1_writebacks += 1;
+        }
+        // Off-critical-path directory update / writeback.
+        let _ = self.msg(o, home, MsgClass::Control);
+        let data = self.msg(o, req, MsgClass::Data);
+        ctx.schedule(t - now + data, CohEvent::GrantArrive(x));
+    }
+
+    fn grant_arrive(&mut self, now: Cycle, x: XactId, ctx: &mut dyn CohContext) {
+        let Xact {
+            token,
+            core,
+            line,
+            kind,
+            lease_intent,
+            grant_exclusive,
+            ..
+        } = self.xacts.remove(&x.0).expect("grant for unknown xact");
+
+        if let Some(st) = self.l1[core.idx()].touch(line) {
+            // Upgrade path: the S copy is still resident.
+            if kind.needs_exclusive() {
+                *st = L1State::Modified;
+            }
+        } else {
+            let new_state = if kind.needs_exclusive() {
+                L1State::Modified
+            } else if grant_exclusive {
+                L1State::Exclusive
+            } else {
+                L1State::Shared
+            };
+            loop {
+                match self.l1[core.idx()].insert(line, new_state) {
+                    Inserted::NoVictim => break,
+                    Inserted::Evicted(vline, vstate) => {
+                        self.evict_l1(core, vline, vstate);
+                        break;
+                    }
+                    Inserted::AllPinned => {
+                        let pinned = self.l1[core.idx()].pinned_in_set(line);
+                        let victim = ctx
+                            .pinned_victim(core, &pinned, now)
+                            .expect("lease layer failed to free a pinned line");
+                        assert!(pinned.contains(&victim), "victim not in pinned set");
+                        // Force-releasing the lease also resumes any
+                        // stalled probe on that line.
+                        self.lease_released(now, core, victim, ctx);
+                    }
+                }
+            }
+        }
+
+        let done = now + self.cfg.l1_latency;
+        if lease_intent {
+            ctx.exclusive_granted(core, line, done);
+        }
+        let ack = self.msg(core, self.home_of(line), MsgClass::Control);
+        ctx.schedule(ack, CohEvent::DirUnlock(line));
+        ctx.xact_completed(token, done);
+    }
+
+    /// Bookkeeping for an L1 eviction (silent from the thread's view).
+    fn evict_l1(&mut self, core: CoreId, vline: LineAddr, vstate: L1State) {
+        self.stats.cores[core.idx()].l1_evictions += 1;
+        let home_v = self.home_of(vline);
+        let dir = self.l2[home_v.idx()]
+            .peek_mut(vline)
+            .expect("inclusivity: evicted L1 line must be in L2");
+        match vstate {
+            L1State::Modified => {
+                self.stats.cores[core.idx()].l1_writebacks += 1;
+                debug_assert_eq!(*dir, DirState::Modified(core));
+                *dir = DirState::Uncached;
+                let _ = self.msg(core, home_v, MsgClass::Data);
+            }
+            L1State::Exclusive => {
+                // Clean exclusive copy: a control-only PutE.
+                debug_assert_eq!(*dir, DirState::Modified(core));
+                *dir = DirState::Uncached;
+                let _ = self.msg(core, home_v, MsgClass::Control);
+            }
+            L1State::Shared => {
+                if let DirState::Shared(mask) = dir {
+                    let m = *mask & !bit(core);
+                    *dir = if m == 0 {
+                        DirState::Uncached
+                    } else {
+                        DirState::Shared(m)
+                    };
+                }
+                let _ = self.msg(core, home_v, MsgClass::Control);
+            }
+        }
+    }
+
+    /// Install `line` in its home L2 slice (DRAM fill), back-invalidating
+    /// the victim's L1 copies to preserve inclusivity.
+    fn l2_install(&mut self, now: Cycle, home: CoreId, line: LineAddr, ctx: &mut dyn CohContext) {
+        match self.l2[home.idx()].insert(line, DirState::Uncached) {
+            Inserted::NoVictim => {}
+            Inserted::Evicted(vline, vdir) => match vdir {
+                DirState::Uncached => {}
+                DirState::Shared(mask) => {
+                    for s in cores_in(mask) {
+                        self.l1[s.idx()].remove(vline);
+                        let _ = self.msg(home, s, MsgClass::Control);
+                        self.stats.invalidations += 1;
+                    }
+                }
+                DirState::Modified(o) => {
+                    assert!(
+                        !self.stalled.contains_key(&(o, vline)),
+                        "evicted an L2 line with a stalled probe"
+                    );
+                    ctx.line_invalidated(o, vline, now);
+                    self.l1[o.idx()].set_pinned(vline, false);
+                    self.l1[o.idx()].remove(vline);
+                    let _ = self.msg(home, o, MsgClass::Control);
+                    let _ = self.msg(o, home, MsgClass::Data);
+                    self.stats.invalidations += 1;
+                }
+            },
+            Inserted::AllPinned => {
+                panic!("all ways of an L2 set have active transactions; enlarge L2")
+            }
+        }
+    }
+
+    /// Protocol invariants, checked at quiescence (no in-flight
+    /// transactions): single-writer, sharer-mask consistency, inclusivity.
+    pub fn check_invariants(&self) {
+        assert!(self.xacts.is_empty(), "invariant check requires quiescence");
+        assert!(self.stalled.is_empty());
+        for (c, l1) in self.l1.iter().enumerate() {
+            let c = CoreId(c as u16);
+            for (line, st) in l1.iter() {
+                let dir = self
+                    .dir_state(line)
+                    .unwrap_or_else(|| panic!("inclusivity violated: {line} at {c} not in L2"));
+                match st {
+                    L1State::Modified | L1State::Exclusive => {
+                        assert_eq!(
+                            dir,
+                            DirState::Modified(c),
+                            "dir disagrees with E/M copy at {c} for {line}"
+                        );
+                        for (o, other) in self.l1.iter().enumerate() {
+                            if o != c.idx() {
+                                assert!(!other.contains(line), "two copies of modified {line}");
+                            }
+                        }
+                    }
+                    L1State::Shared => match dir {
+                        DirState::Shared(mask) => {
+                            assert!(mask & bit(c) != 0, "sharer bit missing for {c} {line}")
+                        }
+                        other => panic!("S copy at {c} for {line} but dir={other:?}"),
+                    },
+                }
+            }
+        }
+        // Directory entries must be backed by actual copies.
+        for l2 in &self.l2 {
+            for (line, dir) in l2.iter() {
+                match *dir {
+                    DirState::Uncached => {}
+                    DirState::Modified(o) => {
+                        let st = self.l1[o.idx()].peek(line);
+                        assert!(
+                            matches!(st, Some(L1State::Modified | L1State::Exclusive)),
+                            "dir=M({o}) but no E/M copy for {line} (found {st:?})"
+                        );
+                    }
+                    DirState::Shared(mask) => {
+                        assert!(mask != 0, "empty sharer mask for {line}");
+                        for s in cores_in(mask) {
+                            assert_eq!(
+                                self.l1[s.idx()].peek(line),
+                                Some(&L1State::Shared),
+                                "dir sharer {s} lacks S copy of {line}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! # lr-coherence
+//!
+//! Directory-based MSI cache-coherence protocol engine for the simulated
+//! tiled multicore (private L1, shared sliced inclusive L2, in-cache
+//! directory), following the protocol assumptions of the Lease/Release
+//! paper:
+//!
+//! * **Per-line FIFO request queues at the directory** (the paper's
+//!   Assumption 1): requests for one line are serviced strictly in arrival
+//!   order, and a request for line A is never queued behind a request for
+//!   a different line B.
+//! * **At most one request queued at a core** (Proposition 1): only the
+//!   request currently being serviced by the directory can be forwarded to
+//!   — and therefore delayed at — an owning core.
+//! * **Probe interception hook**: when a forwarded probe reaches the
+//!   exclusive owner, the engine consults [`CohContext::probe_action`];
+//!   the `lr-lease` crate implements the lease-table logic behind it.
+//!
+//! The engine is event-driven: callers feed it [`CohEvent`]s popped from
+//! their own time-ordered queue and provide a [`CohContext`] for scheduling
+//! follow-up events, completion notification, and lease hooks.
+
+mod engine;
+#[cfg(test)]
+mod tests_engine;
+
+pub use engine::{CoherenceEngine, PendingProbe};
+
+use lr_sim_core::{CoreId, Cycle, LineAddr};
+
+/// Permission a memory access needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// Needs the line in at least Shared state.
+    Load,
+    /// Needs the line in Modified state (stores and read-modify-writes).
+    Store,
+    /// Read-modify-write; also needs Modified. Distinguished from `Store`
+    /// only for statistics.
+    Rmw,
+}
+
+impl AccessKind {
+    /// Does this access require exclusive (M) permission?
+    #[inline]
+    pub fn needs_exclusive(self) -> bool {
+        !matches!(self, AccessKind::Load)
+    }
+}
+
+/// L1 line coherence state (absence from the cache = Invalid).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum L1State {
+    /// Shared, read-only.
+    Shared,
+    /// Exclusive and clean (MESI mode only): the sole copy; the first
+    /// write promotes it to Modified silently.
+    Exclusive,
+    /// Modified, exclusive and dirty.
+    Modified,
+}
+
+impl L1State {
+    /// May this copy be written without a coherence transaction?
+    #[inline]
+    pub fn writable(self) -> bool {
+        matches!(self, L1State::Exclusive | L1State::Modified)
+    }
+}
+
+/// Directory knowledge about one line (stored in its home L2 slice).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DirState {
+    /// No L1 holds the line; L2/DRAM data is current.
+    Uncached,
+    /// Bitmask of cores holding the line in Shared state.
+    Shared(u64),
+    /// One core holds the line in Modified state.
+    Modified(CoreId),
+}
+
+/// Identifier of an in-flight coherence transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct XactId(pub u64);
+
+/// Events the engine schedules on the caller's queue and expects back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CohEvent {
+    /// A request message reached its home directory.
+    DirArrive(XactId),
+    /// A forwarded probe reached the exclusive owner.
+    ProbeArrive(XactId),
+    /// Data/permission grant reached the requester.
+    GrantArrive(XactId),
+    /// The requester's completion ack reached the directory: the line's
+    /// FIFO queue may start servicing its next request.
+    DirUnlock(LineAddr),
+}
+
+/// What the lease layer tells the engine to do with a probe that reached
+/// an exclusive owner (see `lr-lease`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbeAction {
+    /// No valid lease: service the probe immediately.
+    Proceed,
+    /// A lease was broken by a prioritized "regular" request (paper §5):
+    /// service the probe immediately and unpin the line.
+    ProceedBreakingLease,
+    /// A valid lease holds: queue the probe at the owning core until the
+    /// lease is released or expires.
+    Queue,
+}
+
+/// Callbacks the engine needs from its embedder (the machine crate).
+pub trait CohContext {
+    /// Schedule `ev` to be handed back to the engine after `delay` cycles.
+    fn schedule(&mut self, delay: Cycle, ev: CohEvent);
+
+    /// A memory transaction issued with token `token` finished at `now`.
+    fn xact_completed(&mut self, token: u64, now: Cycle);
+
+    /// A probe reached exclusive owner `owner` for `line`: should it be
+    /// serviced, serviced breaking the lease, or queued? `regular` is true
+    /// for non-lease requests when prioritization is enabled (paper §5).
+    fn probe_action(
+        &mut self,
+        owner: CoreId,
+        line: LineAddr,
+        regular: bool,
+        now: Cycle,
+    ) -> ProbeAction;
+
+    /// Exclusive ownership of `line` was granted to `core` at `now` for a
+    /// request that carried lease intent: the lease layer starts the
+    /// countdown (and pins the line via [`CoherenceEngine::pin`]).
+    fn exclusive_granted(&mut self, core: CoreId, line: LineAddr, now: Cycle);
+
+    /// Every way of an L1 set is pinned (leased) and a fill needs room:
+    /// the lease layer must force-release one of `pinned` and return it.
+    /// Returning `None` aborts the simulation (it indicates a lease-table
+    /// bug, since `MAX_NUM_LEASES` bounds pinned lines per core).
+    fn pinned_victim(&mut self, core: CoreId, pinned: &[LineAddr], now: Cycle) -> Option<LineAddr>;
+
+    /// `line` was forcibly removed from `core`'s L1 (inclusive-L2
+    /// back-invalidation). The lease layer drops any lease state for it.
+    fn line_invalidated(&mut self, core: CoreId, line: LineAddr, now: Cycle);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn access_kind_permissions() {
+        assert!(!AccessKind::Load.needs_exclusive());
+        assert!(AccessKind::Store.needs_exclusive());
+        assert!(AccessKind::Rmw.needs_exclusive());
+    }
+}

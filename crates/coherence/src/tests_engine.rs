@@ -1,0 +1,486 @@
+//! Engine-level protocol tests, driven by a mock context and a local
+//! event loop. The mock's lease behaviour is programmable so the lease
+//! queuing path can be exercised without the `lr-lease` crate (which sits
+//! above this one).
+
+use crate::*;
+use lr_sim_core::{CoreId, Cycle, EventQueue, LineAddr, SystemConfig};
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+/// Programmable mock of the machine layer.
+struct MockCtx {
+    queue: EventQueue<CohEvent>,
+    completions: Vec<(u64, Cycle)>,
+    /// Lines the mock claims are leased per core: probes on them queue.
+    leased: HashSet<(CoreId, LineAddr)>,
+    /// If true, `regular` probes break leases (§5 prioritization).
+    prioritize_regular: bool,
+    exclusive_grants: Vec<(CoreId, LineAddr, Cycle)>,
+    invalidated: Vec<(CoreId, LineAddr)>,
+}
+
+impl MockCtx {
+    fn new() -> Self {
+        MockCtx {
+            queue: EventQueue::new(),
+            completions: Vec::new(),
+            leased: HashSet::new(),
+            prioritize_regular: false,
+            exclusive_grants: Vec::new(),
+            invalidated: Vec::new(),
+        }
+    }
+}
+
+impl CohContext for MockCtx {
+    fn schedule(&mut self, delay: Cycle, ev: CohEvent) {
+        self.queue.push_after(delay, ev);
+    }
+    fn xact_completed(&mut self, token: u64, now: Cycle) {
+        self.completions.push((token, now));
+    }
+    fn probe_action(
+        &mut self,
+        owner: CoreId,
+        line: LineAddr,
+        regular: bool,
+        _now: Cycle,
+    ) -> ProbeAction {
+        if self.leased.contains(&(owner, line)) {
+            if regular && self.prioritize_regular {
+                self.leased.remove(&(owner, line));
+                ProbeAction::ProceedBreakingLease
+            } else {
+                ProbeAction::Queue
+            }
+        } else {
+            ProbeAction::Proceed
+        }
+    }
+    fn exclusive_granted(&mut self, core: CoreId, line: LineAddr, now: Cycle) {
+        self.exclusive_grants.push((core, line, now));
+    }
+    fn pinned_victim(
+        &mut self,
+        _core: CoreId,
+        pinned: &[LineAddr],
+        _now: Cycle,
+    ) -> Option<LineAddr> {
+        pinned.first().copied()
+    }
+    fn line_invalidated(&mut self, core: CoreId, line: LineAddr, _now: Cycle) {
+        self.invalidated.push((core, line));
+    }
+}
+
+/// Drain the event queue completely.
+fn run(engine: &mut CoherenceEngine, ctx: &mut MockCtx) {
+    while let Some((t, ev)) = ctx.queue.pop() {
+        engine.handle(t, ev, ctx);
+    }
+}
+
+fn cfg(cores: usize) -> SystemConfig {
+    SystemConfig::with_cores(cores)
+}
+
+const L: LineAddr = LineAddr(100);
+
+#[test]
+fn cold_load_misses_then_hits() {
+    let mut e = CoherenceEngine::new(&cfg(4));
+    let mut ctx = MockCtx::new();
+    let c0 = CoreId(0);
+
+    let r = e.access(0, 7, c0, L, AccessKind::Load, false, true, &mut ctx);
+    assert!(r.is_none(), "cold access must miss");
+    run(&mut e, &mut ctx);
+    assert_eq!(ctx.completions.len(), 1);
+    assert_eq!(ctx.completions[0].0, 7);
+    assert!(ctx.completions[0].1 > 0);
+    assert_eq!(e.l1_state(c0, L), Some(L1State::Shared));
+    assert_eq!(e.dir_state(L), Some(DirState::Shared(1)));
+    assert_eq!(e.stats().l2_misses, 1);
+
+    // Second load: pure L1 hit, completes synchronously.
+    let now = ctx.queue.now();
+    let r = e.access(now, 7, c0, L, AccessKind::Load, false, true, &mut ctx);
+    assert_eq!(r, Some(now + 1));
+    run(&mut e, &mut ctx);
+    e.check_invariants();
+}
+
+#[test]
+fn store_grants_modified_and_invalidation_on_second_reader() {
+    let mut e = CoherenceEngine::new(&cfg(4));
+    let mut ctx = MockCtx::new();
+    let (c0, c1) = (CoreId(0), CoreId(1));
+
+    assert!(e
+        .access(0, 0, c0, L, AccessKind::Store, false, true, &mut ctx)
+        .is_none());
+    run(&mut e, &mut ctx);
+    assert_eq!(e.l1_state(c0, L), Some(L1State::Modified));
+    assert_eq!(e.dir_state(L), Some(DirState::Modified(c0)));
+
+    // A load by c1 downgrades c0 to Shared.
+    let now = ctx.queue.now();
+    assert!(e
+        .access(now, 1, c1, L, AccessKind::Load, false, true, &mut ctx)
+        .is_none());
+    run(&mut e, &mut ctx);
+    assert_eq!(e.l1_state(c0, L), Some(L1State::Shared));
+    assert_eq!(e.l1_state(c1, L), Some(L1State::Shared));
+    assert_eq!(e.dir_state(L), Some(DirState::Shared(0b11)));
+    assert_eq!(e.stats().owner_probes, 1);
+    e.check_invariants();
+}
+
+#[test]
+fn upgrade_invalidates_other_sharers() {
+    let mut e = CoherenceEngine::new(&cfg(4));
+    let mut ctx = MockCtx::new();
+    let (c0, c1, c2) = (CoreId(0), CoreId(1), CoreId(2));
+
+    for (t, c) in [(0u64, c0), (1, c1), (2, c2)] {
+        let now = ctx.queue.now();
+        e.access(now, t, c, L, AccessKind::Load, false, true, &mut ctx);
+        run(&mut e, &mut ctx);
+    }
+    assert_eq!(e.dir_state(L), Some(DirState::Shared(0b111)));
+
+    // c1 upgrades: c0 and c2 lose their copies.
+    let now = ctx.queue.now();
+    e.access(now, 1, c1, L, AccessKind::Rmw, false, true, &mut ctx);
+    run(&mut e, &mut ctx);
+    assert_eq!(e.l1_state(c0, L), None);
+    assert_eq!(e.l1_state(c2, L), None);
+    assert_eq!(e.l1_state(c1, L), Some(L1State::Modified));
+    assert_eq!(e.dir_state(L), Some(DirState::Modified(c1)));
+    assert_eq!(e.stats().invalidations, 2);
+    e.check_invariants();
+}
+
+#[test]
+fn per_line_fifo_serializes_contending_stores() {
+    let mut e = CoherenceEngine::new(&cfg(8));
+    let mut ctx = MockCtx::new();
+
+    // Eight cores store to the same line "simultaneously".
+    for c in 0..8u16 {
+        e.access(
+            0,
+            c as u64,
+            CoreId(c),
+            L,
+            AccessKind::Store,
+            false,
+            true,
+            &mut ctx,
+        );
+    }
+    run(&mut e, &mut ctx);
+    assert_eq!(ctx.completions.len(), 8);
+    // Completions happen in strictly increasing time: the line's FIFO
+    // channel serializes ownership transfers.
+    let times: Vec<Cycle> = ctx.completions.iter().map(|&(_, t)| t).collect();
+    for w in times.windows(2) {
+        assert!(w[0] < w[1], "FIFO order violated: {times:?}");
+    }
+    assert!(e.stats().max_dir_queue_len >= 6);
+    assert!(e.stats().dir_queue_wait_cycles > 0);
+    e.check_invariants();
+}
+
+#[test]
+fn leased_line_queues_probe_until_release() {
+    let mut e = CoherenceEngine::new(&cfg(4));
+    let mut ctx = MockCtx::new();
+    let (c0, c1) = (CoreId(0), CoreId(1));
+
+    // c0 acquires the line exclusively with lease intent.
+    e.access(0, 0, c0, L, AccessKind::Rmw, true, false, &mut ctx);
+    run(&mut e, &mut ctx);
+    assert_eq!(ctx.exclusive_grants.len(), 1);
+    ctx.leased.insert((c0, L));
+    e.pin(c0, L, true);
+
+    // c1 requests the line: the probe must stall at c0.
+    let t_req = ctx.queue.now();
+    e.access(t_req, 1, c1, L, AccessKind::Store, false, false, &mut ctx);
+    run(&mut e, &mut ctx);
+    assert!(
+        e.has_stalled_probe(c0, L),
+        "probe should be queued behind the lease"
+    );
+    assert_eq!(ctx.completions.len(), 1, "c1 must not complete yet");
+    assert_eq!(e.l1_state(c0, L), Some(L1State::Modified));
+
+    // Release after 500 cycles: the probe resumes and c1 completes.
+    let t_rel = ctx.queue.now() + 500;
+    ctx.queue
+        .push_at(t_rel, CohEvent::DirUnlock(LineAddr(0xdead))); // dummy to advance clock
+                                                                // Instead of the dummy event trick, call lease_released directly.
+    ctx.queue.pop();
+    ctx.leased.remove(&(c0, L));
+    e.lease_released(t_rel, c0, L, &mut ctx);
+    run(&mut e, &mut ctx);
+    assert!(!e.has_stalled_probe(c0, L));
+    assert_eq!(ctx.completions.len(), 2);
+    let (_, t_done) = ctx.completions[1];
+    assert!(t_done >= t_rel, "c1 completes only after the release");
+    assert_eq!(e.l1_state(c1, L), Some(L1State::Modified));
+    assert_eq!(e.l1_state(c0, L), None);
+    let queued: u64 = e.stats().cores.iter().map(|c| c.probes_queued).sum();
+    assert_eq!(queued, 1);
+    e.check_invariants();
+}
+
+#[test]
+fn prioritized_regular_request_breaks_lease() {
+    let mut e = CoherenceEngine::new(&cfg(4));
+    let mut ctx = MockCtx::new();
+    ctx.prioritize_regular = true;
+    let (c0, c1) = (CoreId(0), CoreId(1));
+
+    e.access(0, 0, c0, L, AccessKind::Rmw, true, false, &mut ctx);
+    run(&mut e, &mut ctx);
+    ctx.leased.insert((c0, L));
+    e.pin(c0, L, true);
+
+    // Regular store by c1: the lease is broken, no stall.
+    let now = ctx.queue.now();
+    e.access(now, 1, c1, L, AccessKind::Store, false, true, &mut ctx);
+    run(&mut e, &mut ctx);
+    assert!(!e.has_stalled_probe(c0, L));
+    assert_eq!(ctx.completions.len(), 2);
+    assert_eq!(e.l1_state(c1, L), Some(L1State::Modified));
+    e.check_invariants();
+}
+
+#[test]
+fn lease_tagged_request_still_queues_under_prioritization() {
+    let mut e = CoherenceEngine::new(&cfg(4));
+    let mut ctx = MockCtx::new();
+    ctx.prioritize_regular = true;
+    let (c0, c1) = (CoreId(0), CoreId(1));
+
+    e.access(0, 0, c0, L, AccessKind::Rmw, true, false, &mut ctx);
+    run(&mut e, &mut ctx);
+    ctx.leased.insert((c0, L));
+    e.pin(c0, L, true);
+
+    // c1's request is itself a lease request (regular = false): it queues.
+    let now = ctx.queue.now();
+    e.access(now, 1, c1, L, AccessKind::Rmw, true, false, &mut ctx);
+    run(&mut e, &mut ctx);
+    assert!(e.has_stalled_probe(c0, L));
+    // Clean up: release so invariants hold.
+    ctx.leased.remove(&(c0, L));
+    e.lease_released(ctx.queue.now(), c0, L, &mut ctx);
+    run(&mut e, &mut ctx);
+    e.check_invariants();
+}
+
+#[test]
+fn eviction_writes_back_and_line_can_be_refetched() {
+    // Tiny L1: 1 KiB, 1-way => 16 sets; lines 16 apart alias.
+    let mut config = cfg(2);
+    config.l1_kib = 1;
+    config.l1_ways = 1;
+    let mut e = CoherenceEngine::new(&config);
+    let mut ctx = MockCtx::new();
+    let c0 = CoreId(0);
+    let a = LineAddr(0);
+    let b = LineAddr(16); // same L1 set as `a`
+
+    e.access(0, 0, c0, a, AccessKind::Store, false, true, &mut ctx);
+    run(&mut e, &mut ctx);
+    let now = ctx.queue.now();
+    e.access(now, 0, c0, b, AccessKind::Store, false, true, &mut ctx);
+    run(&mut e, &mut ctx);
+    // `a` was evicted dirty: directory must say Uncached again.
+    assert_eq!(e.l1_state(c0, a), None);
+    assert_eq!(e.dir_state(a), Some(DirState::Uncached));
+    assert!(e.stats().cores[0].l1_writebacks >= 1);
+
+    // Refetch `a`: L2 hit this time.
+    let l2_misses_before = e.stats().l2_misses;
+    let now = ctx.queue.now();
+    e.access(now, 0, c0, a, AccessKind::Load, false, true, &mut ctx);
+    run(&mut e, &mut ctx);
+    assert_eq!(e.stats().l2_misses, l2_misses_before);
+    assert_eq!(e.l1_state(c0, a), Some(L1State::Shared));
+    e.check_invariants();
+}
+
+#[test]
+fn probe_delay_bounded_by_lease_time() {
+    // Proposition 2: with a lease of D cycles, a probe waits at most D
+    // beyond normal service. We model the involuntary release by calling
+    // lease_released exactly D cycles after the grant.
+    let mut e = CoherenceEngine::new(&cfg(4));
+    let mut ctx = MockCtx::new();
+    let (c0, c1) = (CoreId(0), CoreId(1));
+    let d: Cycle = 1000;
+
+    e.access(0, 0, c0, L, AccessKind::Rmw, true, false, &mut ctx);
+    run(&mut e, &mut ctx);
+    let grant_time = ctx.exclusive_grants[0].2;
+    ctx.leased.insert((c0, L));
+    e.pin(c0, L, true);
+
+    let t_req = grant_time + 10;
+    e.access(t_req, 1, c1, L, AccessKind::Store, false, false, &mut ctx);
+    // Drain until the probe stalls.
+    run(&mut e, &mut ctx);
+    assert!(e.has_stalled_probe(c0, L));
+
+    // Involuntary release at lease expiry.
+    let expiry = grant_time + d;
+    ctx.leased.remove(&(c0, L));
+    e.lease_released(expiry.max(ctx.queue.now()), c0, L, &mut ctx);
+    run(&mut e, &mut ctx);
+    let (_, t_done) = *ctx.completions.last().unwrap();
+    // The request completed within D plus ordinary protocol latencies.
+    let slack = 200; // generous bound on protocol message latencies
+    assert!(
+        t_done <= t_req + d + slack,
+        "probe delayed too long: done={t_done} req={t_req}"
+    );
+    e.check_invariants();
+}
+
+#[test]
+fn concurrent_distinct_lines_progress_independently() {
+    let mut e = CoherenceEngine::new(&cfg(4));
+    let mut ctx = MockCtx::new();
+    // Four cores on four distinct lines: no owner probes at all.
+    for c in 0..4u16 {
+        e.access(
+            0,
+            c as u64,
+            CoreId(c),
+            LineAddr(200 + c as u64),
+            AccessKind::Store,
+            false,
+            true,
+            &mut ctx,
+        );
+    }
+    run(&mut e, &mut ctx);
+    assert_eq!(ctx.completions.len(), 4);
+    assert_eq!(e.stats().owner_probes, 0);
+    e.check_invariants();
+}
+
+#[test]
+fn stats_track_messages_and_hops() {
+    let mut e = CoherenceEngine::new(&cfg(16));
+    let mut ctx = MockCtx::new();
+    e.access(
+        0,
+        0,
+        CoreId(15),
+        LineAddr(3),
+        AccessKind::Load,
+        false,
+        true,
+        &mut ctx,
+    );
+    run(&mut e, &mut ctx);
+    let s = e.stats();
+    assert!(s.msgs_control >= 2, "request + ack");
+    assert!(s.msgs_data >= 1, "data fill");
+    assert!(s.flit_hops > 0);
+    assert_eq!(s.dir_requests, 1);
+}
+
+#[test]
+fn mesi_sole_reader_gets_exclusive_and_upgrades_silently() {
+    let mut config = cfg(4);
+    config.protocol = lr_sim_core::CoherenceProtocol::Mesi;
+    let mut e = CoherenceEngine::new(&config);
+    let mut ctx = MockCtx::new();
+    let c0 = CoreId(0);
+
+    // Cold load: Exclusive grant.
+    e.access(0, 0, c0, L, AccessKind::Load, false, true, &mut ctx);
+    run(&mut e, &mut ctx);
+    assert_eq!(e.l1_state(c0, L), Some(L1State::Exclusive));
+    assert_eq!(e.dir_state(L), Some(DirState::Modified(c0)));
+
+    // Write: silent E→M upgrade, zero messages.
+    let msgs_before = e.stats().coherence_messages();
+    let now = ctx.queue.now();
+    let r = e.access(now, 0, c0, L, AccessKind::Store, false, true, &mut ctx);
+    assert!(r.is_some(), "silent upgrade must hit");
+    assert_eq!(e.l1_state(c0, L), Some(L1State::Modified));
+    assert_eq!(e.stats().coherence_messages(), msgs_before);
+    e.check_invariants();
+}
+
+#[test]
+fn mesi_second_reader_downgrades_exclusive_cleanly() {
+    let mut config = cfg(4);
+    config.protocol = lr_sim_core::CoherenceProtocol::Mesi;
+    let mut e = CoherenceEngine::new(&config);
+    let mut ctx = MockCtx::new();
+    let (c0, c1) = (CoreId(0), CoreId(1));
+
+    e.access(0, 0, c0, L, AccessKind::Load, false, true, &mut ctx);
+    run(&mut e, &mut ctx);
+    assert_eq!(e.l1_state(c0, L), Some(L1State::Exclusive));
+
+    // Second reader: both end Shared; the clean E copy writes nothing back.
+    let now = ctx.queue.now();
+    e.access(now, 1, c1, L, AccessKind::Load, false, true, &mut ctx);
+    run(&mut e, &mut ctx);
+    assert_eq!(e.l1_state(c0, L), Some(L1State::Shared));
+    assert_eq!(e.l1_state(c1, L), Some(L1State::Shared));
+    assert_eq!(e.dir_state(L), Some(DirState::Shared(0b11)));
+    assert_eq!(e.stats().cores[0].l1_writebacks, 0, "E is clean");
+    e.check_invariants();
+}
+
+#[test]
+fn mesi_lease_queues_probe_like_msi() {
+    let mut config = cfg(4);
+    config.protocol = lr_sim_core::CoherenceProtocol::Mesi;
+    let mut e = CoherenceEngine::new(&config);
+    let mut ctx = MockCtx::new();
+    let (c0, c1) = (CoreId(0), CoreId(1));
+
+    e.access(0, 0, c0, L, AccessKind::Rmw, true, false, &mut ctx);
+    run(&mut e, &mut ctx);
+    ctx.leased.insert((c0, L));
+    e.pin(c0, L, true);
+
+    let now = ctx.queue.now();
+    e.access(now, 1, c1, L, AccessKind::Store, false, false, &mut ctx);
+    run(&mut e, &mut ctx);
+    assert!(
+        e.has_stalled_probe(c0, L),
+        "leases must work identically on MESI"
+    );
+
+    ctx.leased.remove(&(c0, L));
+    e.lease_released(ctx.queue.now(), c0, L, &mut ctx);
+    run(&mut e, &mut ctx);
+    assert_eq!(e.l1_state(c1, L), Some(L1State::Modified));
+    e.check_invariants();
+}
+
+#[test]
+fn home_distribution_is_striped() {
+    let e = CoherenceEngine::new(&cfg(8));
+    let mut homes = HashMap::new();
+    for l in 0..64u64 {
+        *homes.entry(e.home_of(LineAddr(l))).or_insert(0) += 1;
+    }
+    assert_eq!(homes.len(), 8);
+    for (_, n) in homes {
+        assert_eq!(n, 8);
+    }
+}

@@ -1,0 +1,593 @@
+//! The per-core lease table (Algorithm 1 and 2 of the paper).
+//!
+//! The table is pure state: it decides *what* should happen (which lines
+//! to release, when counters expire) and the machine layer performs the
+//! coherence-visible effects through `lr-coherence`.
+
+use lr_sim_core::{Cycle, LeaseConfig, LineAddr};
+
+/// One lease-table entry.
+#[derive(Debug, Clone)]
+struct Entry {
+    line: LineAddr,
+    /// Clamped duration (`min(time, MAX_LEASE_TIME)`).
+    duration: Cycle,
+    /// Absolute expiry time once the counter has started.
+    expires: Option<Cycle>,
+    /// Exclusive ownership has been granted for this entry. Probes are
+    /// delayed only on granted entries: a core may still own a *stale*
+    /// copy of a group line it has not re-acquired yet, and delaying
+    /// probes on it would recreate exactly the deadlock that sorted
+    /// acquisition order exists to prevent (Proposition 3: "p1 must have
+    /// acquired R0 as part of its current MultiLease call").
+    granted: bool,
+    /// Generation token to invalidate stale expiry events.
+    generation: u64,
+    /// FIFO insertion order (for `MAX_NUM_LEASES` replacement).
+    seq: u64,
+    /// MultiLease group id, if part of a joint lease.
+    group: Option<u64>,
+}
+
+/// Probe-relevant state of a line in the table (see
+/// [`LeaseTable::state`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LeaseState {
+    /// No entry: probes proceed normally.
+    NotLeased,
+    /// Entry exists but ownership has not been (re-)acquired under it:
+    /// probes proceed — the line is only *stale-owned*, not leased.
+    Pending,
+    /// A live lease: probes are queued (or break it, under
+    /// prioritization).
+    Active,
+    /// The counter ran out but the expiry event has not fired yet (tie at
+    /// the same cycle): complete the involuntary release in place.
+    Expired,
+}
+
+/// Result of starting a single lease (Algorithm 1, `LEASE`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BeginLease {
+    /// The line is already leased: per footnote 1, leases are never
+    /// extended, and no new entry is created.
+    AlreadyLeased,
+    /// A new entry was created. If the table was full, `displaced` lists
+    /// the lines released to make room — the oldest lease in FIFO order,
+    /// which, if it was a MultiLease member, takes its whole group with
+    /// it. The caller must complete those releases (unpin, resume queued
+    /// probes) before requesting ownership of the new line.
+    Inserted {
+        /// Lines released by FIFO replacement (usually empty or one).
+        displaced: Vec<LineAddr>,
+    },
+}
+
+/// Result of `MultiLease` admission (Algorithm 2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MultiLeaseBegin {
+    /// The request would exceed `MAX_NUM_LEASES` and is ignored
+    /// (Algorithm 2 line 5). The caller must still release the previously
+    /// held leases listed here (Algorithm 2 line 2 releases them first).
+    Rejected {
+        /// Leases released by the implicit `RELEASEALL`.
+        released: Vec<LineAddr>,
+    },
+    /// Admitted: acquire `sorted_lines` in order, notifying the table
+    /// with [`LeaseTable::group_line_granted`] after each grant.
+    Admitted {
+        /// Leases released by the implicit `RELEASEALL`.
+        released: Vec<LineAddr>,
+        /// The group's lines in the fixed global acquisition order.
+        sorted_lines: Vec<LineAddr>,
+    },
+}
+
+/// Result of a release.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReleaseOutcome {
+    /// No lease on that line (release does nothing, Algorithm 1).
+    NotFound,
+    /// These lines were released. A singleton for a plain lease; the
+    /// entire group for a MultiLease member (Algorithm 2: "a release on
+    /// any address in the group causes all others to be canceled").
+    Released(Vec<LineAddr>),
+}
+
+/// A started lease counter the machine must arm an expiry event for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArmedCounter {
+    /// Leased line.
+    pub line: LineAddr,
+    /// Absolute expiry time.
+    pub expires: Cycle,
+    /// Generation token to pass back to [`LeaseTable::on_expiry`].
+    pub generation: u64,
+}
+
+/// The per-core lease table.
+#[derive(Debug)]
+pub struct LeaseTable {
+    cfg: LeaseConfig,
+    entries: Vec<Entry>,
+    next_seq: u64,
+    next_gen: u64,
+    next_group: u64,
+    /// In-progress MultiLease acquisition: `(group id, lines granted so far)`.
+    acquiring: Option<(u64, usize)>,
+}
+
+impl LeaseTable {
+    /// Empty table with the given configuration.
+    pub fn new(cfg: LeaseConfig) -> Self {
+        assert!(cfg.max_num_leases >= 1);
+        LeaseTable {
+            cfg,
+            entries: Vec::new(),
+            next_seq: 0,
+            next_gen: 0,
+            next_group: 0,
+            acquiring: None,
+        }
+    }
+
+    /// The table's configuration.
+    pub fn config(&self) -> &LeaseConfig {
+        &self.cfg
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no leases are held.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Lines currently leased, in FIFO order.
+    pub fn lines(&self) -> Vec<LineAddr> {
+        let mut v: Vec<&Entry> = self.entries.iter().collect();
+        v.sort_by_key(|e| e.seq);
+        v.into_iter().map(|e| e.line).collect()
+    }
+
+    fn find(&self, line: LineAddr) -> Option<usize> {
+        self.entries.iter().position(|e| e.line == line)
+    }
+
+    /// Is `line` actively leased at time `now`? True for granted entries
+    /// whose counter has not expired — including granted group lines
+    /// whose joint countdown has not started yet (the "transition to
+    /// lease" load-buffer state of Section 5): those must delay probes
+    /// for Proposition 3's sorted-order argument to go through.
+    pub fn is_leased(&self, line: LineAddr, now: Cycle) -> bool {
+        self.state(line, now) == LeaseState::Active
+    }
+
+    /// Full probe-relevant state of `line` (see [`LeaseState`]).
+    pub fn state(&self, line: LineAddr, now: Cycle) -> LeaseState {
+        match self.find(line) {
+            None => LeaseState::NotLeased,
+            Some(i) => {
+                let e = &self.entries[i];
+                if !e.granted {
+                    LeaseState::Pending
+                } else if e.expires.is_none_or(|x| now < x) {
+                    LeaseState::Active
+                } else {
+                    LeaseState::Expired
+                }
+            }
+        }
+    }
+
+    /// Algorithm 1 `LEASE`: admit a lease on `line` for `time` cycles.
+    ///
+    /// The caller must (a) voluntarily release any displaced line, then
+    /// (b) request `line` in Exclusive state with lease intent, and
+    /// (c) call [`LeaseTable::on_exclusive_granted`] when ownership
+    /// arrives.
+    pub fn begin_lease(&mut self, line: LineAddr, time: Cycle) -> BeginLease {
+        assert!(
+            self.acquiring.is_none(),
+            "single leases may not be taken during a MultiLease acquisition"
+        );
+        if self.find(line).is_some() {
+            return BeginLease::AlreadyLeased;
+        }
+        let displaced = if self.entries.len() == self.cfg.max_num_leases {
+            let oldest = self
+                .entries
+                .iter()
+                .min_by_key(|e| e.seq)
+                .map(|e| e.line)
+                .unwrap();
+            // A displaced group member cancels its whole group.
+            match self.release(oldest) {
+                ReleaseOutcome::Released(lines) => lines,
+                ReleaseOutcome::NotFound => unreachable!(),
+            }
+        } else {
+            Vec::new()
+        };
+        self.insert_entry(line, time, None);
+        BeginLease::Inserted { displaced }
+    }
+
+    fn insert_entry(&mut self, line: LineAddr, time: Cycle, group: Option<u64>) {
+        let duration = time.min(self.cfg.max_lease_time);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let generation = self.next_gen;
+        self.next_gen += 1;
+        self.entries.push(Entry {
+            line,
+            duration,
+            expires: None,
+            granted: false,
+            generation,
+            seq,
+            group,
+        });
+    }
+
+    /// Exclusive ownership of `line` arrived at `now`: start the counter
+    /// (single leases) or record the grant (MultiLease groups, whose
+    /// counters start jointly). Returns the counters to arm.
+    pub fn on_exclusive_granted(&mut self, line: LineAddr, now: Cycle) -> Vec<ArmedCounter> {
+        let Some(i) = self.find(line) else {
+            // The lease was displaced/broken while its ownership request
+            // was in flight; nothing to start.
+            return Vec::new();
+        };
+        match self.entries[i].group {
+            None => {
+                let e = &mut self.entries[i];
+                e.granted = true;
+                let expires = now + e.duration;
+                e.expires = Some(expires);
+                vec![ArmedCounter {
+                    line,
+                    expires,
+                    generation: e.generation,
+                }]
+            }
+            Some(g) => self.group_line_granted(g, line, now),
+        }
+    }
+
+    fn group_line_granted(&mut self, g: u64, line: LineAddr, now: Cycle) -> Vec<ArmedCounter> {
+        let Some(i) = self.find(line) else {
+            return Vec::new();
+        };
+        if self.entries[i].granted {
+            // Duplicate grant (stale notification): ignore.
+            return Vec::new();
+        }
+        self.entries[i].granted = true;
+        let Some((ag, granted)) = self.acquiring.as_mut() else {
+            // The group's acquisition was cancelled meanwhile.
+            return Vec::new();
+        };
+        if *ag != g {
+            return Vec::new();
+        }
+        *granted += 1;
+        let total = self.entries.iter().filter(|e| e.group == Some(g)).count();
+        if *granted < total {
+            return Vec::new();
+        }
+        // Last line granted: start every counter in the group jointly
+        // (Section 5, "all corresponding counters are allocated and
+        // started").
+        self.acquiring = None;
+        self.entries
+            .iter_mut()
+            .filter(|e| e.group == Some(g))
+            .map(|e| {
+                let expires = now + e.duration;
+                e.expires = Some(expires);
+                ArmedCounter {
+                    line: e.line,
+                    expires,
+                    generation: e.generation,
+                }
+            })
+            .collect()
+    }
+
+    /// Algorithm 2 `MULTILEASE`: admit a joint lease on `lines`.
+    ///
+    /// Duplicate lines (same cache line reached through several addresses)
+    /// are coalesced. The caller must release the returned `released`
+    /// lines, then acquire `sorted_lines` in order with lease intent.
+    pub fn begin_multilease(&mut self, lines: &[LineAddr], time: Cycle) -> MultiLeaseBegin {
+        assert!(self.acquiring.is_none(), "nested MultiLease");
+        // RELEASEALL comes first (Algorithm 2 line 2).
+        let released = self.release_all();
+        let mut sorted: Vec<LineAddr> = lines.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        if sorted.len() > self.cfg.max_num_leases {
+            return MultiLeaseBegin::Rejected { released };
+        }
+        let g = self.next_group;
+        self.next_group += 1;
+        for &l in &sorted {
+            self.insert_entry(l, time, Some(g));
+        }
+        // An empty MultiLease degenerates to RELEASEALL: nothing to acquire.
+        self.acquiring = if sorted.is_empty() {
+            None
+        } else {
+            Some((g, 0))
+        };
+        MultiLeaseBegin::Admitted {
+            released,
+            sorted_lines: sorted,
+        }
+    }
+
+    /// Voluntary release of `line` (Algorithm 1 `RELEASE` /
+    /// Algorithm 2 `MULTIRELEASE`): removes the entry — and its whole
+    /// group, for MultiLease members.
+    pub fn release(&mut self, line: LineAddr) -> ReleaseOutcome {
+        let Some(i) = self.find(line) else {
+            return ReleaseOutcome::NotFound;
+        };
+        match self.entries[i].group {
+            None => {
+                self.entries.swap_remove(i);
+                ReleaseOutcome::Released(vec![line])
+            }
+            Some(g) => {
+                let mut removed: Vec<LineAddr> = Vec::new();
+                self.entries.retain(|e| {
+                    if e.group == Some(g) {
+                        removed.push(e.line);
+                        false
+                    } else {
+                        true
+                    }
+                });
+                if self.acquiring.is_some_and(|(ag, _)| ag == g) {
+                    self.acquiring = None;
+                }
+                ReleaseOutcome::Released(removed)
+            }
+        }
+    }
+
+    /// `RELEASEALL`: drop every lease, returning the released lines.
+    pub fn release_all(&mut self) -> Vec<LineAddr> {
+        self.acquiring = None;
+        self.entries.drain(..).map(|e| e.line).collect()
+    }
+
+    /// A lease-counter expiry event fired. Returns the lines involuntarily
+    /// released (empty if the event was stale — the lease was already
+    /// released and possibly replaced).
+    pub fn on_expiry(&mut self, line: LineAddr, generation: u64) -> Vec<LineAddr> {
+        let valid = self
+            .find(line)
+            .is_some_and(|i| self.entries[i].generation == generation);
+        if !valid {
+            return Vec::new();
+        }
+        match self.release(line) {
+            ReleaseOutcome::Released(lines) => lines,
+            ReleaseOutcome::NotFound => unreachable!(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(max_leases: usize) -> LeaseConfig {
+        LeaseConfig {
+            max_num_leases: max_leases,
+            ..LeaseConfig::default()
+        }
+    }
+
+    fn table(max_leases: usize) -> LeaseTable {
+        LeaseTable::new(cfg(max_leases))
+    }
+
+    const A: LineAddr = LineAddr(1);
+    const B: LineAddr = LineAddr(2);
+    const C: LineAddr = LineAddr(3);
+
+    #[test]
+    fn lease_then_grant_then_expiry() {
+        let mut t = table(4);
+        assert_eq!(
+            t.begin_lease(A, 500),
+            BeginLease::Inserted { displaced: vec![] }
+        );
+        assert_eq!(
+            t.state(A, 0),
+            LeaseState::Pending,
+            "entry exists but no ownership yet: probes must not be delayed"
+        );
+        assert!(!t.is_leased(A, 0));
+        let armed = t.on_exclusive_granted(A, 100);
+        assert_eq!(armed.len(), 1);
+        assert_eq!(armed[0].expires, 600);
+        assert!(t.is_leased(A, 599));
+        assert!(!t.is_leased(A, 600));
+        assert_eq!(t.on_expiry(A, armed[0].generation), vec![A]);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn duration_clamped_to_max_lease_time() {
+        let mut t = table(4);
+        t.begin_lease(A, u64::MAX);
+        let armed = t.on_exclusive_granted(A, 0);
+        assert_eq!(armed[0].expires, LeaseConfig::default().max_lease_time);
+    }
+
+    #[test]
+    fn no_lease_extension_on_released_line() {
+        let mut t = table(4);
+        t.begin_lease(A, 100);
+        t.on_exclusive_granted(A, 0);
+        // Footnote 1: a second lease on a leased line does nothing.
+        assert_eq!(t.begin_lease(A, 1_000_000), BeginLease::AlreadyLeased);
+        assert!(!t.is_leased(A, 100));
+    }
+
+    #[test]
+    fn fifo_replacement_displaces_oldest() {
+        let mut t = table(2);
+        t.begin_lease(A, 10);
+        t.begin_lease(B, 10);
+        match t.begin_lease(C, 10) {
+            BeginLease::Inserted { displaced } => assert_eq!(displaced, vec![A]),
+            other => panic!("expected displacement of A, got {other:?}"),
+        }
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.state(B, 0), LeaseState::Pending);
+        assert_eq!(t.state(C, 0), LeaseState::Pending);
+        assert_eq!(t.state(A, 0), LeaseState::NotLeased);
+    }
+
+    #[test]
+    fn voluntary_release_is_reported() {
+        let mut t = table(4);
+        t.begin_lease(A, 10);
+        t.on_exclusive_granted(A, 0);
+        assert_eq!(t.release(A), ReleaseOutcome::Released(vec![A]));
+        assert_eq!(t.release(A), ReleaseOutcome::NotFound);
+    }
+
+    #[test]
+    fn stale_expiry_event_is_ignored() {
+        let mut t = table(4);
+        t.begin_lease(A, 10);
+        let armed = t.on_exclusive_granted(A, 0);
+        t.release(A);
+        // The lease was re-taken: old expiry must not kill the new lease.
+        t.begin_lease(A, 10);
+        t.on_exclusive_granted(A, 5);
+        assert!(t.on_expiry(A, armed[0].generation).is_empty());
+        assert!(t.is_leased(A, 6));
+    }
+
+    #[test]
+    fn multilease_sorts_and_dedups() {
+        let mut t = table(4);
+        match t.begin_multilease(&[C, A, B, A], 50) {
+            MultiLeaseBegin::Admitted {
+                released,
+                sorted_lines,
+            } => {
+                assert!(released.is_empty());
+                assert_eq!(sorted_lines, vec![A, B, C]);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Counters start only when the LAST line is granted.
+        assert!(t.on_exclusive_granted(A, 10).is_empty());
+        assert!(t.on_exclusive_granted(B, 20).is_empty());
+        let armed = t.on_exclusive_granted(C, 30);
+        assert_eq!(armed.len(), 3);
+        for a in &armed {
+            assert_eq!(a.expires, 80, "joint start at the last grant time");
+        }
+    }
+
+    #[test]
+    fn multilease_releases_held_leases_first() {
+        let mut t = table(4);
+        t.begin_lease(A, 10);
+        t.on_exclusive_granted(A, 0);
+        match t.begin_multilease(&[B, C], 50) {
+            MultiLeaseBegin::Admitted { released, .. } => assert_eq!(released, vec![A]),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn multilease_over_capacity_rejected() {
+        let mut t = table(2);
+        match t.begin_multilease(&[A, B, C], 50) {
+            MultiLeaseBegin::Rejected { released } => assert!(released.is_empty()),
+            other => panic!("{other:?}"),
+        }
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn group_release_cancels_all_members() {
+        let mut t = table(4);
+        t.begin_multilease(&[A, B], 50);
+        t.on_exclusive_granted(A, 0);
+        t.on_exclusive_granted(B, 10);
+        match t.release(B) {
+            ReleaseOutcome::Released(mut lines) => {
+                lines.sort_unstable();
+                assert_eq!(lines, vec![A, B]);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn group_expiry_cancels_all_members() {
+        let mut t = table(4);
+        t.begin_multilease(&[A, B], 50);
+        t.on_exclusive_granted(A, 0);
+        let armed = t.on_exclusive_granted(B, 10);
+        let gen_a = armed.iter().find(|c| c.line == A).unwrap().generation;
+        let mut released = t.on_expiry(A, gen_a);
+        released.sort_unstable();
+        assert_eq!(released, vec![A, B]);
+        // The sibling expiry event is now stale.
+        let gen_b = armed.iter().find(|c| c.line == B).unwrap().generation;
+        assert!(t.on_expiry(B, gen_b).is_empty());
+    }
+
+    #[test]
+    fn unstarted_group_lines_count_as_leased() {
+        // Proposition 3 relies on lines acquired mid-MultiLease delaying
+        // incoming probes even before the joint counters start.
+        let mut t = table(4);
+        t.begin_multilease(&[A, B], 50);
+        t.on_exclusive_granted(A, 0);
+        assert!(t.is_leased(A, 1_000_000), "no expiry before joint start");
+    }
+
+    #[test]
+    fn grant_for_displaced_lease_is_ignored() {
+        let mut t = table(1);
+        t.begin_lease(A, 10);
+        // A is displaced before its ownership arrives.
+        t.begin_lease(B, 10);
+        assert!(t.on_exclusive_granted(A, 5).is_empty());
+        assert!(!t.is_leased(A, 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "single leases may not be taken")]
+    fn single_lease_during_multilease_panics() {
+        let mut t = table(4);
+        t.begin_multilease(&[A, B], 50);
+        t.begin_lease(C, 10);
+    }
+
+    #[test]
+    fn lines_reports_fifo_order() {
+        let mut t = table(4);
+        t.begin_lease(B, 10);
+        t.begin_lease(A, 10);
+        t.begin_lease(C, 10);
+        assert_eq!(t.lines(), vec![B, A, C]);
+    }
+}

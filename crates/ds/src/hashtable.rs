@@ -1,0 +1,140 @@
+//! A lock-based chained hash table (per-bucket locks), standing in for
+//! the "Java concurrent hash table" of the paper's low-contention
+//! experiments. Each bucket is `[lock, list_head]` on its own cache
+//! line; chains are sorted singly-linked lists of `[key, next]` nodes.
+
+use lr_machine::ThreadCtx;
+use lr_sim_core::Addr;
+use lr_sim_mem::SimMemory;
+
+const B_LOCK: u64 = 0;
+const B_HEAD: u64 = 8;
+
+const KEY: u64 = 0;
+const NEXT: u64 = 8;
+
+/// A fixed-size lock-based hash set over `u64` keys (keys ≥ 1).
+#[derive(Debug, Clone)]
+pub struct HashTable {
+    buckets: Vec<Addr>,
+    /// Lease each bucket lock across its critical section.
+    pub leased: bool,
+}
+
+impl HashTable {
+    /// Allocate a table with `n` buckets.
+    pub fn init(mem: &mut SimMemory, n: usize, leased: bool) -> Self {
+        assert!(n >= 1);
+        HashTable {
+            buckets: (0..n).map(|_| mem.alloc_line_aligned(16)).collect(),
+            leased,
+        }
+    }
+
+    fn bucket(&self, key: u64) -> Addr {
+        // Fibonacci hashing spreads sequential keys across buckets.
+        let h = key.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        self.buckets[(h % self.buckets.len() as u64) as usize]
+    }
+
+    fn lock(&self, ctx: &mut ThreadCtx, b: Addr) {
+        if self.leased {
+            loop {
+                ctx.lease_max(b.offset(B_LOCK));
+                if ctx.xchg(b.offset(B_LOCK), 1) == 0 {
+                    return;
+                }
+                ctx.release(b.offset(B_LOCK));
+                while ctx.read(b.offset(B_LOCK)) != 0 {
+                    ctx.work(16);
+                }
+            }
+        } else {
+            loop {
+                if ctx.read(b.offset(B_LOCK)) == 0 && ctx.xchg(b.offset(B_LOCK), 1) == 0 {
+                    return;
+                }
+                ctx.work(16);
+            }
+        }
+    }
+
+    fn unlock(&self, ctx: &mut ThreadCtx, b: Addr) {
+        ctx.write(b.offset(B_LOCK), 0);
+        if self.leased {
+            ctx.release(b.offset(B_LOCK));
+        }
+    }
+
+    /// Insert `key`; false if already present.
+    pub fn insert(&self, ctx: &mut ThreadCtx, key: u64) -> bool {
+        debug_assert!(key >= 1);
+        let b = self.bucket(key);
+        self.lock(ctx, b);
+        // Sorted-chain walk.
+        let mut prev = b.offset(B_HEAD);
+        let mut cur = ctx.read(prev);
+        while cur != 0 {
+            let k = ctx.read(Addr(cur).offset(KEY));
+            if k == key {
+                self.unlock(ctx, b);
+                return false;
+            }
+            if k > key {
+                break;
+            }
+            prev = Addr(cur).offset(NEXT);
+            cur = ctx.read(prev);
+        }
+        let node = ctx.malloc_line(16);
+        ctx.write(node.offset(KEY), key);
+        ctx.write(node.offset(NEXT), cur);
+        ctx.write(prev, node.0);
+        self.unlock(ctx, b);
+        true
+    }
+
+    /// Remove `key`; false if absent.
+    pub fn remove(&self, ctx: &mut ThreadCtx, key: u64) -> bool {
+        let b = self.bucket(key);
+        self.lock(ctx, b);
+        let mut prev = b.offset(B_HEAD);
+        let mut cur = ctx.read(prev);
+        while cur != 0 {
+            let k = ctx.read(Addr(cur).offset(KEY));
+            if k == key {
+                let next = ctx.read(Addr(cur).offset(NEXT));
+                ctx.write(prev, next);
+                self.unlock(ctx, b);
+                // Unlinked nodes are not freed: `contains` reads chains
+                // without the bucket lock (no reclamation, as everywhere
+                // in the paper's evaluation).
+                return true;
+            }
+            if k > key {
+                break;
+            }
+            prev = Addr(cur).offset(NEXT);
+            cur = ctx.read(prev);
+        }
+        self.unlock(ctx, b);
+        false
+    }
+
+    /// Is `key` present? (Lock-free read of the sorted chain.)
+    pub fn contains(&self, ctx: &mut ThreadCtx, key: u64) -> bool {
+        let b = self.bucket(key);
+        let mut cur = ctx.read(b.offset(B_HEAD));
+        while cur != 0 {
+            let k = ctx.read(Addr(cur).offset(KEY));
+            if k == key {
+                return true;
+            }
+            if k > key {
+                return false;
+            }
+            cur = ctx.read(Addr(cur).offset(NEXT));
+        }
+        false
+    }
+}

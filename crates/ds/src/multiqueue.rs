@@ -1,0 +1,140 @@
+//! MultiQueues \[36\] — the relaxed priority queue of the paper's
+//! Algorithm 4: `M` sequential priority queues, each behind a try-lock.
+//! `insert` locks one random queue; `deleteMin` locks two random queues
+//! and pops the better minimum.
+//!
+//! The leased variant follows Algorithm 4 exactly: `insert` leases the
+//! chosen lock; `deleteMin` MultiLeases *both* locks, and — critically —
+//! releases the leases right after the priority comparison, before the
+//! (long) sequential `deleteMin`, so other threads can re-randomize
+//! instead of waiting (the §6 discussion of why this traffic is "not
+//! useless" for MultiQueues).
+
+use crate::seq_skiplist::SeqSkipList;
+use lr_machine::ThreadCtx;
+use lr_sim_core::Addr;
+use lr_sim_mem::SimMemory;
+use rand::Rng;
+
+/// Lease usage variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MqVariant {
+    /// Plain try-locks.
+    Base,
+    /// Algorithm 4: leases on insert, MultiLease on deleteMin.
+    Leased,
+}
+
+/// A MultiQueue over `M` sequential skiplists.
+#[derive(Debug, Clone)]
+pub struct MultiQueue {
+    locks: Vec<Addr>,
+    queues: Vec<SeqSkipList>,
+    variant: MqVariant,
+}
+
+impl MultiQueue {
+    /// Allocate `m` queues (the paper's benchmark uses eight).
+    pub fn init(mem: &mut SimMemory, m: usize, variant: MqVariant) -> Self {
+        assert!(m >= 2);
+        MultiQueue {
+            locks: (0..m).map(|_| mem.alloc_line_aligned(8)).collect(),
+            queues: (0..m).map(|_| SeqSkipList::init(mem)).collect(),
+            variant,
+        }
+    }
+
+    /// Number of underlying queues.
+    pub fn queues(&self) -> usize {
+        self.queues.len()
+    }
+
+    fn try_lock(&self, ctx: &mut ThreadCtx, i: usize) -> bool {
+        ctx.read(self.locks[i]) == 0 && ctx.xchg(self.locks[i], 1) == 0
+    }
+
+    fn unlock(&self, ctx: &mut ThreadCtx, i: usize) {
+        ctx.write(self.locks[i], 0);
+    }
+
+    /// Algorithm 4 `INSERT`.
+    pub fn insert(&self, ctx: &mut ThreadCtx, key: u64, value: u64) -> usize {
+        let m = self.queues.len();
+        loop {
+            let i = ctx.rng().gen_range(0..m);
+            if self.variant == MqVariant::Leased {
+                ctx.lease_max(self.locks[i]);
+            }
+            if self.try_lock(ctx, i) {
+                self.queues[i].insert(ctx, key, value); // sequential
+                self.unlock(ctx, i);
+                if self.variant == MqVariant::Leased {
+                    ctx.release(self.locks[i]);
+                }
+                return i;
+            }
+            if self.variant == MqVariant::Leased {
+                ctx.release(self.locks[i]);
+            }
+            ctx.work(32);
+        }
+    }
+
+    /// Algorithm 4 `DELETEMIN`: lock two random queues, pop the better
+    /// minimum. Returns `None` only if the chosen queues were both empty.
+    pub fn delete_min(&self, ctx: &mut ThreadCtx) -> Option<(u64, u64)> {
+        let m = self.queues.len();
+        loop {
+            let i = ctx.rng().gen_range(0..m);
+            let k = ctx.rng().gen_range(0..m);
+            if i == k {
+                continue;
+            }
+            if self.variant == MqVariant::Leased {
+                ctx.multi_lease(&[self.locks[i], self.locks[k]], ctx.max_lease_time());
+            }
+            if self.try_lock(ctx, i) {
+                if self.try_lock(ctx, k) {
+                    // Compare the two minima; `best` wins.
+                    let (best, other) =
+                        match (self.queues[i].peek_min(ctx), self.queues[k].peek_min(ctx)) {
+                            (None, None) => {
+                                self.unlock(ctx, k);
+                                self.unlock(ctx, i);
+                                if self.variant == MqVariant::Leased {
+                                    ctx.release_all();
+                                }
+                                return None;
+                            }
+                            (Some(_), None) => (i, k),
+                            (None, Some(_)) => (k, i),
+                            (Some(a), Some(b)) => {
+                                if a <= b {
+                                    (i, k)
+                                } else {
+                                    (k, i)
+                                }
+                            }
+                        };
+                    // As soon as the comparison is done: unlock the loser
+                    // and drop both leases (Algorithm 4 lines 13–14).
+                    self.unlock(ctx, other);
+                    if self.variant == MqVariant::Leased {
+                        ctx.release_all();
+                    }
+                    let rtn = self.queues[best].delete_min(ctx); // sequential
+                    self.unlock(ctx, best);
+                    return rtn;
+                }
+                // Failed to acquire the second lock.
+                self.unlock(ctx, i);
+                if self.variant == MqVariant::Leased {
+                    ctx.release_all();
+                }
+            } else if self.variant == MqVariant::Leased {
+                ctx.release_all();
+            }
+            ctx.work(32);
+        }
+    }
+}

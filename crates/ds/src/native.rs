@@ -1,0 +1,248 @@
+//! *Native* (host-atomics) Treiber stack and Michael–Scott queue.
+//!
+//! The paper validates Graphite by comparing base implementations on the
+//! simulator against a real Intel machine ("the scalability trends are
+//! similar"). These implementations replay that check on the host CPU:
+//! the `validation_native` bench compares their scalability trend with
+//! the simulated baselines.
+//!
+//! Popped/dequeued nodes are intentionally leaked (no safe reclamation
+//! without epochs/hazard pointers; runs are bounded, and leaking also
+//! sidesteps ABA — matching the simulated structures, which never
+//! reclaim either).
+
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, Ordering};
+
+struct SNode {
+    value: u64,
+    next: *mut SNode,
+}
+
+/// Host-atomics Treiber stack.
+pub struct NativeStack {
+    head: AtomicPtr<SNode>,
+}
+
+impl Default for NativeStack {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl NativeStack {
+    /// Empty stack.
+    pub fn new() -> Self {
+        NativeStack {
+            head: AtomicPtr::new(ptr::null_mut()),
+        }
+    }
+
+    /// Push `value`.
+    pub fn push(&self, value: u64) {
+        let node = Box::into_raw(Box::new(SNode {
+            value,
+            next: ptr::null_mut(),
+        }));
+        loop {
+            let h = self.head.load(Ordering::Acquire);
+            // Safety: `node` is owned by us until the CAS succeeds.
+            unsafe { (*node).next = h };
+            if self
+                .head
+                .compare_exchange(h, node, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                return;
+            }
+        }
+    }
+
+    /// Pop; `None` when empty.
+    pub fn pop(&self) -> Option<u64> {
+        loop {
+            let h = self.head.load(Ordering::Acquire);
+            if h.is_null() {
+                return None;
+            }
+            // Safety: nodes are never freed, so `h` stays dereferenceable.
+            let next = unsafe { (*h).next };
+            if self
+                .head
+                .compare_exchange(h, next, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                return Some(unsafe { (*h).value });
+            }
+        }
+    }
+}
+
+// Safety: all shared state is accessed through atomics; nodes are
+// published via release CAS and never freed.
+unsafe impl Send for NativeStack {}
+unsafe impl Sync for NativeStack {}
+
+struct QNode {
+    value: u64,
+    next: AtomicPtr<QNode>,
+}
+
+/// Host-atomics Michael–Scott queue.
+pub struct NativeQueue {
+    head: AtomicPtr<QNode>,
+    tail: AtomicPtr<QNode>,
+}
+
+impl Default for NativeQueue {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl NativeQueue {
+    /// Empty queue (with a dummy node).
+    pub fn new() -> Self {
+        let dummy = Box::into_raw(Box::new(QNode {
+            value: 0,
+            next: AtomicPtr::new(ptr::null_mut()),
+        }));
+        NativeQueue {
+            head: AtomicPtr::new(dummy),
+            tail: AtomicPtr::new(dummy),
+        }
+    }
+
+    /// Enqueue `value`.
+    pub fn enqueue(&self, value: u64) {
+        let node = Box::into_raw(Box::new(QNode {
+            value,
+            next: AtomicPtr::new(ptr::null_mut()),
+        }));
+        loop {
+            let t = self.tail.load(Ordering::Acquire);
+            // Safety: nodes are never freed.
+            let next = unsafe { (*t).next.load(Ordering::Acquire) };
+            if t == self.tail.load(Ordering::Acquire) {
+                if next.is_null() {
+                    if unsafe {
+                        (*t).next
+                            .compare_exchange(
+                                ptr::null_mut(),
+                                node,
+                                Ordering::AcqRel,
+                                Ordering::Acquire,
+                            )
+                            .is_ok()
+                    } {
+                        let _ = self.tail.compare_exchange(
+                            t,
+                            node,
+                            Ordering::AcqRel,
+                            Ordering::Acquire,
+                        );
+                        return;
+                    }
+                } else {
+                    let _ =
+                        self.tail
+                            .compare_exchange(t, next, Ordering::AcqRel, Ordering::Acquire);
+                }
+            }
+        }
+    }
+
+    /// Dequeue; `None` when empty.
+    pub fn dequeue(&self) -> Option<u64> {
+        loop {
+            let h = self.head.load(Ordering::Acquire);
+            let t = self.tail.load(Ordering::Acquire);
+            // Safety: nodes are never freed.
+            let next = unsafe { (*h).next.load(Ordering::Acquire) };
+            if h == self.head.load(Ordering::Acquire) {
+                if h == t {
+                    if next.is_null() {
+                        return None;
+                    }
+                    let _ =
+                        self.tail
+                            .compare_exchange(t, next, Ordering::AcqRel, Ordering::Acquire);
+                } else {
+                    let value = unsafe { (*next).value };
+                    if self
+                        .head
+                        .compare_exchange(h, next, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        return Some(value);
+                    }
+                }
+            }
+        }
+    }
+}
+
+// Safety: see NativeStack.
+unsafe impl Send for NativeQueue {}
+unsafe impl Sync for NativeQueue {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn native_stack_concurrent_push_pop() {
+        let s = Arc::new(NativeStack::new());
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let s = s.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut popped = 0u64;
+                for i in 0..1000u64 {
+                    s.push(t * 1000 + i);
+                    if s.pop().is_some() {
+                        popped += 1;
+                    }
+                }
+                popped
+            }));
+        }
+        let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        // Every pop paired with a push: the remainder is still stacked.
+        let mut rest = 0;
+        while s.pop().is_some() {
+            rest += 1;
+        }
+        assert_eq!(total + rest, 4000);
+    }
+
+    #[test]
+    fn native_queue_fifo_per_producer() {
+        let q = Arc::new(NativeQueue::new());
+        let producer = {
+            let q = q.clone();
+            std::thread::spawn(move || {
+                for i in 1..=1000u64 {
+                    q.enqueue(i);
+                }
+            })
+        };
+        let consumer = {
+            let q = q.clone();
+            std::thread::spawn(move || {
+                let mut last = 0;
+                let mut got = 0;
+                while got < 1000 {
+                    if let Some(v) = q.dequeue() {
+                        assert!(v > last, "FIFO violated: {v} after {last}");
+                        last = v;
+                        got += 1;
+                    }
+                }
+            })
+        };
+        producer.join().unwrap();
+        consumer.join().unwrap();
+    }
+}

@@ -1,0 +1,111 @@
+//! The *blocking* two-lock Michael–Scott queue \[27\] — the lock-based
+//! queue reading of Figure 3's caption ("lock-based counter, queue, and
+//! skip-list priority queue"). One lock serializes enqueuers, another
+//! serializes dequeuers; a dummy node keeps them from ever touching the
+//! same node except at the empty boundary.
+//!
+//! The leased variant applies the §6 critical-section lease to both
+//! locks.
+
+use lr_machine::ThreadCtx;
+use lr_sim_core::Addr;
+use lr_sim_mem::SimMemory;
+use lr_sync::{LeasedLock, SpinLock, TryLock};
+
+const VAL: u64 = 0;
+const NEXT: u64 = 8;
+
+/// Which lock implementation protects the two ends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TwoLockVariant {
+    /// Plain test&test&set locks.
+    Base,
+    /// Lease-guarded locks (§6).
+    Leased,
+}
+
+/// A two-lock Michael–Scott queue in simulated memory.
+#[derive(Debug, Clone, Copy)]
+pub struct TwoLockQueue {
+    head: Addr,
+    tail: Addr,
+    head_lock_tts: SpinLock,
+    tail_lock_tts: SpinLock,
+    head_lock_leased: LeasedLock,
+    tail_lock_leased: LeasedLock,
+    variant: TwoLockVariant,
+}
+
+impl TwoLockQueue {
+    /// Allocate an empty queue (head and tail point at a dummy node).
+    pub fn init(mem: &mut SimMemory, variant: TwoLockVariant) -> Self {
+        let head = mem.alloc_line_aligned(8);
+        let tail = mem.alloc_line_aligned(8);
+        let dummy = mem.alloc_line_aligned(16);
+        mem.write_word(head, dummy.0);
+        mem.write_word(tail, dummy.0);
+        TwoLockQueue {
+            head,
+            tail,
+            head_lock_tts: SpinLock::init(mem),
+            tail_lock_tts: SpinLock::init(mem),
+            head_lock_leased: LeasedLock::init(mem),
+            tail_lock_leased: LeasedLock::init(mem),
+            variant,
+        }
+    }
+
+    fn lock_tail(&self, ctx: &mut ThreadCtx) {
+        match self.variant {
+            TwoLockVariant::Base => self.tail_lock_tts.lock(ctx),
+            TwoLockVariant::Leased => self.tail_lock_leased.lock(ctx),
+        }
+    }
+
+    fn unlock_tail(&self, ctx: &mut ThreadCtx) {
+        match self.variant {
+            TwoLockVariant::Base => self.tail_lock_tts.unlock(ctx),
+            TwoLockVariant::Leased => self.tail_lock_leased.unlock(ctx),
+        }
+    }
+
+    fn lock_head(&self, ctx: &mut ThreadCtx) {
+        match self.variant {
+            TwoLockVariant::Base => self.head_lock_tts.lock(ctx),
+            TwoLockVariant::Leased => self.head_lock_leased.lock(ctx),
+        }
+    }
+
+    fn unlock_head(&self, ctx: &mut ThreadCtx) {
+        match self.variant {
+            TwoLockVariant::Base => self.head_lock_tts.unlock(ctx),
+            TwoLockVariant::Leased => self.head_lock_leased.unlock(ctx),
+        }
+    }
+
+    /// Enqueue `v` under the tail lock.
+    pub fn enqueue(&self, ctx: &mut ThreadCtx, v: u64) {
+        let node = ctx.malloc_line(16);
+        ctx.write(node.offset(VAL), v);
+        self.lock_tail(ctx);
+        let t = ctx.read(self.tail);
+        ctx.write(Addr(t).offset(NEXT), node.0);
+        ctx.write(self.tail, node.0);
+        self.unlock_tail(ctx);
+    }
+
+    /// Dequeue under the head lock; `None` when empty.
+    pub fn dequeue(&self, ctx: &mut ThreadCtx) -> Option<u64> {
+        self.lock_head(ctx);
+        let h = ctx.read(self.head);
+        let next = ctx.read(Addr(h).offset(NEXT));
+        if next == 0 {
+            self.unlock_head(ctx);
+            return None;
+        }
+        let v = ctx.read(Addr(next).offset(VAL));
+        ctx.write(self.head, next);
+        self.unlock_head(ctx);
+        Some(v)
+    }
+}

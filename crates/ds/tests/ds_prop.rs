@@ -1,0 +1,173 @@
+//! Property tests for the data structures: model-based single-thread
+//! checks and multiset-preservation under randomized concurrent
+//! schedules.
+
+use lr_ds::*;
+use lr_machine::{Machine, SystemConfig, ThreadCtx, ThreadFn};
+use proptest::prelude::*;
+use std::collections::{BTreeMap, BTreeSet, HashSet};
+use std::sync::{Arc, Mutex};
+
+fn cfg(cores: usize) -> SystemConfig {
+    SystemConfig::with_cores(cores)
+}
+
+#[derive(Debug, Clone, Copy)]
+enum SetOp {
+    Insert(u16),
+    Remove(u16),
+    Contains(u16),
+}
+
+fn set_op() -> impl Strategy<Value = SetOp> {
+    prop_oneof![
+        (1u16..200).prop_map(SetOp::Insert),
+        (1u16..200).prop_map(SetOp::Remove),
+        (1u16..200).prop_map(SetOp::Contains),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Harris list behaves exactly like BTreeSet for a single thread.
+    #[test]
+    fn harris_list_matches_btreeset(ops in proptest::collection::vec(set_op(), 1..80)) {
+        let mut m = Machine::new(cfg(1));
+        let l = m.setup(|mem| HarrisList::init(mem, false));
+        let results: Arc<Mutex<Vec<bool>>> = Arc::new(Mutex::new(Vec::new()));
+        let r2 = results.clone();
+        let ops2 = ops.clone();
+        m.run(vec![Box::new(move |ctx: &mut ThreadCtx| {
+            let mut out = Vec::new();
+            for op in &ops2 {
+                out.push(match *op {
+                    SetOp::Insert(k) => l.insert(ctx, k as u64),
+                    SetOp::Remove(k) => l.remove(ctx, k as u64),
+                    SetOp::Contains(k) => l.contains(ctx, k as u64),
+                });
+            }
+            r2.lock().unwrap().extend(out);
+        }) as ThreadFn]);
+
+        let mut model = BTreeSet::new();
+        let expected: Vec<bool> = ops
+            .iter()
+            .map(|op| match *op {
+                SetOp::Insert(k) => model.insert(k),
+                SetOp::Remove(k) => model.remove(&k),
+                SetOp::Contains(k) => model.contains(&k),
+            })
+            .collect();
+        prop_assert_eq!(&*results.lock().unwrap(), &expected);
+    }
+
+    /// The locking skiplist matches BTreeSet for a single thread.
+    #[test]
+    fn locking_skiplist_matches_btreeset(ops in proptest::collection::vec(set_op(), 1..60)) {
+        let mut m = Machine::new(cfg(1));
+        let sl = m.setup(LockingSkipList::init);
+        let results: Arc<Mutex<Vec<bool>>> = Arc::new(Mutex::new(Vec::new()));
+        let r2 = results.clone();
+        let ops2 = ops.clone();
+        m.run(vec![Box::new(move |ctx: &mut ThreadCtx| {
+            let mut out = Vec::new();
+            for op in &ops2 {
+                out.push(match *op {
+                    SetOp::Insert(k) => sl.insert(ctx, k as u64, k as u64),
+                    SetOp::Remove(k) => sl.remove(ctx, k as u64),
+                    SetOp::Contains(k) => sl.contains(ctx, k as u64),
+                });
+            }
+            r2.lock().unwrap().extend(out);
+        }) as ThreadFn]);
+
+        let mut model = BTreeSet::new();
+        let expected: Vec<bool> = ops
+            .iter()
+            .map(|op| match *op {
+                SetOp::Insert(k) => model.insert(k),
+                SetOp::Remove(k) => model.remove(&k),
+                SetOp::Contains(k) => model.contains(&k),
+            })
+            .collect();
+        prop_assert_eq!(&*results.lock().unwrap(), &expected);
+    }
+
+    /// The sequential skiplist drains like a BTreeMap-backed priority
+    /// queue (duplicates included).
+    #[test]
+    fn seq_skiplist_matches_heap(keys in proptest::collection::vec(1u64..500, 1..80)) {
+        let mut m = Machine::new(cfg(1));
+        let sl = m.setup(SeqSkipList::init);
+        let drained: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+        let d2 = drained.clone();
+        let keys2 = keys.clone();
+        m.run(vec![Box::new(move |ctx: &mut ThreadCtx| {
+            for &k in &keys2 {
+                sl.insert(ctx, k, k + 7);
+            }
+            let mut out = Vec::new();
+            while let Some((k, v)) = sl.delete_min(ctx) {
+                assert_eq!(v, k + 7);
+                out.push(k);
+            }
+            d2.lock().unwrap().extend(out);
+        }) as ThreadFn]);
+
+        let mut expected: BTreeMap<u64, usize> = BTreeMap::new();
+        for k in keys {
+            *expected.entry(k).or_default() += 1;
+        }
+        let expected: Vec<u64> = expected
+            .into_iter()
+            .flat_map(|(k, n)| std::iter::repeat_n(k, n))
+            .collect();
+        prop_assert_eq!(&*drained.lock().unwrap(), &expected);
+    }
+
+    /// Concurrent stack schedules preserve the multiset: every popped
+    /// value was pushed exactly once, across all variants.
+    #[test]
+    fn stack_multiset_preserved(
+        seed in any::<u64>(),
+        threads in 2usize..5,
+        per in 5u64..25,
+        variant_idx in 0usize..3,
+    ) {
+        let variant = [StackVariant::Base, StackVariant::Backoff, StackVariant::Leased][variant_idx];
+        let mut config = cfg(threads);
+        config.seed = seed;
+        let mut m = Machine::new(config);
+        let s = m.setup(|mem| TreiberStack::init(mem, variant));
+        let popped: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+        let progs: Vec<ThreadFn> = (0..threads)
+            .map(|tid| {
+                let popped = popped.clone();
+                Box::new(move |ctx: &mut ThreadCtx| {
+                    let base = (tid as u64 + 1) * 100_000;
+                    let mut got = Vec::new();
+                    for i in 0..per {
+                        s.push(ctx, base + i);
+                        if let Some(v) = s.pop(ctx) {
+                            got.push(v);
+                        }
+                    }
+                    popped.lock().unwrap().extend(got);
+                }) as ThreadFn
+            })
+            .collect();
+        m.run(progs);
+        let popped = popped.lock().unwrap();
+        let unique: HashSet<u64> = popped.iter().copied().collect();
+        prop_assert_eq!(unique.len(), popped.len(), "duplicate pop");
+        // At most one pop per push; a pop may observe an empty stack if a
+        // racing thread drained it first.
+        prop_assert!(popped.len() as u64 <= threads as u64 * per);
+        for v in popped.iter() {
+            let tid = v / 100_000 - 1;
+            prop_assert!(tid < threads as u64, "alien value {}", v);
+            prop_assert!(v % 100_000 < per);
+        }
+    }
+}

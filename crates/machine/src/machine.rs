@@ -1,0 +1,802 @@
+//! The engine loop: ties the coherence protocol, lease tables, simulated
+//! memory, and lockstep workers together.
+//!
+//! Time ordering: every simulated instruction becomes an `OpStart` event
+//! at the worker's local issue time and an `OpComplete` event at its
+//! protocol-determined completion time, so all state mutation happens in
+//! strict global time order (the engine is *tightly* synchronized, unlike
+//! Graphite's loose synchronization — one source of constant-factor
+//! differences from the paper's absolute numbers).
+
+use crate::ctx::ThreadCtx;
+use crate::proto::{Op, Reply, Request, ALLOC_COST};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use lr_coherence::{AccessKind, CohContext, CohEvent, CoherenceEngine, ProbeAction};
+use lr_lease::{BeginLease, LeaseTable, MultiLeaseBegin, ReleaseOutcome};
+use lr_sim_core::{CoreId, Cycle, EventQueue, LineAddr, MachineStats, SystemConfig};
+use lr_sim_mem::SimMemory;
+use std::panic::AssertUnwindSafe;
+
+/// A workload thread: a closure over the simulated-instruction API.
+pub type ThreadFn = Box<dyn FnOnce(&mut ThreadCtx) + Send + 'static>;
+
+/// Engine events.
+#[derive(Debug)]
+enum Ev {
+    /// Wait for the worker's first request.
+    Start(usize),
+    /// A worker's instruction reaches its issue time.
+    OpStart(usize),
+    /// A worker's instruction completes (data moves now).
+    OpComplete(usize),
+    /// Coherence-protocol event.
+    Coh(CohEvent),
+    /// A lease counter reached zero (Algorithm 1 `ZERO-COUNTER`).
+    Expiry {
+        core: CoreId,
+        line: LineAddr,
+        generation: u64,
+    },
+}
+
+/// Per-core lease statistics collected by the machine layer.
+#[derive(Debug, Default, Clone)]
+struct LeaseCounters {
+    taken: u64,
+    voluntary: u64,
+    involuntary: u64,
+    overflow: u64,
+    broken: u64,
+    multileases: u64,
+}
+
+/// In-flight instruction state per worker.
+#[derive(Debug)]
+enum Pending {
+    /// Received from the worker, waiting for its issue time.
+    Incoming(Op),
+    /// A data access in the protocol; data moves at completion.
+    Data { op: Op, issued: Cycle },
+    /// A single-lease acquisition in the protocol.
+    LeaseAcq { issued: Cycle },
+    /// A MultiLease group acquisition: lines acquired one at a time in
+    /// global order (Algorithm 2).
+    Multi {
+        lines: Vec<LineAddr>,
+        idx: usize,
+        issued: Cycle,
+    },
+    /// Immediate completion with a precomputed result.
+    Imm {
+        value: u64,
+        flag: bool,
+        issued: Cycle,
+    },
+}
+
+/// State shared with the coherence engine through [`CohContext`].
+struct Shared {
+    queue: EventQueue<Ev>,
+    tables: Vec<LeaseTable>,
+    lc: Vec<LeaseCounters>,
+    /// Base time of the engine call in progress (schedule() is relative).
+    base: Cycle,
+    /// Deferred effects, drained after every engine call.
+    completions: Vec<(u64, Cycle)>,
+    to_pin: Vec<(CoreId, LineAddr)>,
+    deferred_release: Vec<(CoreId, LineAddr)>,
+    prioritization: bool,
+}
+
+impl CohContext for Shared {
+    fn schedule(&mut self, delay: Cycle, ev: CohEvent) {
+        self.queue.push_at(self.base + delay, Ev::Coh(ev));
+    }
+
+    fn xact_completed(&mut self, token: u64, now: Cycle) {
+        self.completions.push((token, now));
+    }
+
+    fn probe_action(
+        &mut self,
+        owner: CoreId,
+        line: LineAddr,
+        regular: bool,
+        now: Cycle,
+    ) -> ProbeAction {
+        let table = &mut self.tables[owner.idx()];
+        match table.state(line, now) {
+            lr_lease::LeaseState::NotLeased => ProbeAction::Proceed,
+            // The entry exists but ownership has not been (re-)acquired
+            // under it: the line is merely stale-owned, so the probe may
+            // take it (the group's own request will fetch it back later,
+            // in sorted order — this is what keeps MultiLease
+            // deadlock-free, Proposition 3).
+            lr_lease::LeaseState::Pending => ProbeAction::Proceed,
+            lr_lease::LeaseState::Active => {
+                if regular && self.prioritization {
+                    // §5 prioritization: a regular request breaks the lease.
+                    match table.release(line) {
+                        ReleaseOutcome::Released(lines) => {
+                            self.lc[owner.idx()].broken += lines.len() as u64;
+                            for l in lines {
+                                if l != line {
+                                    self.deferred_release.push((owner, l));
+                                }
+                            }
+                        }
+                        ReleaseOutcome::NotFound => unreachable!(),
+                    }
+                    ProbeAction::ProceedBreakingLease
+                } else {
+                    ProbeAction::Queue
+                }
+            }
+            // Expired but the expiry event has not fired yet (tie at the
+            // same cycle): finish the involuntary release in place.
+            lr_lease::LeaseState::Expired => {
+                match table.release(line) {
+                    ReleaseOutcome::Released(lines) => {
+                        self.lc[owner.idx()].involuntary += lines.len() as u64;
+                        for l in lines {
+                            if l != line {
+                                self.deferred_release.push((owner, l));
+                            }
+                        }
+                    }
+                    ReleaseOutcome::NotFound => unreachable!(),
+                }
+                ProbeAction::ProceedBreakingLease
+            }
+        }
+    }
+
+    fn exclusive_granted(&mut self, core: CoreId, line: LineAddr, now: Cycle) {
+        let armed = self.tables[core.idx()].on_exclusive_granted(line, now);
+        if self.tables[core.idx()].is_leased(line, now) {
+            self.to_pin.push((core, line));
+        }
+        for a in armed {
+            self.queue.push_at(
+                a.expires,
+                Ev::Expiry {
+                    core,
+                    line: a.line,
+                    generation: a.generation,
+                },
+            );
+        }
+    }
+
+    fn pinned_victim(
+        &mut self,
+        core: CoreId,
+        pinned: &[LineAddr],
+        _now: Cycle,
+    ) -> Option<LineAddr> {
+        // Oldest lease first (FIFO), matching Algorithm 1's replacement.
+        for l in self.tables[core.idx()].lines() {
+            if pinned.contains(&l) {
+                self.lc[core.idx()].overflow += 1;
+                if let ReleaseOutcome::Released(lines) = self.tables[core.idx()].release(l) {
+                    for m in lines {
+                        if m != l {
+                            self.deferred_release.push((core, m));
+                        }
+                    }
+                }
+                return Some(l);
+            }
+        }
+        // Stale pin (lease already gone): let the engine unpin it.
+        pinned.first().copied()
+    }
+
+    fn line_invalidated(&mut self, core: CoreId, line: LineAddr, _now: Cycle) {
+        if let ReleaseOutcome::Released(lines) = self.tables[core.idx()].release(line) {
+            self.lc[core.idx()].involuntary += lines.len() as u64;
+            for m in lines {
+                if m != line {
+                    self.deferred_release.push((core, m));
+                }
+            }
+        }
+    }
+}
+
+/// The simulated machine: configure, set up shared simulated memory, then
+/// run a set of workload threads to completion.
+///
+/// ```
+/// use lr_machine::{Machine, SystemConfig, ThreadCtx, ThreadFn};
+///
+/// let mut machine = Machine::new(SystemConfig::with_cores(2));
+/// let cell = machine.setup(|mem| mem.alloc_line_aligned(8));
+/// let progs: Vec<ThreadFn> = (0..2)
+///     .map(|_| {
+///         Box::new(move |ctx: &mut ThreadCtx| {
+///             // Lease the line for the read–CAS window (paper Fig. 1).
+///             loop {
+///                 ctx.lease_max(cell);
+///                 let v = ctx.read(cell);
+///                 let ok = ctx.cas(cell, v, v + 1);
+///                 ctx.release(cell);
+///                 if ok { break; }
+///             }
+///             ctx.count_op();
+///         }) as ThreadFn
+///     })
+///     .collect();
+/// let (stats, mem) = machine.run_with_memory(progs);
+/// assert_eq!(mem.read_word(cell), 2);
+/// assert_eq!(stats.app_ops, 2);
+/// assert_eq!(stats.core_totals().cas_failures, 0);
+/// ```
+pub struct Machine {
+    cfg: SystemConfig,
+    mem: SimMemory,
+    trace_depth: usize,
+}
+
+impl Machine {
+    /// A machine with the given configuration and an empty heap.
+    pub fn new(cfg: SystemConfig) -> Self {
+        assert!(cfg.num_cores >= 1 && cfg.num_cores <= 64);
+        Machine {
+            cfg,
+            mem: SimMemory::new(),
+            trace_depth: 0,
+        }
+    }
+
+    /// Keep a ring buffer of the last `depth` engine events and include
+    /// it in watchdog/deadlock panics (0 = off, the default).
+    pub fn with_trace(mut self, depth: usize) -> Self {
+        self.trace_depth = depth;
+        self
+    }
+
+    /// The machine's configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// Pre-run setup: allocate and initialize shared structures directly
+    /// in simulated memory (charges no simulated time).
+    pub fn setup<R>(&mut self, f: impl FnOnce(&mut SimMemory) -> R) -> R {
+        f(&mut self.mem)
+    }
+
+    /// Run `programs` (one per core, at most `num_cores`) to completion
+    /// and return the merged statistics.
+    ///
+    /// Panics if any worker panics, if the watchdog limits are exceeded,
+    /// or if protocol invariants are violated at quiescence.
+    pub fn run(self, programs: Vec<ThreadFn>) -> MachineStats {
+        self.run_with_memory(programs).0
+    }
+
+    /// Like [`Machine::run`], additionally returning the final simulated
+    /// memory for post-run audits (rank sums, final counter values, ...).
+    pub fn run_with_memory(self, programs: Vec<ThreadFn>) -> (MachineStats, SimMemory) {
+        let n = programs.len();
+        let trace_depth = self.trace_depth;
+        let mut trace: std::collections::VecDeque<String> =
+            std::collections::VecDeque::with_capacity(trace_depth);
+        let cfg = self.cfg;
+        assert!(n >= 1, "no workload threads");
+        assert!(
+            n <= cfg.num_cores,
+            "{n} threads exceed {} cores",
+            cfg.num_cores
+        );
+
+        let mut engine = CoherenceEngine::new(&cfg);
+        let mut mem = self.mem;
+        let mut shared = Shared {
+            queue: EventQueue::new(),
+            tables: (0..cfg.num_cores)
+                .map(|_| LeaseTable::new(cfg.lease.clone()))
+                .collect(),
+            lc: vec![LeaseCounters::default(); cfg.num_cores],
+            base: 0,
+            completions: Vec::new(),
+            to_pin: Vec::new(),
+            deferred_release: Vec::new(),
+            prioritization: cfg.lease.prioritization,
+        };
+
+        let mut req_rx: Vec<Receiver<Request>> = Vec::with_capacity(n);
+        let mut reply_tx: Vec<Sender<Reply>> = Vec::with_capacity(n);
+        let mut handles = Vec::with_capacity(n);
+        for (tid, f) in programs.into_iter().enumerate() {
+            let (rtx, rrx) = unbounded::<Request>();
+            let (ptx, prx) = unbounded::<Reply>();
+            let mut tctx = ThreadCtx::new(
+                tid,
+                cfg.instruction_cost,
+                cfg.lease.clone(),
+                cfg.seed,
+                rtx,
+                prx,
+            );
+            handles.push(std::thread::spawn(move || {
+                let r = std::panic::catch_unwind(AssertUnwindSafe(|| f(&mut tctx)));
+                tctx.send_exit(r.is_err());
+            }));
+            req_rx.push(rrx);
+            reply_tx.push(ptx);
+            shared.queue.push_at(0, Ev::Start(tid));
+        }
+
+        let mut pending: Vec<Option<Pending>> = (0..n).map(|_| None).collect();
+        let mut live = n;
+        let mut finish_time: Cycle = 0;
+        let mut exit_inst = vec![0u64; n];
+        let mut exit_ops = vec![0u64; n];
+        let mut panicked: Vec<usize> = Vec::new();
+
+        while let Some((t, ev)) = shared.queue.pop() {
+            if trace_depth > 0 {
+                if trace.len() == trace_depth {
+                    trace.pop_front();
+                }
+                trace.push_back(format!("t={t} {ev:?}"));
+            }
+            assert!(
+                t <= cfg.watchdog_max_cycles,
+                "watchdog: simulated time exceeded {} cycles (livelock?)",
+                cfg.watchdog_max_cycles
+            );
+            assert!(
+                shared.queue.processed() <= cfg.watchdog_max_events,
+                "watchdog: event budget exceeded"
+            );
+            match ev {
+                Ev::Start(tid) => {
+                    Self::await_request(
+                        tid,
+                        &req_rx,
+                        &mut shared,
+                        &mut pending,
+                        &mut live,
+                        &mut finish_time,
+                        &mut exit_inst,
+                        &mut exit_ops,
+                        &mut panicked,
+                    );
+                }
+                Ev::OpStart(tid) => {
+                    let Some(Pending::Incoming(op)) = pending[tid].take() else {
+                        panic!("OpStart without incoming op for thread {tid}")
+                    };
+                    Self::start_op(
+                        tid,
+                        t,
+                        op,
+                        &cfg,
+                        &mut engine,
+                        &mut shared,
+                        &mut mem,
+                        &mut pending,
+                    );
+                }
+                Ev::OpComplete(tid) => {
+                    Self::complete_op(
+                        tid,
+                        t,
+                        &mut engine,
+                        &mut shared,
+                        &mut mem,
+                        &mut pending,
+                        &reply_tx,
+                        &req_rx,
+                        &mut live,
+                        &mut finish_time,
+                        &mut exit_inst,
+                        &mut exit_ops,
+                        &mut panicked,
+                    );
+                }
+                Ev::Coh(e) => {
+                    shared.base = t;
+                    engine.handle(t, e, &mut shared);
+                    Self::drain(t, &mut engine, &mut shared);
+                }
+                Ev::Expiry {
+                    core,
+                    line,
+                    generation,
+                } => {
+                    let lines = shared.tables[core.idx()].on_expiry(line, generation);
+                    if !lines.is_empty() {
+                        shared.lc[core.idx()].involuntary += lines.len() as u64;
+                        for l in lines {
+                            shared.base = t;
+                            engine.lease_released(t, core, l, &mut shared);
+                        }
+                        Self::drain(t, &mut engine, &mut shared);
+                    }
+                }
+            }
+        }
+
+        assert_eq!(
+            live,
+            0,
+            "simulation deadlock: event queue drained with {live} threads blocked\n\
+             pending: {pending:?}\nprotocol:\n{}\nlast events:\n{}",
+            engine.debug_dump(),
+            trace.iter().cloned().collect::<Vec<_>>().join("\n")
+        );
+        assert_eq!(engine.in_flight(), 0);
+        engine.check_invariants();
+
+        for h in handles {
+            let _ = h.join();
+        }
+        if !panicked.is_empty() {
+            panic!("workload thread(s) {panicked:?} panicked inside the simulation");
+        }
+
+        let mut stats = engine.stats().clone();
+        stats.total_cycles = finish_time;
+        stats.app_ops = exit_ops.iter().sum();
+        for (tid, c) in stats.cores.iter_mut().enumerate().take(n) {
+            c.instructions += exit_inst[tid];
+            let lc = &shared.lc[tid];
+            c.leases_taken += lc.taken;
+            c.releases_voluntary += lc.voluntary;
+            c.releases_involuntary += lc.involuntary;
+            c.lease_overflows += lc.overflow;
+            c.leases_broken_by_priority += lc.broken;
+            c.multileases += lc.multileases;
+        }
+        (stats, mem)
+    }
+
+    /// Drain effects deferred by the `CohContext` during engine calls.
+    fn drain(t: Cycle, engine: &mut CoherenceEngine, shared: &mut Shared) {
+        loop {
+            let pins: Vec<_> = shared.to_pin.drain(..).collect();
+            let rels: Vec<_> = shared.deferred_release.drain(..).collect();
+            if pins.is_empty() && rels.is_empty() {
+                break;
+            }
+            for (c, l) in pins {
+                engine.pin(c, l, true);
+            }
+            for (c, l) in rels {
+                shared.base = t;
+                engine.lease_released(t, c, l, shared);
+            }
+        }
+        let completions: Vec<_> = shared.completions.drain(..).collect();
+        for (token, done) in completions {
+            shared.queue.push_at(done, Ev::OpComplete(token as usize));
+        }
+    }
+
+    /// Block until worker `tid` sends its next instruction (lockstep:
+    /// `tid` is the only runnable entity right now).
+    #[allow(clippy::too_many_arguments)]
+    fn await_request(
+        tid: usize,
+        req_rx: &[Receiver<Request>],
+        shared: &mut Shared,
+        pending: &mut [Option<Pending>],
+        live: &mut usize,
+        finish_time: &mut Cycle,
+        exit_inst: &mut [u64],
+        exit_ops: &mut [u64],
+        panicked: &mut Vec<usize>,
+    ) {
+        let r = req_rx[tid].recv().expect("worker hung up");
+        debug_assert_eq!(r.tid, tid);
+        match r.op {
+            Op::Exit {
+                instructions,
+                ops,
+                at,
+                panicked: p,
+            } => {
+                *live -= 1;
+                exit_inst[tid] = instructions;
+                exit_ops[tid] = ops;
+                *finish_time = (*finish_time).max(at);
+                if p {
+                    panicked.push(tid);
+                }
+            }
+            op => {
+                debug_assert!(pending[tid].is_none());
+                pending[tid] = Some(Pending::Incoming(op));
+                shared.queue.push_at(r.at, Ev::OpStart(tid));
+            }
+        }
+    }
+
+    /// Begin executing one instruction at its issue time `t`.
+    #[allow(clippy::too_many_arguments)]
+    fn start_op(
+        tid: usize,
+        t: Cycle,
+        op: Op,
+        cfg: &SystemConfig,
+        engine: &mut CoherenceEngine,
+        shared: &mut Shared,
+        mem: &mut SimMemory,
+        pending: &mut [Option<Pending>],
+    ) {
+        let core = CoreId(tid as u16);
+        let token = tid as u64;
+        let imm = |shared: &mut Shared,
+                   pending: &mut [Option<Pending>],
+                   value: u64,
+                   flag: bool,
+                   delay: Cycle| {
+            pending[tid] = Some(Pending::Imm {
+                value,
+                flag,
+                issued: t,
+            });
+            shared.queue.push_at(t + delay, Ev::OpComplete(tid));
+        };
+        match op {
+            Op::Read(a)
+            | Op::Write(a, _)
+            | Op::Cas { addr: a, .. }
+            | Op::Faa { addr: a, .. }
+            | Op::Xchg { addr: a, .. } => {
+                let kind = match op {
+                    Op::Read(_) => AccessKind::Load,
+                    Op::Write(..) => AccessKind::Store,
+                    _ => AccessKind::Rmw,
+                };
+                shared.base = t;
+                let hit = engine.access(t, token, core, a.line(), kind, false, true, shared);
+                if let Some(done) = hit {
+                    shared.queue.push_at(done, Ev::OpComplete(tid));
+                }
+                pending[tid] = Some(Pending::Data { op, issued: t });
+                Self::drain(t, engine, shared);
+            }
+            Op::Lease { addr, time } => {
+                let line = addr.line();
+                match shared.tables[tid].begin_lease(line, time) {
+                    BeginLease::AlreadyLeased => {
+                        imm(shared, pending, 0, false, 1);
+                    }
+                    BeginLease::Inserted { displaced } => {
+                        for d in displaced {
+                            shared.lc[tid].overflow += 1;
+                            shared.base = t;
+                            engine.lease_released(t, core, d, shared);
+                        }
+                        shared.lc[tid].taken += 1;
+                        shared.base = t;
+                        let hit = engine.access(
+                            t,
+                            token,
+                            core,
+                            line,
+                            AccessKind::Rmw,
+                            true,
+                            false,
+                            shared,
+                        );
+                        if let Some(done) = hit {
+                            shared.queue.push_at(done, Ev::OpComplete(tid));
+                        }
+                        pending[tid] = Some(Pending::LeaseAcq { issued: t });
+                    }
+                }
+                Self::drain(t, engine, shared);
+            }
+            Op::Release { addr } => {
+                let line = addr.line();
+                let (flag, lines) = match shared.tables[tid].release(line) {
+                    ReleaseOutcome::NotFound => (false, Vec::new()),
+                    ReleaseOutcome::Released(lines) => (true, lines),
+                };
+                shared.lc[tid].voluntary += lines.len() as u64;
+                for l in lines {
+                    shared.base = t;
+                    engine.lease_released(t, core, l, shared);
+                }
+                imm(shared, pending, 0, flag, 1);
+                Self::drain(t, engine, shared);
+            }
+            Op::MultiLease { addrs, time } => {
+                let lines: Vec<LineAddr> = addrs.iter().map(|a| a.line()).collect();
+                match shared.tables[tid].begin_multilease(&lines, time) {
+                    MultiLeaseBegin::Rejected { released } => {
+                        shared.lc[tid].voluntary += released.len() as u64;
+                        for l in released {
+                            shared.base = t;
+                            engine.lease_released(t, core, l, shared);
+                        }
+                        imm(shared, pending, 0, false, 1);
+                    }
+                    MultiLeaseBegin::Admitted {
+                        released,
+                        sorted_lines,
+                    } => {
+                        shared.lc[tid].voluntary += released.len() as u64;
+                        for l in released {
+                            shared.base = t;
+                            engine.lease_released(t, core, l, shared);
+                        }
+                        if sorted_lines.is_empty() {
+                            imm(shared, pending, 0, true, 1);
+                        } else {
+                            shared.lc[tid].multileases += 1;
+                            shared.lc[tid].taken += sorted_lines.len() as u64;
+                            shared.base = t;
+                            let first = sorted_lines[0];
+                            let hit = engine.access(
+                                t,
+                                token,
+                                core,
+                                first,
+                                AccessKind::Rmw,
+                                true,
+                                false,
+                                shared,
+                            );
+                            if let Some(done) = hit {
+                                shared.queue.push_at(done, Ev::OpComplete(tid));
+                            }
+                            pending[tid] = Some(Pending::Multi {
+                                lines: sorted_lines,
+                                idx: 0,
+                                issued: t,
+                            });
+                        }
+                    }
+                }
+                Self::drain(t, engine, shared);
+            }
+            Op::ReleaseAll => {
+                let lines = shared.tables[tid].release_all();
+                shared.lc[tid].voluntary += lines.len() as u64;
+                for l in lines {
+                    shared.base = t;
+                    engine.lease_released(t, core, l, shared);
+                }
+                imm(shared, pending, 0, true, 1);
+                Self::drain(t, engine, shared);
+            }
+            Op::Malloc { size, align } => {
+                let a = mem.alloc(size, align);
+                imm(shared, pending, a.0, true, ALLOC_COST);
+            }
+            Op::Free(a) => {
+                mem.free(a);
+                imm(shared, pending, 0, true, ALLOC_COST);
+            }
+            Op::Exit { .. } => unreachable!("Exit handled in await_request"),
+        }
+        let _ = cfg;
+    }
+
+    /// Finish one instruction at its completion time: move data, account
+    /// statistics, wake the worker, and wait for its next instruction.
+    #[allow(clippy::too_many_arguments)]
+    fn complete_op(
+        tid: usize,
+        t: Cycle,
+        engine: &mut CoherenceEngine,
+        shared: &mut Shared,
+        mem: &mut SimMemory,
+        pending: &mut [Option<Pending>],
+        reply_tx: &[Sender<Reply>],
+        req_rx: &[Receiver<Request>],
+        live: &mut usize,
+        finish_time: &mut Cycle,
+        exit_inst: &mut [u64],
+        exit_ops: &mut [u64],
+        panicked: &mut Vec<usize>,
+    ) {
+        let p = pending[tid].take().expect("completion without pending op");
+        let (value, flag, issued) = match p {
+            Pending::Data { op, issued } => {
+                let cs = &mut engine.stats_mut().cores[tid];
+                let (value, flag) = match op {
+                    Op::Read(a) => {
+                        cs.loads += 1;
+                        (mem.read_word(a), false)
+                    }
+                    Op::Write(a, v) => {
+                        cs.stores += 1;
+                        mem.write_word(a, v);
+                        (0, false)
+                    }
+                    Op::Cas {
+                        addr,
+                        expected,
+                        new,
+                    } => {
+                        cs.cas_attempts += 1;
+                        let old = mem.read_word(addr);
+                        let ok = old == expected;
+                        if ok {
+                            mem.write_word(addr, new);
+                        } else {
+                            cs.cas_failures += 1;
+                        }
+                        (old, ok)
+                    }
+                    Op::Faa { addr, delta } => {
+                        cs.rmw_ops += 1;
+                        let old = mem.read_word(addr);
+                        mem.write_word(addr, old.wrapping_add(delta));
+                        (old, true)
+                    }
+                    Op::Xchg { addr, value } => {
+                        cs.rmw_ops += 1;
+                        let old = mem.read_word(addr);
+                        mem.write_word(addr, value);
+                        (old, true)
+                    }
+                    other => unreachable!("non-data op in Data pending: {other:?}"),
+                };
+                (value, flag, issued)
+            }
+            Pending::LeaseAcq { issued } => (0, true, issued),
+            Pending::Multi { lines, idx, issued } => {
+                if idx + 1 < lines.len() {
+                    // Acquire the next line of the group, in order.
+                    let core = CoreId(tid as u16);
+                    shared.base = t;
+                    let hit = engine.access(
+                        t,
+                        tid as u64,
+                        core,
+                        lines[idx + 1],
+                        AccessKind::Rmw,
+                        true,
+                        false,
+                        shared,
+                    );
+                    if let Some(done) = hit {
+                        shared.queue.push_at(done, Ev::OpComplete(tid));
+                    }
+                    pending[tid] = Some(Pending::Multi {
+                        lines,
+                        idx: idx + 1,
+                        issued,
+                    });
+                    Self::drain(t, engine, shared);
+                    return;
+                }
+                (0, true, issued)
+            }
+            Pending::Imm {
+                value,
+                flag,
+                issued,
+            } => (value, flag, issued),
+            Pending::Incoming(_) => unreachable!("completion before start"),
+        };
+        engine.stats_mut().cores[tid].mem_stall_cycles += t - issued;
+        reply_tx[tid]
+            .send(Reply {
+                time: t,
+                value,
+                flag,
+            })
+            .expect("worker hung up");
+        Self::await_request(
+            tid,
+            req_rx,
+            shared,
+            pending,
+            live,
+            finish_time,
+            exit_inst,
+            exit_ops,
+            panicked,
+        );
+    }
+}

@@ -1,0 +1,72 @@
+//! Worker ⇄ engine lockstep protocol types.
+
+use lr_sim_core::{Addr, Cycle};
+
+/// Cost of a simulated `malloc`/`free` runtime call, cycles (a tuned
+/// allocator fast path; Graphite would simulate the allocator's own
+/// instructions).
+pub const ALLOC_COST: Cycle = 30;
+
+/// A simulated instruction issued by a worker.
+#[derive(Debug, Clone)]
+pub enum Op {
+    /// 64-bit load.
+    Read(Addr),
+    /// 64-bit store.
+    Write(Addr, u64),
+    /// Compare-and-swap: `flag` in the reply is the success bit, `value`
+    /// the observed old value.
+    Cas { addr: Addr, expected: u64, new: u64 },
+    /// Fetch-and-add; reply `value` is the old value.
+    Faa { addr: Addr, delta: u64 },
+    /// Atomic exchange; reply `value` is the old value.
+    Xchg { addr: Addr, value: u64 },
+    /// `Lease(addr, time)` — Algorithm 1. Blocks until Exclusive
+    /// ownership is granted (see crate docs).
+    Lease { addr: Addr, time: Cycle },
+    /// `Release(addr)` — reply `flag` is true iff the release was
+    /// voluntary (a lease was still held).
+    Release { addr: Addr },
+    /// `MultiLease(num, time, addrs…)` — Algorithm 2. Reply `flag` is
+    /// true iff the group was admitted (not over `MAX_NUM_LEASES`).
+    MultiLease { addrs: Vec<Addr>, time: Cycle },
+    /// `ReleaseAll()`.
+    ReleaseAll,
+    /// Heap allocation; reply `value` is the address.
+    Malloc { size: u64, align: u64 },
+    /// Heap free.
+    Free(Addr),
+    /// The worker's closure finished (normally or by panic).
+    Exit {
+        /// Simulated instructions the worker retired (API calls + work).
+        instructions: u64,
+        /// Application-level operations the workload reported.
+        ops: u64,
+        /// Local clock at exit.
+        at: Cycle,
+        /// True if the closure panicked.
+        panicked: bool,
+    },
+}
+
+/// Worker → engine message.
+#[derive(Debug)]
+pub struct Request {
+    /// Issuing worker (== core id).
+    pub tid: usize,
+    /// Worker-local simulated time at which the instruction issues.
+    pub at: Cycle,
+    /// The instruction.
+    pub op: Op,
+}
+
+/// Engine → worker completion.
+#[derive(Debug, Clone, Copy)]
+pub struct Reply {
+    /// Simulated completion time; becomes the worker's local clock.
+    pub time: Cycle,
+    /// Operation result value (load data, CAS old value, malloc address).
+    pub value: u64,
+    /// Operation result flag (CAS success, voluntary release, admission).
+    pub flag: bool,
+}

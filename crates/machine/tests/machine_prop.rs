@@ -1,0 +1,193 @@
+//! Property tests at the whole-machine level: memory semantics and
+//! lease-pattern robustness under randomized programs.
+
+use lr_machine::{Machine, SystemConfig, ThreadCtx, ThreadFn};
+use lr_sim_core::Addr;
+use proptest::prelude::*;
+use std::sync::{Arc, Mutex};
+
+#[derive(Debug, Clone)]
+enum SeqOp {
+    Write { slot: u8, val: u64 },
+    Read { slot: u8 },
+    Cas { slot: u8, expected: u64, new: u64 },
+    Faa { slot: u8, delta: u32 },
+    Xchg { slot: u8, val: u64 },
+}
+
+fn seq_op() -> impl Strategy<Value = SeqOp> {
+    prop_oneof![
+        (any::<u8>(), any::<u64>()).prop_map(|(slot, val)| SeqOp::Write { slot, val }),
+        any::<u8>().prop_map(|slot| SeqOp::Read { slot }),
+        (any::<u8>(), 0u64..4, any::<u64>()).prop_map(|(slot, expected, new)| SeqOp::Cas {
+            slot,
+            expected,
+            new
+        }),
+        (any::<u8>(), any::<u32>()).prop_map(|(slot, delta)| SeqOp::Faa { slot, delta }),
+        (any::<u8>(), any::<u64>()).prop_map(|(slot, val)| SeqOp::Xchg { slot, val }),
+    ]
+}
+
+proptest! {
+    // Machine runs are comparatively slow; keep the case counts modest.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// A single simulated thread sees exactly the semantics of a plain
+    /// array: the cache hierarchy and coherence protocol must be
+    /// transparent to data values.
+    #[test]
+    fn single_thread_memory_is_an_array(ops in proptest::collection::vec(seq_op(), 1..60)) {
+        let mut m = Machine::new(SystemConfig::with_cores(1));
+        let slots: Vec<Addr> =
+            m.setup(|mem| (0..8).map(|_| mem.alloc_line_aligned(8)).collect());
+        let trace: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
+        let trace2 = trace.clone();
+        let ops2 = ops.clone();
+        let slots2 = slots.clone();
+        m.run(vec![Box::new(move |ctx: &mut ThreadCtx| {
+            let mut out = Vec::new();
+            for op in &ops2 {
+                match *op {
+                    SeqOp::Write { slot, val } => ctx.write(slots2[slot as usize % 8], val),
+                    SeqOp::Read { slot } => out.push(ctx.read(slots2[slot as usize % 8])),
+                    SeqOp::Cas { slot, expected, new } => {
+                        let (_, old) = ctx.cas_val(slots2[slot as usize % 8], expected, new);
+                        out.push(old);
+                    }
+                    SeqOp::Faa { slot, delta } => {
+                        out.push(ctx.faa(slots2[slot as usize % 8], delta as u64))
+                    }
+                    SeqOp::Xchg { slot, val } => {
+                        out.push(ctx.xchg(slots2[slot as usize % 8], val))
+                    }
+                }
+            }
+            trace2.lock().unwrap().extend(out);
+        }) as ThreadFn]);
+
+        // Reference interpretation.
+        let mut model = [0u64; 8];
+        let mut expected_out = Vec::new();
+        for op in &ops {
+            match *op {
+                SeqOp::Write { slot, val } => model[slot as usize % 8] = val,
+                SeqOp::Read { slot } => expected_out.push(model[slot as usize % 8]),
+                SeqOp::Cas { slot, expected, new } => {
+                    let s = slot as usize % 8;
+                    expected_out.push(model[s]);
+                    if model[s] == expected {
+                        model[s] = new;
+                    }
+                }
+                SeqOp::Faa { slot, delta } => {
+                    let s = slot as usize % 8;
+                    expected_out.push(model[s]);
+                    model[s] = model[s].wrapping_add(delta as u64);
+                }
+                SeqOp::Xchg { slot, val } => {
+                    let s = slot as usize % 8;
+                    expected_out.push(model[s]);
+                    model[s] = val;
+                }
+            }
+        }
+        prop_assert_eq!(&*trace.lock().unwrap(), &expected_out);
+    }
+
+    /// Concurrent increments with arbitrary per-thread lease decorations
+    /// (lease or not, random durations, forgotten releases) never lose an
+    /// update and never deadlock: leases are advisory.
+    #[test]
+    fn random_lease_patterns_preserve_counts(
+        plans in proptest::collection::vec(
+            proptest::collection::vec((any::<bool>(), 1u64..3000, any::<bool>()), 5..25),
+            2..5
+        )
+    ) {
+        let threads = plans.len();
+        let mut m = Machine::new(SystemConfig::with_cores(threads));
+        let cell = m.setup(|mem| mem.alloc_line_aligned(8));
+        let total: u64 = plans.iter().map(|p| p.len() as u64).sum();
+        let progs: Vec<ThreadFn> = plans
+            .into_iter()
+            .map(|plan| {
+                Box::new(move |ctx: &mut ThreadCtx| {
+                    for (use_lease, dur, forget_release) in plan {
+                        loop {
+                            if use_lease {
+                                ctx.lease(cell, dur);
+                            }
+                            let v = ctx.read(cell);
+                            let ok = ctx.cas(cell, v, v + 1);
+                            if use_lease && !forget_release {
+                                ctx.release(cell);
+                            }
+                            if ok {
+                                break;
+                            }
+                        }
+                    }
+                }) as ThreadFn
+            })
+            .collect();
+        let (_, mem) = m.run_with_memory(progs);
+        prop_assert_eq!(mem.read_word(cell), total);
+    }
+
+    /// Random MultiLease groups over a small set of lines, issued by
+    /// several threads, complete without deadlock and keep per-line sums
+    /// exact (Proposition 3, stress-tested).
+    #[test]
+    fn random_multilease_groups_terminate_and_are_atomic(
+        plans in proptest::collection::vec(
+            proptest::collection::vec(proptest::collection::vec(0usize..5, 1..4), 3..12),
+            2..5
+        )
+    ) {
+        let threads = plans.len();
+        let mut m = Machine::new(SystemConfig::with_cores(threads));
+        let lines: Vec<Addr> =
+            m.setup(|mem| (0..5).map(|_| mem.alloc_line_aligned(8)).collect());
+        let mut expected = [0u64; 5];
+        for plan in &plans {
+            for group in plan {
+                let mut seen = [false; 5];
+                for &g in group {
+                    if !seen[g] {
+                        seen[g] = true;
+                        expected[g] += 1;
+                    }
+                }
+            }
+        }
+        let lines2 = lines.clone();
+        let progs: Vec<ThreadFn> = plans
+            .into_iter()
+            .map(|plan| {
+                let lines = lines2.clone();
+                Box::new(move |ctx: &mut ThreadCtx| {
+                    for group in plan {
+                        let addrs: Vec<Addr> = group.iter().map(|&g| lines[g]).collect();
+                        let admitted = ctx.multi_lease(&addrs, ctx.max_lease_time());
+                        assert!(admitted, "groups of ≤4 fit MAX_NUM_LEASES");
+                        // Increment every *distinct* member once.
+                        let mut seen = [false; 5];
+                        for (&g, &a) in group.iter().zip(&addrs) {
+                            if !seen[g] {
+                                seen[g] = true;
+                                let v = ctx.read(a);
+                                ctx.write(a, v + 1);
+                            }
+                        }
+                        ctx.release_all();
+                    }
+                }) as ThreadFn
+            })
+            .collect();
+        let (_, mem) = m.run_with_memory(progs);
+        for (i, &line) in lines.iter().enumerate() {
+            prop_assert_eq!(mem.read_word(line), expected[i], "line {} sum wrong", i);
+        }
+    }
+}

@@ -1,0 +1,45 @@
+use lr_machine::{Machine, SystemConfig, ThreadFn};
+
+#[test]
+fn two_threads_one_multilease_each() {
+    let mut m = Machine::new(SystemConfig::with_cores(2));
+    let (a, b) = m.setup(|mem| (mem.alloc_line_aligned(8), mem.alloc_line_aligned(8)));
+    let progs: Vec<ThreadFn> = (0..2)
+        .map(|_| {
+            Box::new(move |ctx: &mut lr_machine::ThreadCtx| {
+                assert!(ctx.multi_lease(&[a, b], 5_000));
+                let va = ctx.read(a);
+                ctx.write(a, va + 1);
+                ctx.release(a);
+            }) as ThreadFn
+        })
+        .collect();
+    m.run(progs);
+}
+
+#[test]
+fn four_threads_iterated_multilease() {
+    let mut m = Machine::new(SystemConfig::with_cores(4));
+    let (a, b) = m.setup(|mem| (mem.alloc_line_aligned(8), mem.alloc_line_aligned(8)));
+    for iters in 1..=20u64 {
+        let mut m2 = Machine::new(SystemConfig::with_cores(4));
+        let (a2, b2) = m2.setup(|mem| (mem.alloc_line_aligned(8), mem.alloc_line_aligned(8)));
+        let progs: Vec<ThreadFn> = (0..4)
+            .map(|_| {
+                Box::new(move |ctx: &mut lr_machine::ThreadCtx| {
+                    for _ in 0..iters {
+                        assert!(ctx.multi_lease(&[a2, b2], ctx.max_lease_time()));
+                        let va = ctx.read(a2);
+                        let vb = ctx.read(b2);
+                        ctx.write(a2, va.wrapping_add(1));
+                        ctx.write(b2, vb.wrapping_sub(1));
+                        ctx.release(a2);
+                    }
+                }) as ThreadFn
+            })
+            .collect();
+        eprintln!("iters={iters}");
+        m2.run(progs);
+    }
+    let _ = (a, b, m);
+}

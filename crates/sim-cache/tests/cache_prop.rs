@@ -1,0 +1,133 @@
+//! Property tests for the set-associative cache model, checked against a
+//! reference model (per-set vectors with explicit LRU ordering).
+
+use lr_sim_cache::{Inserted, SetAssocCache};
+use lr_sim_core::LineAddr;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Debug, Clone)]
+enum Cmd {
+    Insert(u64),
+    Touch(u64),
+    Remove(u64),
+    Pin(u64, bool),
+}
+
+fn cmd() -> impl Strategy<Value = Cmd> {
+    prop_oneof![
+        (0u64..64).prop_map(Cmd::Insert),
+        (0u64..64).prop_map(Cmd::Touch),
+        (0u64..64).prop_map(Cmd::Remove),
+        ((0u64..64), any::<bool>()).prop_map(|(l, p)| Cmd::Pin(l, p)),
+    ]
+}
+
+/// Reference model: per set, a vector of (line, pinned) in LRU→MRU order.
+#[derive(Default)]
+struct Model {
+    sets: HashMap<usize, Vec<(u64, bool)>>,
+    num_sets: usize,
+    ways: usize,
+}
+
+impl Model {
+    fn set_of(&self, line: u64) -> usize {
+        line as usize % self.num_sets
+    }
+    fn find(&mut self, line: u64) -> Option<(usize, usize)> {
+        let s = self.set_of(line);
+        self.sets
+            .get(&s)
+            .and_then(|v| v.iter().position(|&(l, _)| l == line))
+            .map(|i| (s, i))
+    }
+    fn touch(&mut self, line: u64) -> bool {
+        if let Some((s, i)) = self.find(line) {
+            let v = self.sets.get_mut(&s).unwrap();
+            let e = v.remove(i);
+            v.push(e);
+            true
+        } else {
+            false
+        }
+    }
+    fn insert(&mut self, line: u64) -> Option<Option<u64>> {
+        // Returns None if AllPinned; Some(victim) otherwise.
+        let s = self.set_of(line);
+        let v = self.sets.entry(s).or_default();
+        if v.len() < self.ways {
+            v.push((line, false));
+            return Some(None);
+        }
+        let victim_pos = v.iter().position(|&(_, p)| !p)?;
+        // LRU non-pinned = first non-pinned in LRU→MRU order.
+        let (victim, _) = v.remove(victim_pos);
+        v.push((line, false));
+        Some(Some(victim))
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn cache_matches_reference_model(cmds in proptest::collection::vec(cmd(), 1..150)) {
+        let (num_sets, ways) = (4usize, 3usize);
+        let mut cache: SetAssocCache<u64> = SetAssocCache::new(num_sets, ways);
+        let mut model = Model { num_sets, ways, ..Model::default() };
+
+        for c in cmds {
+            match c {
+                Cmd::Insert(l) => {
+                    if model.find(l).is_some() {
+                        continue; // cache forbids double insert
+                    }
+                    let got = cache.insert(LineAddr(l), l);
+                    match model.insert(l) {
+                        None => prop_assert_eq!(got, Inserted::AllPinned),
+                        Some(None) => prop_assert_eq!(got, Inserted::NoVictim),
+                        Some(Some(victim)) => {
+                            prop_assert_eq!(got, Inserted::Evicted(LineAddr(victim), victim));
+                        }
+                    }
+                }
+                Cmd::Touch(l) => {
+                    let got = cache.touch(LineAddr(l)).is_some();
+                    prop_assert_eq!(got, model.touch(l));
+                }
+                Cmd::Remove(l) => {
+                    let got = cache.remove(LineAddr(l));
+                    match model.find(l) {
+                        Some((s, i)) => {
+                            model.sets.get_mut(&s).unwrap().remove(i);
+                            prop_assert_eq!(got, Some(l));
+                        }
+                        None => prop_assert_eq!(got, None),
+                    }
+                }
+                Cmd::Pin(l, p) => {
+                    let got = cache.set_pinned(LineAddr(l), p);
+                    match model.find(l) {
+                        Some((s, i)) => {
+                            model.sets.get_mut(&s).unwrap()[i].1 = p;
+                            prop_assert!(got);
+                        }
+                        None => prop_assert!(!got),
+                    }
+                }
+            }
+            // Global invariants after every step.
+            let mut count = 0;
+            for (s, v) in &model.sets {
+                prop_assert!(v.len() <= ways, "set {s} over-full");
+                count += v.len();
+                for &(l, p) in v {
+                    prop_assert!(cache.contains(LineAddr(l)));
+                    prop_assert_eq!(cache.is_pinned(LineAddr(l)), p);
+                }
+            }
+            prop_assert_eq!(cache.len(), count);
+        }
+    }
+}

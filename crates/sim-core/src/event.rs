@@ -1,0 +1,188 @@
+//! Deterministic discrete-event queue.
+//!
+//! Events are ordered by `(time, sequence)`: ties at the same simulated
+//! cycle are broken by insertion order, which makes every simulation run
+//! with a fixed seed bit-for-bit reproducible.
+
+use crate::Cycle;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A time-ordered event queue with deterministic tie-breaking.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    seq: u64,
+    now: Cycle,
+    processed: u64,
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    time: Cycle,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// An empty queue at time 0.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: 0,
+            processed: 0,
+        }
+    }
+
+    /// Current simulated time: the timestamp of the last popped event.
+    #[inline]
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Total number of events popped so far.
+    #[inline]
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of pending events.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedule `payload` at absolute time `time`.
+    ///
+    /// Scheduling in the past is a logic error and panics: the engine
+    /// never travels backwards.
+    pub fn push_at(&mut self, time: Cycle, payload: E) {
+        assert!(
+            time >= self.now,
+            "event scheduled in the past: t={} < now={}",
+            time,
+            self.now
+        );
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Entry { time, seq, payload }));
+    }
+
+    /// Schedule `payload` `delay` cycles after the current time.
+    pub fn push_after(&mut self, delay: Cycle, payload: E) {
+        self.push_at(self.now + delay, payload);
+    }
+
+    /// Pop the earliest event, advancing the simulated clock to it.
+    pub fn pop(&mut self) -> Option<(Cycle, E)> {
+        let Reverse(e) = self.heap.pop()?;
+        debug_assert!(e.time >= self.now);
+        self.now = e.time;
+        self.processed += 1;
+        Some((e.time, e.payload))
+    }
+
+    /// Peek at the timestamp of the earliest pending event.
+    pub fn peek_time(&self) -> Option<Cycle> {
+        self.heap.peek().map(|Reverse(e)| e.time)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push_at(5, "b");
+        q.push_at(3, "a");
+        q.push_at(9, "c");
+        assert_eq!(q.pop(), Some((3, "a")));
+        assert_eq!(q.pop(), Some((5, "b")));
+        assert_eq!(q.now(), 5);
+        assert_eq!(q.pop(), Some((9, "c")));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.processed(), 3);
+    }
+
+    #[test]
+    fn ties_broken_by_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.push_at(7, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((7, i)));
+        }
+    }
+
+    #[test]
+    fn push_after_uses_current_time() {
+        let mut q = EventQueue::new();
+        q.push_at(10, 0);
+        q.pop();
+        q.push_after(5, 1);
+        assert_eq!(q.pop(), Some((15, 1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.push_at(10, 0);
+        q.pop();
+        q.push_at(9, 1);
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        assert!(q.is_empty());
+        q.push_at(1, 1);
+        q.push_at(2, 2);
+        assert_eq!(q.len(), 2);
+        q.pop();
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn peek_time() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.push_at(4, 0);
+        q.push_at(2, 1);
+        assert_eq!(q.peek_time(), Some(2));
+    }
+}

@@ -1,0 +1,51 @@
+//! Property tests for the discrete-event queue: pops must be a stable
+//! sort of pushes by timestamp.
+
+use lr_sim_core::EventQueue;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn pops_are_a_stable_sort(delays in proptest::collection::vec(0u64..50, 1..200)) {
+        let mut q = EventQueue::new();
+        // Interleave pushes and pops; every push is at now + delay.
+        let mut pushed: Vec<(u64, usize)> = Vec::new();
+        for (i, d) in delays.iter().enumerate() {
+            q.push_after(*d, i);
+            pushed.push((q.now() + d, i));
+        }
+        let mut popped = Vec::new();
+        while let Some((t, id)) = q.pop() {
+            popped.push((t, id));
+        }
+        // Expected: stable sort by time (ties keep push order).
+        let mut expected = pushed.clone();
+        expected.sort_by_key(|&(t, _)| t);
+        prop_assert_eq!(popped, expected);
+    }
+
+    #[test]
+    fn interleaved_push_pop_never_goes_backwards(
+        script in proptest::collection::vec((any::<bool>(), 0u64..100), 1..300)
+    ) {
+        let mut q = EventQueue::new();
+        let mut last = 0u64;
+        let mut n = 0usize;
+        for (push, d) in script {
+            if push || q.is_empty() {
+                q.push_after(d, n);
+                n += 1;
+            } else if let Some((t, _)) = q.pop() {
+                prop_assert!(t >= last, "time went backwards: {t} < {last}");
+                last = t;
+            }
+        }
+        while let Some((t, _)) = q.pop() {
+            prop_assert!(t >= last);
+            last = t;
+        }
+        prop_assert_eq!(q.processed() as usize, n);
+    }
+}

@@ -1,0 +1,198 @@
+//! Size-class heap allocator for the simulated address space.
+//!
+//! A bump pointer serves fresh memory; freed blocks are recycled through
+//! per-size-class free lists. Alignment requests are honoured exactly, and
+//! blocks of at least one cache line are always line-aligned, which keeps
+//! distinct allocations on distinct lines — the property the paper relies
+//! on to avoid false sharing among leased variables.
+
+use lr_sim_core::{Addr, LINE_SIZE};
+use std::collections::HashMap;
+
+/// Smallest allocation granule, bytes.
+const MIN_CLASS: u64 = 8;
+/// Largest size-class; bigger blocks are never recycled.
+const MAX_CLASS: u64 = 16 * 1024;
+
+/// Round `size` up to its size class (power of two between `MIN_CLASS`
+/// and `MAX_CLASS`), or `None` if it is too big to be classed.
+fn size_class(size: u64) -> Option<u64> {
+    if size > MAX_CLASS {
+        return None;
+    }
+    Some(size.max(MIN_CLASS).next_power_of_two())
+}
+
+/// Heap allocator over a simulated address range.
+#[derive(Debug)]
+pub struct Allocator {
+    /// Next unallocated address.
+    brk: u64,
+    /// First heap address (for accounting).
+    base: u64,
+    /// Free lists keyed by size class.
+    free: HashMap<u64, Vec<Addr>>,
+    /// Size (class-rounded) of every live block, keyed by address.
+    live: HashMap<Addr, u64>,
+    live_bytes: u64,
+}
+
+impl Allocator {
+    /// New allocator serving addresses starting at `base`.
+    pub fn new(base: u64) -> Self {
+        assert!(
+            base.is_multiple_of(LINE_SIZE),
+            "heap base must be line-aligned"
+        );
+        Allocator {
+            brk: base,
+            base,
+            free: HashMap::new(),
+            live: HashMap::new(),
+            live_bytes: 0,
+        }
+    }
+
+    /// Allocate `size` bytes aligned to `align` (power of two, ≥ 8).
+    pub fn alloc(&mut self, size: u64, align: u64) -> Addr {
+        assert!(size > 0, "zero-sized allocation");
+        assert!(
+            align.is_power_of_two() && align >= 8,
+            "bad alignment {align}"
+        );
+        // Blocks of a line or more are always line-aligned so that two
+        // allocations never share a cache line.
+        let align = if size >= LINE_SIZE {
+            align.max(LINE_SIZE)
+        } else {
+            align
+        };
+        let class = size_class(size.max(align));
+
+        if let Some(class) = class {
+            if let Some(list) = self.free.get_mut(&class) {
+                // Size classes are powers of two and classed blocks were
+                // carved at class alignment, so any recycled block already
+                // satisfies `align` (align ≤ class).
+                if let Some(addr) = list.pop() {
+                    debug_assert!(addr.0 % align == 0);
+                    self.live.insert(addr, class);
+                    self.live_bytes += class;
+                    return addr;
+                }
+            }
+        }
+
+        let effective = class.unwrap_or(size);
+        // Carve from the bump pointer at class (or requested) alignment.
+        let carve_align = class.unwrap_or(align).max(align);
+        let start = self.brk.next_multiple_of(carve_align);
+        self.brk = start + effective;
+        let addr = Addr(start);
+        self.live.insert(addr, effective);
+        self.live_bytes += effective;
+        addr
+    }
+
+    /// Free a previously allocated block. Double frees and frees of
+    /// unallocated addresses panic (they are simulator-user bugs).
+    pub fn free(&mut self, addr: Addr) {
+        let size = self
+            .live
+            .remove(&addr)
+            .unwrap_or_else(|| panic!("free of unallocated address {addr}"));
+        self.live_bytes -= size;
+        if size <= MAX_CLASS && size.is_power_of_two() {
+            self.free.entry(size).or_default().push(addr);
+        }
+        // Oversized blocks leak back to the bump region; the simulator's
+        // workloads never free huge blocks.
+    }
+
+    /// Bytes currently allocated.
+    pub fn live_bytes(&self) -> u64 {
+        self.live_bytes
+    }
+
+    /// Highest address handed out so far.
+    pub fn high_water(&self) -> u64 {
+        self.brk - self.base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classes_round_up() {
+        assert_eq!(size_class(1), Some(8));
+        assert_eq!(size_class(8), Some(8));
+        assert_eq!(size_class(9), Some(16));
+        assert_eq!(size_class(64), Some(64));
+        assert_eq!(size_class(65), Some(128));
+        assert_eq!(size_class(MAX_CLASS), Some(MAX_CLASS));
+        assert_eq!(size_class(MAX_CLASS + 1), None);
+    }
+
+    #[test]
+    fn alloc_respects_alignment() {
+        let mut a = Allocator::new(0x1000);
+        for &align in &[8u64, 16, 64, 256] {
+            let p = a.alloc(8, align);
+            assert_eq!(p.0 % align, 0, "align {align}");
+        }
+    }
+
+    #[test]
+    fn line_sized_blocks_are_line_aligned() {
+        let mut a = Allocator::new(0x1000);
+        let p = a.alloc(64, 8);
+        assert_eq!(p.0 % LINE_SIZE, 0);
+        let q = a.alloc(100, 8);
+        assert_eq!(q.0 % LINE_SIZE, 0);
+    }
+
+    #[test]
+    fn free_then_alloc_recycles() {
+        let mut a = Allocator::new(0x1000);
+        let p = a.alloc(32, 8);
+        let live = a.live_bytes();
+        a.free(p);
+        assert_eq!(a.live_bytes(), live - 32);
+        let q = a.alloc(30, 8); // same class (32)
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    #[should_panic(expected = "free of unallocated")]
+    fn double_free_panics() {
+        let mut a = Allocator::new(0x1000);
+        let p = a.alloc(8, 8);
+        a.free(p);
+        a.free(p);
+    }
+
+    #[test]
+    fn distinct_allocations_do_not_overlap() {
+        let mut a = Allocator::new(0x1000);
+        let mut blocks: Vec<(u64, u64)> = Vec::new();
+        for i in 1..100u64 {
+            let size = (i * 7) % 200 + 1;
+            let p = a.alloc(size, 8);
+            for &(s, e) in &blocks {
+                assert!(p.0 + size <= s || p.0 >= e, "overlap");
+            }
+            blocks.push((p.0, p.0 + size));
+        }
+    }
+
+    #[test]
+    fn oversized_blocks_supported() {
+        let mut a = Allocator::new(0x1000);
+        let p = a.alloc(1 << 20, 8);
+        assert_eq!(p.0 % LINE_SIZE, 0);
+        a.free(p);
+        assert_eq!(a.live_bytes(), 0);
+    }
+}

@@ -1,0 +1,171 @@
+//! # lr-sim-noc
+//!
+//! 2-D mesh network-on-chip model for the simulated tiled multicore.
+//!
+//! The model is analytic (no per-flit contention): a message from tile A to
+//! tile B takes `hops(A,B) · hop_latency + serialization` cycles, where
+//! serialization is one cycle per additional flit, matching Graphite's
+//! default network model at the fidelity the paper's results depend on
+//! (distance-dependent latency, message-count-dependent energy).
+//!
+//! Energy accounting is flit-hops: each flit traversing each hop costs a
+//! fixed dynamic energy (see `lr_sim_core::EnergyModel`).
+
+use lr_sim_core::{CoreId, Cycle, SystemConfig};
+
+/// Coherence message class, which determines the flit count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MsgClass {
+    /// Data-less message: requests, invalidations, acks (1 flit).
+    Control,
+    /// Data-carrying message: line fills, writebacks (header + 64 B).
+    Data,
+}
+
+/// A 2-D mesh of tiles with XY routing.
+#[derive(Debug, Clone)]
+pub struct Mesh {
+    width: usize,
+    tiles: usize,
+    hop_latency: Cycle,
+    control_flits: u32,
+    data_flits: u32,
+}
+
+impl Mesh {
+    /// Build the mesh for `config.num_cores` tiles, as close to square as
+    /// possible (64 tiles ⇒ 8×8).
+    pub fn new(config: &SystemConfig) -> Self {
+        let tiles = config.num_cores;
+        assert!(tiles > 0);
+        let width = (tiles as f64).sqrt().ceil() as usize;
+        Mesh {
+            width,
+            tiles,
+            hop_latency: config.mesh_hop_latency,
+            control_flits: config.control_flits,
+            data_flits: config.data_flits,
+        }
+    }
+
+    /// `(x, y)` coordinates of a tile.
+    fn coords(&self, t: CoreId) -> (usize, usize) {
+        let i = t.idx();
+        assert!(i < self.tiles, "tile {t} out of range");
+        (i % self.width, i / self.width)
+    }
+
+    /// Manhattan hop count between two tiles (0 when equal).
+    pub fn hops(&self, a: CoreId, b: CoreId) -> u64 {
+        let (ax, ay) = self.coords(a);
+        let (bx, by) = self.coords(b);
+        (ax.abs_diff(bx) + ay.abs_diff(by)) as u64
+    }
+
+    fn flits(&self, class: MsgClass) -> u32 {
+        match class {
+            MsgClass::Control => self.control_flits,
+            MsgClass::Data => self.data_flits,
+        }
+    }
+
+    /// Latency of one message. Same-tile messages (core to its local L2
+    /// slice) cost a single cycle.
+    pub fn latency(&self, from: CoreId, to: CoreId, class: MsgClass) -> Cycle {
+        let hops = self.hops(from, to);
+        if hops == 0 {
+            return 1;
+        }
+        hops * self.hop_latency + (self.flits(class) as Cycle - 1)
+    }
+
+    /// Flit-hops consumed by one message (the energy-model quantity).
+    pub fn flit_hops(&self, from: CoreId, to: CoreId, class: MsgClass) -> u64 {
+        self.hops(from, to) * self.flits(class) as u64
+    }
+
+    /// Worst-case message latency across the mesh (used for the
+    /// Proposition 2 delay-bound checks in tests).
+    pub fn max_latency(&self, class: MsgClass) -> Cycle {
+        let height = self.tiles.div_ceil(self.width);
+        let max_hops = (self.width - 1 + height - 1) as u64;
+        max_hops * self.hop_latency + (self.flits(class) as Cycle - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mesh(n: usize) -> Mesh {
+        Mesh::new(&SystemConfig::with_cores(n))
+    }
+
+    #[test]
+    fn square_mesh_dimensions() {
+        let m = mesh(64);
+        assert_eq!(m.width, 8);
+        // Opposite corners of an 8x8 mesh: 14 hops.
+        assert_eq!(m.hops(CoreId(0), CoreId(63)), 14);
+    }
+
+    #[test]
+    fn hops_are_symmetric_and_zero_on_self() {
+        let m = mesh(16);
+        for a in 0..16u16 {
+            assert_eq!(m.hops(CoreId(a), CoreId(a)), 0);
+            for b in 0..16u16 {
+                assert_eq!(m.hops(CoreId(a), CoreId(b)), m.hops(CoreId(b), CoreId(a)));
+            }
+        }
+    }
+
+    #[test]
+    fn neighbours_are_one_hop() {
+        let m = mesh(16); // 4x4
+        assert_eq!(m.hops(CoreId(0), CoreId(1)), 1);
+        assert_eq!(m.hops(CoreId(0), CoreId(4)), 1);
+        assert_eq!(m.hops(CoreId(5), CoreId(6)), 1);
+    }
+
+    #[test]
+    fn latency_model() {
+        let m = mesh(64);
+        // Same tile: 1 cycle regardless of class.
+        assert_eq!(m.latency(CoreId(3), CoreId(3), MsgClass::Data), 1);
+        // One hop control: hop latency (2) + 0 serialization.
+        assert_eq!(m.latency(CoreId(0), CoreId(1), MsgClass::Control), 2);
+        // One hop data: 2 + (9 - 1) = 10.
+        assert_eq!(m.latency(CoreId(0), CoreId(1), MsgClass::Data), 10);
+    }
+
+    #[test]
+    fn flit_hops_scale_with_distance_and_size() {
+        let m = mesh(64);
+        assert_eq!(m.flit_hops(CoreId(0), CoreId(1), MsgClass::Control), 1);
+        assert_eq!(m.flit_hops(CoreId(0), CoreId(1), MsgClass::Data), 9);
+        assert_eq!(m.flit_hops(CoreId(0), CoreId(63), MsgClass::Data), 14 * 9);
+        assert_eq!(m.flit_hops(CoreId(5), CoreId(5), MsgClass::Data), 0);
+    }
+
+    #[test]
+    fn max_latency_bounds_all_pairs() {
+        for n in [2usize, 4, 8, 16, 32, 64] {
+            let m = mesh(n);
+            let bound = m.max_latency(MsgClass::Data);
+            for a in 0..n as u16 {
+                for b in 0..n as u16 {
+                    assert!(m.latency(CoreId(a), CoreId(b), MsgClass::Data) <= bound);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn non_square_core_counts_work() {
+        let m = mesh(2);
+        assert_eq!(m.hops(CoreId(0), CoreId(1)), 1);
+        let m = mesh(8); // 3-wide, 3 rows (last partial)
+        assert_eq!(m.hops(CoreId(0), CoreId(7)), 3);
+    }
+}

@@ -1,0 +1,14 @@
+//! # lr-sync
+//!
+//! Locks and backoff primitives on simulated memory, with lease-guarded
+//! variants (paper §6, "Leases for TryLocks").
+
+pub mod backoff;
+pub mod clh;
+pub mod lock;
+pub mod ticket;
+
+pub use backoff::Backoff;
+pub use clh::ClhLock;
+pub use lock::{LeasedLock, SpinLock, TryLock};
+pub use ticket::TicketLock;
