@@ -1,0 +1,20 @@
+#!/bin/sh
+# Offline CI gate: formatting, lints, release build, full test suite.
+# Run from the repository root. Everything here works without network
+# access — the workspace has no external dependencies.
+set -eu
+
+echo "== cargo fmt --check =="
+cargo fmt --all --check
+
+echo "== cargo clippy (deny warnings) =="
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "== tier-1 verify: release build + tests =="
+cargo build --release --offline
+cargo test -q --offline
+
+echo "== strict invariant checking =="
+cargo test -q --offline --workspace --features lease-release/strict-invariants
+
+echo "CI OK"

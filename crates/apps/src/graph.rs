@@ -13,8 +13,7 @@
 //! traffic. The rank/accumulator arrays and the dangling-mass cell — the
 //! contended state — live in simulated memory (see `pagerank`).
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use lr_sim_core::SplitMix64;
 
 /// A directed graph in CSR-like form.
 #[derive(Debug, Clone)]
@@ -31,7 +30,7 @@ impl Graph {
     pub fn synthesize(n: usize, dangling_frac: f64, seed: u64) -> Self {
         assert!(n >= 2);
         assert!((0.0..1.0).contains(&dangling_frac));
-        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut rng = SplitMix64::new(seed);
         let mut out = vec![Vec::new(); n];
         let mut dangling = Vec::new();
         for (u, edges) in out.iter_mut().enumerate() {

@@ -12,7 +12,6 @@ use lr_bench::{print_header, print_row, threads_sweep, BenchRow};
 use lr_ds::PriorityQueue;
 use lr_machine::{Machine, SystemConfig, ThreadCtx, ThreadFn};
 use lr_sim_mem::SimMemory;
-use rand::Rng;
 
 const PREFILL: u64 = 256;
 

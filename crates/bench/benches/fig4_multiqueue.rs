@@ -7,7 +7,6 @@ use lr_bench::harness::ops_per_thread;
 use lr_bench::{print_header, print_row, threads_sweep, BenchRow};
 use lr_ds::{MqVariant, MultiQueue};
 use lr_machine::{Machine, SystemConfig, ThreadCtx, ThreadFn};
-use rand::Rng;
 
 const NUM_QUEUES: usize = 8;
 const PREFILL: u64 = 512;

@@ -8,7 +8,6 @@ use lr_bench::harness::ops_per_thread;
 use lr_bench::{print_header, print_row, threads_sweep, BenchRow};
 use lr_machine::{Machine, SystemConfig, ThreadCtx, ThreadFn};
 use lr_stm::{Tl2, Tl2Variant};
-use rand::Rng;
 
 const NUM_OBJECTS: usize = 10;
 

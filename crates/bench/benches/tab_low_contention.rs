@@ -7,7 +7,6 @@ use lr_bench::harness::ops_per_thread;
 use lr_bench::{print_header, print_row, threads_sweep, BenchRow};
 use lr_ds::{Bst, HarrisList, HashTable, LockingSkipList};
 use lr_machine::{Machine, SystemConfig, ThreadCtx, ThreadFn};
-use rand::Rng;
 
 const KEY_RANGE: u64 = 512;
 const PREFILL: u64 = 128;

@@ -2,9 +2,18 @@
 //!
 //! Every bench prints (a) the system configuration (the paper's Table 1),
 //! (b) an aligned human-readable table, and (c) the same rows as CSV
-//! lines prefixed with `CSV,` for machine consumption.
+//! lines prefixed with `CSV,` for machine consumption. In addition the
+//! harness maintains a machine-readable `BENCH_<name>.json` file: every
+//! `print_row` call appends the row — including the *complete*
+//! [`MachineStats`] dump — and rewrites the file, so it is valid JSON at
+//! every point during the run. Knobs:
+//!
+//! * `LR_JSON_DIR` — directory for the JSON files (default: cwd);
+//! * `LR_NO_JSON=1` — disable the JSON export entirely.
 
 use lr_sim_core::{MachineStats, SystemConfig};
+use std::path::PathBuf;
+use std::sync::Mutex;
 
 /// One measured point of a figure/table series.
 #[derive(Debug, Clone)]
@@ -23,6 +32,10 @@ pub struct BenchRow {
     pub msgs_per_op: f64,
     /// CAS failure ratio (failures / attempts), if CASes were issued.
     pub cas_fail_ratio: f64,
+    /// Complete `MachineStats` dump as a JSON object (see
+    /// [`MachineStats::to_json`]), carried along so the JSON export can
+    /// include the raw counters, not just the derived metrics.
+    pub stats_json: String,
 }
 
 impl BenchRow {
@@ -42,11 +55,102 @@ impl BenchRow {
             misses_per_op: s.misses_per_op(),
             msgs_per_op: s.messages_per_op(),
             cas_fail_ratio,
+            stats_json: s.to_json(),
         }
+    }
+
+    /// Render this row as a JSON object (derived metrics + raw stats).
+    fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"series\":\"{}\",\"threads\":{},\"mops\":{:.6},",
+                "\"nj_per_op\":{:.3},\"misses_per_op\":{:.4},",
+                "\"msgs_per_op\":{:.4},\"cas_fail_ratio\":{:.4},\"stats\":{}}}"
+            ),
+            json_escape(&self.series),
+            self.threads,
+            self.mops,
+            self.nj_per_op,
+            self.misses_per_op,
+            self.msgs_per_op,
+            self.cas_fail_ratio,
+            if self.stats_json.is_empty() {
+                "null"
+            } else {
+                self.stats_json.as_str()
+            },
+        )
     }
 }
 
-/// Print the bench banner and Table 1 configuration.
+/// Minimal JSON string escaping (series names are plain ASCII, but don't
+/// rely on it).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// In-process JSON sink: the bench name (set by `print_header`) and the
+/// rows accumulated so far. Bench binaries are single-threaded, but a
+/// Mutex keeps the harness safe to reuse from tests.
+static JSON_SINK: Mutex<Option<(String, Vec<String>)>> = Mutex::new(None);
+
+fn json_enabled() -> bool {
+    std::env::var("LR_NO_JSON").map_or(true, |v| v != "1")
+}
+
+/// `BENCH_<name>.json` in `LR_JSON_DIR`; by default the workspace root
+/// (cargo runs bench binaries with cwd = the package dir, which would
+/// scatter the files under `crates/bench/`).
+fn json_path(name: &str) -> PathBuf {
+    let dir = std::env::var("LR_JSON_DIR").unwrap_or_else(|_| {
+        match std::env::var("CARGO_MANIFEST_DIR") {
+            Ok(m) => format!("{m}/../.."),
+            Err(_) => ".".to_string(),
+        }
+    });
+    PathBuf::from(dir).join(format!("BENCH_{name}.json"))
+}
+
+/// Turn a bench title like "Figure 2: Treiber stack" into a file slug.
+fn slug(title: &str) -> String {
+    let mut out = String::new();
+    for c in title.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c.to_ascii_lowercase());
+        } else if !out.ends_with('_') && !out.is_empty() {
+            out.push('_');
+        }
+    }
+    out.trim_end_matches('_').to_string()
+}
+
+/// Rewrite the JSON file with everything recorded so far. The file is a
+/// single object so partial runs still parse.
+fn json_flush(name: &str, rows: &[String]) {
+    let body = format!(
+        "{{\"bench\":\"{}\",\"rows\":[\n{}\n]}}\n",
+        json_escape(name),
+        rows.join(",\n")
+    );
+    let path = json_path(name);
+    if let Err(e) = std::fs::write(&path, body) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    }
+}
+
+/// Print the bench banner and Table 1 configuration, and start the JSON
+/// report for this bench (`BENCH_<slug-of-title>.json`).
 pub fn print_header(title: &str, cfg: &SystemConfig) {
     println!("==================================================================");
     println!("{title}");
@@ -57,9 +161,15 @@ pub fn print_header(title: &str, cfg: &SystemConfig) {
         "{:<24} {:>7} {:>12} {:>12} {:>10} {:>10} {:>9}",
         "series", "threads", "Mops/s", "nJ/op", "miss/op", "msg/op", "casfail"
     );
+    if json_enabled() {
+        let name = slug(title);
+        println!("JSON -> {}", json_path(&name).display());
+        *JSON_SINK.lock().unwrap() = Some((name, Vec::new()));
+    }
 }
 
-/// Print one row, both human-aligned and as CSV.
+/// Print one row, both human-aligned and as CSV, and append it to the
+/// bench's JSON report.
 pub fn print_row(r: &BenchRow) {
     println!(
         "{:<24} {:>7} {:>12.3} {:>12.1} {:>10.2} {:>10.2} {:>8.1}%",
@@ -75,6 +185,12 @@ pub fn print_row(r: &BenchRow) {
         "CSV,{},{},{:.6},{:.3},{:.4},{:.4},{:.4}",
         r.series, r.threads, r.mops, r.nj_per_op, r.misses_per_op, r.msgs_per_op, r.cas_fail_ratio
     );
+    if let Some((name, rows)) = JSON_SINK.lock().unwrap().as_mut() {
+        rows.push(r.to_json());
+        // Rewrite after every row: the file stays valid JSON even if the
+        // run is interrupted part-way through a sweep.
+        json_flush(name, rows);
+    }
 }
 
 /// The paper's thread counts ("We tested for 2, 4, 8, 16, 32, 64
@@ -132,6 +248,20 @@ mod tests {
         s.app_ops = 1;
         let r = BenchRow::from_stats("x", 1, &cfg, &s);
         assert_eq!(r.cas_fail_ratio, 0.0);
+    }
+
+    #[test]
+    fn json_row_is_well_formed_and_slug_is_clean() {
+        let cfg = SystemConfig::default();
+        let mut s = MachineStats::new(1);
+        s.total_cycles = 10;
+        s.app_ops = 1;
+        let r = BenchRow::from_stats("series-with-\"quote\"", 1, &cfg, &s);
+        let j = r.to_json();
+        assert!(j.contains("\\\""), "quote not escaped: {j}");
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert!(j.contains("\"stats\":{"), "raw stats missing");
+        assert_eq!(slug("Figure 2: Treiber stack"), "figure_2_treiber_stack");
     }
 
     #[test]

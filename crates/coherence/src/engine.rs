@@ -16,6 +16,7 @@
 
 use crate::{AccessKind, CohContext, CohEvent, DirState, L1State, ProbeAction, XactId};
 use lr_sim_cache::{Inserted, SetAssocCache};
+use lr_sim_core::trace::{TraceAccess, TraceEvent};
 use lr_sim_core::{CoreId, Cycle, LineAddr, MachineStats, SystemConfig};
 use lr_sim_noc::{Mesh, MsgClass};
 use std::collections::{HashMap, VecDeque};
@@ -239,6 +240,22 @@ impl CoherenceEngine {
                 enq_time: 0,
             },
         );
+        if ctx.tracing() {
+            ctx.trace(
+                now,
+                TraceEvent::MissIssued {
+                    xact: id.0,
+                    core,
+                    line,
+                    kind: if kind.needs_exclusive() {
+                        TraceAccess::Exclusive
+                    } else {
+                        TraceAccess::Load
+                    },
+                    lease_intent,
+                },
+            );
+        }
         let home = self.home_of(line);
         let lat = self.msg(core, home, MsgClass::Control);
         ctx.schedule(lat, CohEvent::DirArrive(id));
@@ -267,6 +284,16 @@ impl CoherenceEngine {
         self.l1[core.idx()].set_pinned(line, false);
         if let Some(p) = self.stalled.remove(&(core, line)) {
             self.stats.cores[core.idx()].probe_queued_cycles += now - p.since;
+            if ctx.tracing() {
+                ctx.trace(
+                    now,
+                    TraceEvent::ProbeResumed {
+                        owner: core,
+                        line,
+                        waited: now - p.since,
+                    },
+                );
+            }
             self.owner_downgrade(now, p.xact, core, ctx);
         }
     }
@@ -281,8 +308,21 @@ impl CoherenceEngine {
             if qlen > self.stats.max_dir_queue_len {
                 self.stats.max_dir_queue_len = qlen;
             }
+            if ctx.tracing() {
+                ctx.trace(
+                    now,
+                    TraceEvent::DirQueued {
+                        xact: x.0,
+                        line,
+                        depth: qlen,
+                    },
+                );
+            }
         } else {
             ch.active = Some(x);
+            if ctx.tracing() {
+                ctx.trace(now, TraceEvent::DirArrive { xact: x.0, line });
+            }
             self.service(now, x, ctx);
         }
     }
@@ -290,18 +330,30 @@ impl CoherenceEngine {
     fn dir_unlock(&mut self, now: Cycle, line: LineAddr, ctx: &mut dyn CohContext) {
         let home = self.home_of(line);
         self.l2[home.idx()].set_pinned(line, false);
+        if ctx.tracing() {
+            ctx.trace(now, TraceEvent::DirUnlock { line });
+        }
         let ch = self
             .channels
             .get_mut(&line)
             .expect("unlock without channel");
         ch.active = None;
-        if let Some(next) = ch.queue.pop_front() {
-            ch.active = Some(next);
+        let next = ch.queue.pop_front();
+        if next.is_none() {
+            self.channels.remove(&line);
+        }
+        // The previous transaction on `line` is fully settled here, before
+        // any queued successor starts mutating state again.
+        #[cfg(feature = "strict-invariants")]
+        self.check_invariants_at(line);
+        if let Some(next) = next {
+            self.channels.get_mut(&line).unwrap().active = Some(next);
             let enq = self.xacts[&next.0].enq_time;
             self.stats.dir_queue_wait_cycles += now - enq;
+            if ctx.tracing() {
+                ctx.trace(now, TraceEvent::DirArrive { xact: next.0, line });
+            }
             self.service(now, next, ctx);
-        } else {
-            self.channels.remove(&line);
         }
     }
 
@@ -359,7 +411,6 @@ impl CoherenceEngine {
                 ctx.schedule(t - now + lat, CohEvent::GrantArrive(x));
             }
             DirState::Modified(o) => {
-                self.stats.owner_probes += 1;
                 let lat = self.msg(home, o, MsgClass::Control);
                 ctx.schedule(t - now + lat, CohEvent::ProbeArrive(x));
             }
@@ -397,10 +448,34 @@ impl CoherenceEngine {
         let dir = self.dir_state(line);
         match dir {
             Some(DirState::Modified(o)) if self.l1[o.idx()].contains(line) => {
+                // A probe is actually delivered to the owner only on this
+                // path; the evicted-owner fallback below serves from home
+                // without one, so counting in `service` would overcount.
+                self.stats.owner_probes += 1;
                 self.stats.cores[o.idx()].probes_received += 1;
+                if ctx.tracing() {
+                    ctx.trace(
+                        now,
+                        TraceEvent::ProbeArrive {
+                            xact: x.0,
+                            owner: o,
+                            line,
+                        },
+                    );
+                }
                 match ctx.probe_action(o, line, regular, now) {
                     ProbeAction::Queue => {
                         self.stats.cores[o.idx()].probes_queued += 1;
+                        if ctx.tracing() {
+                            ctx.trace(
+                                now,
+                                TraceEvent::ProbeStalled {
+                                    xact: x.0,
+                                    owner: o,
+                                    line,
+                                },
+                            );
+                        }
                         let prev = self.stalled.insert(
                             (o, line),
                             PendingProbe {
@@ -491,7 +566,7 @@ impl CoherenceEngine {
                 match self.l1[core.idx()].insert(line, new_state) {
                     Inserted::NoVictim => break,
                     Inserted::Evicted(vline, vstate) => {
-                        self.evict_l1(core, vline, vstate);
+                        self.evict_l1(now, core, vline, vstate, ctx);
                         break;
                     }
                     Inserted::AllPinned => {
@@ -508,6 +583,22 @@ impl CoherenceEngine {
             }
         }
 
+        if ctx.tracing() {
+            ctx.trace(
+                now,
+                TraceEvent::GrantArrive {
+                    xact: x.0,
+                    core,
+                    line,
+                    exclusive: kind.needs_exclusive() || grant_exclusive,
+                },
+            );
+        }
+        // The grant installed the line: its L1 copy and directory entry
+        // must agree from here on (the pending DirUnlock does not touch
+        // coherence state).
+        #[cfg(feature = "strict-invariants")]
+        self.check_invariants_at(line);
         let done = now + self.cfg.l1_latency;
         if lease_intent {
             ctx.exclusive_granted(core, line, done);
@@ -518,7 +609,24 @@ impl CoherenceEngine {
     }
 
     /// Bookkeeping for an L1 eviction (silent from the thread's view).
-    fn evict_l1(&mut self, core: CoreId, vline: LineAddr, vstate: L1State) {
+    fn evict_l1(
+        &mut self,
+        now: Cycle,
+        core: CoreId,
+        vline: LineAddr,
+        vstate: L1State,
+        ctx: &mut dyn CohContext,
+    ) {
+        if ctx.tracing() {
+            ctx.trace(
+                now,
+                TraceEvent::L1Evict {
+                    core,
+                    line: vline,
+                    dirty: vstate == L1State::Modified,
+                },
+            );
+        }
         self.stats.cores[core.idx()].l1_evictions += 1;
         let home_v = self.home_of(vline);
         let dir = self.l2[home_v.idx()]
@@ -580,6 +688,68 @@ impl CoherenceEngine {
             },
             Inserted::AllPinned => {
                 panic!("all ways of an L2 set have active transactions; enlarge L2")
+            }
+        }
+    }
+
+    /// Protocol invariants narrowed to one line: single-writer,
+    /// sharer-mask/L1 agreement, and inclusivity for `line` only.
+    ///
+    /// Unlike [`CoherenceEngine::check_invariants`], this is safe to run
+    /// mid-simulation — but only at points where `line` has no
+    /// partially-applied transaction: right after its `GrantArrive`
+    /// (copy installed) or at its `DirUnlock` (previous transaction fully
+    /// settled, successor not yet serviced). Under the `strict-invariants`
+    /// feature the engine calls it at exactly those points, so a protocol
+    /// bug fails at the violating event instead of at quiescence
+    /// thousands of cycles later.
+    pub fn check_invariants_at(&self, line: LineAddr) {
+        let dir = self.dir_state(line);
+        for (c, l1) in self.l1.iter().enumerate() {
+            let c = CoreId(c as u16);
+            let Some(&st) = l1.peek(line) else { continue };
+            let dir = dir.unwrap_or_else(|| {
+                panic!("inclusivity violated at {line}: L1 copy at {c} but no L2 entry")
+            });
+            match st {
+                L1State::Modified | L1State::Exclusive => {
+                    assert_eq!(
+                        dir,
+                        DirState::Modified(c),
+                        "dir disagrees with E/M copy at {c} for {line}"
+                    );
+                    for (o, other) in self.l1.iter().enumerate() {
+                        if o != c.idx() {
+                            assert!(!other.contains(line), "two copies of modified {line}");
+                        }
+                    }
+                }
+                L1State::Shared => match dir {
+                    DirState::Shared(mask) => {
+                        assert!(mask & bit(c) != 0, "sharer bit missing for {c} {line}")
+                    }
+                    other => panic!("S copy at {c} for {line} but dir={other:?}"),
+                },
+            }
+        }
+        match dir {
+            None | Some(DirState::Uncached) => {}
+            Some(DirState::Modified(o)) => {
+                let st = self.l1[o.idx()].peek(line);
+                assert!(
+                    matches!(st, Some(L1State::Modified | L1State::Exclusive)),
+                    "dir=M({o}) but no E/M copy for {line} (found {st:?})"
+                );
+            }
+            Some(DirState::Shared(mask)) => {
+                assert!(mask != 0, "empty sharer mask for {line}");
+                for s in cores_in(mask) {
+                    assert_eq!(
+                        self.l1[s.idx()].peek(line),
+                        Some(&L1State::Shared),
+                        "dir sharer {s} lacks S copy of {line}"
+                    );
+                }
             }
         }
     }

@@ -26,7 +26,7 @@ mod tests_engine;
 
 pub use engine::{CoherenceEngine, PendingProbe};
 
-use lr_sim_core::{CoreId, Cycle, LineAddr};
+use lr_sim_core::{CoreId, Cycle, LineAddr, TraceEvent};
 
 /// Permission a memory access needs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -144,6 +144,19 @@ pub trait CohContext {
     /// `line` was forcibly removed from `core`'s L1 (inclusive-L2
     /// back-invalidation). The lease layer drops any lease state for it.
     fn line_invalidated(&mut self, core: CoreId, line: LineAddr, now: Cycle);
+
+    /// Is structured tracing enabled? The engine checks this before
+    /// constructing any [`TraceEvent`], so tracing is zero-cost when off.
+    /// Defaults to `false` (standalone/test embedders need not care).
+    fn tracing(&self) -> bool {
+        false
+    }
+
+    /// Record a structured protocol event at simulated time `now`. Called
+    /// only when [`CohContext::tracing`] returns `true`.
+    fn trace(&mut self, now: Cycle, ev: TraceEvent) {
+        let _ = (now, ev);
+    }
 }
 
 #[cfg(test)]

@@ -1,11 +1,11 @@
 //! Protocol fuzzing: random access interleavings (with and without
 //! leases) must always terminate, preserve single-writer/sharer-mask
 //! invariants at quiescence, and never delay a probe longer than the
-//! lease bound (Propositions 1–2).
+//! lease bound (Propositions 1–2). Driven by the in-tree [`SplitMix64`]
+//! generator so every case replays from its loop index.
 
 use lr_coherence::*;
-use lr_sim_core::{CoreId, Cycle, EventQueue, LineAddr, SystemConfig};
-use proptest::prelude::*;
+use lr_sim_core::{CoreId, Cycle, EventQueue, LineAddr, SplitMix64, SystemConfig};
 use std::collections::HashSet;
 
 struct FuzzCtx {
@@ -59,24 +59,24 @@ struct FuzzOp {
     lease: bool,
 }
 
-fn op_strategy() -> impl Strategy<Value = FuzzOp> {
-    (any::<u8>(), 0u8..24, 0u8..3, any::<bool>()).prop_map(|(core, line, kind_sel, lease)| FuzzOp {
-        core,
-        line,
-        kind_sel,
-        lease,
-    })
+fn random_op(rng: &mut SplitMix64) -> FuzzOp {
+    FuzzOp {
+        core: rng.gen_range(0u8..=u8::MAX),
+        line: rng.gen_range(0u8..24),
+        kind_sel: rng.gen_range(0u8..3),
+        lease: rng.gen_bool(0.5),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+#[test]
+fn random_interleavings_preserve_invariants() {
+    for case in 0..64u64 {
+        let mut rng = SplitMix64::new(0xf022_0000 + case);
+        let nops = rng.gen_range(1usize..120);
+        let ops: Vec<FuzzOp> = (0..nops).map(|_| random_op(&mut rng)).collect();
+        let cores = rng.gen_range(2usize..9);
+        let mesi = rng.gen_bool(0.5);
 
-    #[test]
-    fn random_interleavings_preserve_invariants(
-        ops in proptest::collection::vec(op_strategy(), 1..120),
-        cores in 2usize..9,
-        mesi in any::<bool>(),
-    ) {
         let mut cfg = SystemConfig::with_cores(cores);
         if mesi {
             cfg.protocol = lr_sim_core::CoherenceProtocol::Mesi;
@@ -103,8 +103,12 @@ proptest! {
             // Release any lease this core already holds on the line (one
             // outstanding lease per (core, line) in this fuzz).
             let now = ctx.queue.now();
-            let held: Vec<(CoreId, LineAddr)> =
-                ctx.leased.iter().copied().filter(|&(c, _)| c == core).collect();
+            let held: Vec<(CoreId, LineAddr)> = ctx
+                .leased
+                .iter()
+                .copied()
+                .filter(|&(c, _)| c == core)
+                .collect();
             for (c, l) in held {
                 ctx.leased.remove(&(c, l));
                 engine.lease_released(now, c, l, &mut ctx);
@@ -126,7 +130,9 @@ proptest! {
                     // Schedule a forced expiry via a dummy unlock event:
                     // we emulate expiry below instead.
                 }
-                let Some((t, ev)) = ctx.queue.pop() else { break };
+                let Some((t, ev)) = ctx.queue.pop() else {
+                    break;
+                };
                 engine.handle(t, ev, &mut ctx);
                 // Emulate lease expiry: if a probe stalls, release the
                 // lease after the bound.
@@ -152,8 +158,12 @@ proptest! {
         while let Some((t, ev)) = ctx.queue.pop() {
             engine.handle(t, ev, &mut ctx);
         }
-        prop_assert_eq!(engine.in_flight(), 0, "transactions leaked");
-        prop_assert_eq!(ctx.completions.len() as u64 + engine.stats().core_totals().l1_hits, issued);
+        assert_eq!(engine.in_flight(), 0, "case {case}: transactions leaked");
+        assert_eq!(
+            ctx.completions.len() as u64 + engine.stats().core_totals().l1_hits,
+            issued,
+            "case {case}"
+        );
         engine.check_invariants();
     }
 }

@@ -366,6 +366,30 @@ impl LeaseTable {
         self.entries.drain(..).map(|e| e.line).collect()
     }
 
+    /// Diagnostic dump of the table's entries in FIFO order (one line per
+    /// entry), for the machine's watchdog/deadlock report.
+    pub fn debug_dump(&self) -> String {
+        use std::fmt::Write;
+        if self.entries.is_empty() && self.acquiring.is_none() {
+            return String::from("  (empty)\n");
+        }
+        let mut s = String::new();
+        let mut entries: Vec<&Entry> = self.entries.iter().collect();
+        entries.sort_by_key(|e| e.seq);
+        for e in entries {
+            let _ = writeln!(
+                s,
+                "  {} duration={} expires={:?} granted={} gen={} group={:?}",
+                e.line, e.duration, e.expires, e.granted, e.generation, e.group
+            );
+        }
+        if let Some((g, granted)) = self.acquiring {
+            let total = self.entries.iter().filter(|e| e.group == Some(g)).count();
+            let _ = writeln!(s, "  acquiring group {g}: {granted}/{total} granted");
+        }
+        s
+    }
+
     /// A lease-counter expiry event fired. Returns the lines involuntarily
     /// released (empty if the event was stale — the lease was already
     /// released and possibly replaced).

@@ -1,9 +1,9 @@
-//! Model-based property tests for the lease table (Algorithm 1/2
-//! semantics) against a straightforward reference model.
+//! Model-based randomized tests for the lease table (Algorithm 1/2
+//! semantics) against a straightforward reference model, driven by the
+//! in-tree [`SplitMix64`] generator.
 
 use lr_lease::{BeginLease, LeaseState, LeaseTable, MultiLeaseBegin, ReleaseOutcome};
-use lr_sim_core::{Cycle, LeaseConfig, LineAddr};
-use proptest::prelude::*;
+use lr_sim_core::{Cycle, LeaseConfig, LineAddr, SplitMix64};
 use std::collections::HashMap;
 
 #[derive(Debug, Clone)]
@@ -16,23 +16,37 @@ enum Cmd {
     Advance { dt: Cycle },
 }
 
-fn cmd() -> impl Strategy<Value = Cmd> {
-    prop_oneof![
-        ((0u64..12), (1u64..50_000)).prop_map(|(line, time)| Cmd::Begin { line, time }),
-        (0u64..12).prop_map(|line| Cmd::Grant { line }),
-        (0u64..12).prop_map(|line| Cmd::Release { line }),
-        (proptest::collection::vec(0u64..12, 0..5), (1u64..50_000))
-            .prop_map(|(lines, time)| Cmd::Multi { lines, time }),
-        Just(Cmd::ReleaseAll),
-        (1u64..30_000).prop_map(|dt| Cmd::Advance { dt }),
-    ]
+fn random_cmd(rng: &mut SplitMix64) -> Cmd {
+    match rng.gen_range(0u8..6) {
+        0 => Cmd::Begin {
+            line: rng.gen_range(0u64..12),
+            time: rng.gen_range(1u64..50_000),
+        },
+        1 => Cmd::Grant {
+            line: rng.gen_range(0u64..12),
+        },
+        2 => Cmd::Release {
+            line: rng.gen_range(0u64..12),
+        },
+        3 => {
+            let n = rng.gen_range(0usize..5);
+            Cmd::Multi {
+                lines: (0..n).map(|_| rng.gen_range(0u64..12)).collect(),
+                time: rng.gen_range(1u64..50_000),
+            }
+        }
+        4 => Cmd::ReleaseAll,
+        _ => Cmd::Advance {
+            dt: rng.gen_range(1u64..30_000),
+        },
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn table_invariants_hold(cmds in proptest::collection::vec(cmd(), 1..120)) {
+#[test]
+fn table_invariants_hold() {
+    for case in 0..256u64 {
+        let mut rng = SplitMix64::new(0x7_ab1e_0000 + case);
+        let steps = rng.gen_range(1usize..120);
         let cfg = LeaseConfig {
             max_num_leases: 4,
             max_lease_time: 20_000,
@@ -40,13 +54,13 @@ proptest! {
         };
         let mut t = LeaseTable::new(cfg.clone());
         let mut now: Cycle = 0;
-        // Model: line -> expiry (None = granted but unstarted is
-        // impossible for singles here; groups handled coarsely).
-        let mut armed: HashMap<u64, (Cycle, u64)> = HashMap::new(); // line -> (expires, gen)
+        // Model: line -> (expires, gen) for armed counters; groups handled
+        // coarsely via the acquisition discipline below.
+        let mut armed: HashMap<u64, (Cycle, u64)> = HashMap::new();
         let mut acquiring: Vec<u64> = Vec::new(); // group lines not yet all granted
         let mut granted_in_group = 0usize;
 
-        for c in cmds {
+        for step in 0..steps {
             // While a MultiLease acquisition is in flight, the only legal
             // next steps are grants of its lines (that is what the
             // machine does); emulate that discipline.
@@ -55,49 +69,49 @@ proptest! {
                 let counters = t.on_exclusive_granted(LineAddr(line), now);
                 granted_in_group += 1;
                 if granted_in_group == acquiring.len() {
-                    prop_assert_eq!(counters.len(), acquiring.len(), "joint start");
+                    assert_eq!(counters.len(), acquiring.len(), "joint start");
                     for a in counters {
                         armed.insert(a.line.0, (a.expires, a.generation));
-                        prop_assert!(a.expires <= now + cfg.max_lease_time);
+                        assert!(a.expires <= now + cfg.max_lease_time);
                     }
                     acquiring.clear();
                     granted_in_group = 0;
                 } else {
-                    prop_assert!(counters.is_empty(), "group counters started early");
+                    assert!(counters.is_empty(), "group counters started early");
                 }
                 continue;
             }
-            match c {
-                Cmd::Begin { line, time } => {
-                    match t.begin_lease(LineAddr(line), time) {
-                        BeginLease::AlreadyLeased => {
-                            prop_assert_ne!(t.state(LineAddr(line), now), LeaseState::NotLeased);
-                        }
-                        BeginLease::Inserted { .. } => {
-                            prop_assert_eq!(t.state(LineAddr(line), now), LeaseState::Pending);
-                        }
+            match random_cmd(&mut rng) {
+                Cmd::Begin { line, time } => match t.begin_lease(LineAddr(line), time) {
+                    BeginLease::AlreadyLeased => {
+                        assert_ne!(t.state(LineAddr(line), now), LeaseState::NotLeased);
                     }
-                }
+                    BeginLease::Inserted { .. } => {
+                        assert_eq!(t.state(LineAddr(line), now), LeaseState::Pending);
+                    }
+                },
                 Cmd::Grant { line } => {
                     let was_pending = t.state(LineAddr(line), now) == LeaseState::Pending;
                     let counters = t.on_exclusive_granted(LineAddr(line), now);
                     if was_pending {
-                        prop_assert_eq!(counters.len(), 1);
+                        assert_eq!(counters.len(), 1);
                         let a = counters[0];
-                        prop_assert!(a.expires <= now + cfg.max_lease_time,
-                            "MAX_LEASE_TIME violated");
+                        assert!(
+                            a.expires <= now + cfg.max_lease_time,
+                            "MAX_LEASE_TIME violated"
+                        );
                         armed.insert(line, (a.expires, a.generation));
-                        prop_assert!(t.is_leased(LineAddr(line), now));
+                        assert!(t.is_leased(LineAddr(line), now));
                     }
                 }
                 Cmd::Release { line } => {
                     let leased_before = t.state(LineAddr(line), now) != LeaseState::NotLeased;
                     match t.release(LineAddr(line)) {
-                        ReleaseOutcome::NotFound => prop_assert!(!leased_before),
+                        ReleaseOutcome::NotFound => assert!(!leased_before),
                         ReleaseOutcome::Released(lines) => {
-                            prop_assert!(leased_before);
+                            assert!(leased_before);
                             for l in lines {
-                                prop_assert_eq!(t.state(l, now), LeaseState::NotLeased);
+                                assert_eq!(t.state(l, now), LeaseState::NotLeased);
                             }
                         }
                     }
@@ -109,14 +123,14 @@ proptest! {
                             let mut dedup = lines.clone();
                             dedup.sort_unstable();
                             dedup.dedup();
-                            prop_assert!(dedup.len() > cfg.max_num_leases);
-                            prop_assert!(t.is_empty(), "rejection must leave the table empty");
+                            assert!(dedup.len() > cfg.max_num_leases);
+                            assert!(t.is_empty(), "rejection must leave the table empty");
                         }
                         MultiLeaseBegin::Admitted { sorted_lines, .. } => {
                             // Acquisition order is the fixed global sort.
                             let mut sorted = sorted_lines.clone();
                             sorted.sort_unstable();
-                            prop_assert_eq!(&sorted, &sorted_lines, "not in global order");
+                            assert_eq!(&sorted, &sorted_lines, "not in global order");
                             acquiring = sorted_lines.iter().map(|l| l.0).collect();
                             granted_in_group = 0;
                         }
@@ -124,7 +138,7 @@ proptest! {
                 }
                 Cmd::ReleaseAll => {
                     t.release_all();
-                    prop_assert!(t.is_empty());
+                    assert!(t.is_empty());
                 }
                 Cmd::Advance { dt } => {
                     now += dt;
@@ -137,19 +151,19 @@ proptest! {
                     for (line, (_, generation)) in due {
                         armed.remove(&line);
                         t.on_expiry(LineAddr(line), generation);
-                        prop_assert!(
+                        assert!(
                             !t.is_leased(LineAddr(line), now),
-                            "lease survived expiry"
+                            "case {case} step {step}: lease survived expiry"
                         );
                     }
                 }
             }
             // Core invariant: never more than MAX_NUM_LEASES entries.
-            prop_assert!(t.len() <= cfg.max_num_leases, "table over-full");
+            assert!(t.len() <= cfg.max_num_leases, "table over-full");
             // Invariant: all active leases respect the global bound.
             for l in t.lines() {
                 if let Some(&(e, _)) = armed.get(&l.0) {
-                    prop_assert!(e <= now + cfg.max_lease_time);
+                    assert!(e <= now + cfg.max_lease_time);
                 }
             }
         }

@@ -14,7 +14,6 @@ use crate::seq_skiplist::SeqSkipList;
 use lr_machine::ThreadCtx;
 use lr_sim_core::Addr;
 use lr_sim_mem::SimMemory;
-use rand::Rng;
 
 /// Lease usage variant.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

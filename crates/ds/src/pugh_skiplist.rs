@@ -20,7 +20,6 @@
 use lr_machine::ThreadCtx;
 use lr_sim_core::Addr;
 use lr_sim_mem::SimMemory;
-use rand::Rng;
 
 /// Maximum tower height of the concurrent skiplist.
 pub const MAX_LEVEL_C: usize = 6;
@@ -69,7 +68,7 @@ impl LockingSkipList {
     }
 
     fn random_level(ctx: &mut ThreadCtx) -> usize {
-        let r: u64 = ctx.rng().gen();
+        let r: u64 = ctx.rng().next_u64();
         ((r.trailing_ones() as usize) + 1).min(MAX_LEVEL_C)
     }
 

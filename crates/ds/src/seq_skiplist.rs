@@ -9,7 +9,6 @@
 use lr_machine::ThreadCtx;
 use lr_sim_core::Addr;
 use lr_sim_mem::SimMemory;
-use rand::Rng;
 
 /// Maximum tower height.
 pub const MAX_LEVEL: usize = 8;
@@ -40,7 +39,7 @@ impl SeqSkipList {
     }
 
     fn random_level(ctx: &mut ThreadCtx) -> usize {
-        let r: u64 = ctx.rng().gen();
+        let r: u64 = ctx.rng().next_u64();
         ((r.trailing_ones() as usize) + 1).min(MAX_LEVEL)
     }
 

@@ -1,10 +1,10 @@
-//! Property tests for the data structures: model-based single-thread
+//! Randomized tests for the data structures: model-based single-thread
 //! checks and multiset-preservation under randomized concurrent
-//! schedules.
+//! schedules, driven by the in-tree [`SplitMix64`] generator.
 
 use lr_ds::*;
 use lr_machine::{Machine, SystemConfig, ThreadCtx, ThreadFn};
-use proptest::prelude::*;
+use lr_sim_core::SplitMix64;
 use std::collections::{BTreeMap, BTreeSet, HashSet};
 use std::sync::{Arc, Mutex};
 
@@ -19,20 +19,27 @@ enum SetOp {
     Contains(u16),
 }
 
-fn set_op() -> impl Strategy<Value = SetOp> {
-    prop_oneof![
-        (1u16..200).prop_map(SetOp::Insert),
-        (1u16..200).prop_map(SetOp::Remove),
-        (1u16..200).prop_map(SetOp::Contains),
-    ]
+fn random_set_op(rng: &mut SplitMix64) -> SetOp {
+    let k = rng.gen_range(1u16..200);
+    match rng.gen_range(0u8..3) {
+        0 => SetOp::Insert(k),
+        1 => SetOp::Remove(k),
+        _ => SetOp::Contains(k),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
+fn random_set_ops(rng: &mut SplitMix64, max: usize) -> Vec<SetOp> {
+    let n = rng.gen_range(1usize..max);
+    (0..n).map(|_| random_set_op(rng)).collect()
+}
 
-    /// Harris list behaves exactly like BTreeSet for a single thread.
-    #[test]
-    fn harris_list_matches_btreeset(ops in proptest::collection::vec(set_op(), 1..80)) {
+/// Harris list behaves exactly like BTreeSet for a single thread.
+#[test]
+fn harris_list_matches_btreeset() {
+    for case in 0..16u64 {
+        let mut rng = SplitMix64::new(0xd5_0000 + case);
+        let ops = random_set_ops(&mut rng, 80);
+
         let mut m = Machine::new(cfg(1));
         let l = m.setup(|mem| HarrisList::init(mem, false));
         let results: Arc<Mutex<Vec<bool>>> = Arc::new(Mutex::new(Vec::new()));
@@ -59,12 +66,17 @@ proptest! {
                 SetOp::Contains(k) => model.contains(&k),
             })
             .collect();
-        prop_assert_eq!(&*results.lock().unwrap(), &expected);
+        assert_eq!(&*results.lock().unwrap(), &expected, "case {case}");
     }
+}
 
-    /// The locking skiplist matches BTreeSet for a single thread.
-    #[test]
-    fn locking_skiplist_matches_btreeset(ops in proptest::collection::vec(set_op(), 1..60)) {
+/// The locking skiplist matches BTreeSet for a single thread.
+#[test]
+fn locking_skiplist_matches_btreeset() {
+    for case in 0..16u64 {
+        let mut rng = SplitMix64::new(0xd5_1000 + case);
+        let ops = random_set_ops(&mut rng, 60);
+
         let mut m = Machine::new(cfg(1));
         let sl = m.setup(LockingSkipList::init);
         let results: Arc<Mutex<Vec<bool>>> = Arc::new(Mutex::new(Vec::new()));
@@ -91,13 +103,19 @@ proptest! {
                 SetOp::Contains(k) => model.contains(&k),
             })
             .collect();
-        prop_assert_eq!(&*results.lock().unwrap(), &expected);
+        assert_eq!(&*results.lock().unwrap(), &expected, "case {case}");
     }
+}
 
-    /// The sequential skiplist drains like a BTreeMap-backed priority
-    /// queue (duplicates included).
-    #[test]
-    fn seq_skiplist_matches_heap(keys in proptest::collection::vec(1u64..500, 1..80)) {
+/// The sequential skiplist drains like a BTreeMap-backed priority
+/// queue (duplicates included).
+#[test]
+fn seq_skiplist_matches_heap() {
+    for case in 0..16u64 {
+        let mut rng = SplitMix64::new(0xd5_2000 + case);
+        let n = rng.gen_range(1usize..80);
+        let keys: Vec<u64> = (0..n).map(|_| rng.gen_range(1u64..500)).collect();
+
         let mut m = Machine::new(cfg(1));
         let sl = m.setup(SeqSkipList::init);
         let drained: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
@@ -123,19 +141,25 @@ proptest! {
             .into_iter()
             .flat_map(|(k, n)| std::iter::repeat_n(k, n))
             .collect();
-        prop_assert_eq!(&*drained.lock().unwrap(), &expected);
+        assert_eq!(&*drained.lock().unwrap(), &expected, "case {case}");
     }
+}
 
-    /// Concurrent stack schedules preserve the multiset: every popped
-    /// value was pushed exactly once, across all variants.
-    #[test]
-    fn stack_multiset_preserved(
-        seed in any::<u64>(),
-        threads in 2usize..5,
-        per in 5u64..25,
-        variant_idx in 0usize..3,
-    ) {
-        let variant = [StackVariant::Base, StackVariant::Backoff, StackVariant::Leased][variant_idx];
+/// Concurrent stack schedules preserve the multiset: every popped
+/// value was pushed exactly once, across all variants.
+#[test]
+fn stack_multiset_preserved() {
+    for case in 0..16u64 {
+        let mut rng = SplitMix64::new(0xd5_3000 + case);
+        let seed = rng.next_u64();
+        let threads = rng.gen_range(2usize..5);
+        let per = rng.gen_range(5u64..25);
+        let variant = [
+            StackVariant::Base,
+            StackVariant::Backoff,
+            StackVariant::Leased,
+        ][rng.gen_range(0usize..3)];
+
         let mut config = cfg(threads);
         config.seed = seed;
         let mut m = Machine::new(config);
@@ -160,14 +184,14 @@ proptest! {
         m.run(progs);
         let popped = popped.lock().unwrap();
         let unique: HashSet<u64> = popped.iter().copied().collect();
-        prop_assert_eq!(unique.len(), popped.len(), "duplicate pop");
+        assert_eq!(unique.len(), popped.len(), "case {case}: duplicate pop");
         // At most one pop per push; a pop may observe an empty stack if a
         // racing thread drained it first.
-        prop_assert!(popped.len() as u64 <= threads as u64 * per);
+        assert!(popped.len() as u64 <= threads as u64 * per, "case {case}");
         for v in popped.iter() {
             let tid = v / 100_000 - 1;
-            prop_assert!(tid < threads as u64, "alien value {}", v);
-            prop_assert!(v % 100_000 < per);
+            assert!(tid < threads as u64, "case {case}: alien value {v}");
+            assert!(v % 100_000 < per, "case {case}");
         }
     }
 }

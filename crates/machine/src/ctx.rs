@@ -1,11 +1,9 @@
 //! The worker-side simulated-instruction API.
 
 use crate::proto::{Op, Reply, Request};
-use crossbeam::channel::{Receiver, Sender};
 use lr_lease::LeaseOps;
-use lr_sim_core::{Addr, Cycle, LeaseConfig};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use lr_sim_core::{Addr, Cycle, LeaseConfig, SplitMix64};
+use std::sync::mpsc::{Receiver, Sender};
 
 /// Per-thread handle to the simulated machine.
 ///
@@ -19,7 +17,7 @@ pub struct ThreadCtx {
     lease_cfg: LeaseConfig,
     req: Sender<Request>,
     reply: Receiver<Reply>,
-    rng: SmallRng,
+    rng: SplitMix64,
     instructions: u64,
     ops: u64,
 }
@@ -40,7 +38,7 @@ impl ThreadCtx {
             lease_cfg,
             req,
             reply,
-            rng: SmallRng::seed_from_u64(seed ^ (tid as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+            rng: SplitMix64::new(seed ^ (tid as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
             instructions: 0,
             ops: 0,
         }
@@ -62,7 +60,7 @@ impl ThreadCtx {
     }
 
     /// Deterministic per-thread RNG for workload decisions.
-    pub fn rng(&mut self) -> &mut SmallRng {
+    pub fn rng(&mut self) -> &mut SplitMix64 {
         &mut self.rng
     }
 

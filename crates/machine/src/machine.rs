@@ -10,12 +10,13 @@
 
 use crate::ctx::ThreadCtx;
 use crate::proto::{Op, Reply, Request, ALLOC_COST};
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use lr_coherence::{AccessKind, CohContext, CohEvent, CoherenceEngine, ProbeAction};
 use lr_lease::{BeginLease, LeaseTable, MultiLeaseBegin, ReleaseOutcome};
+use lr_sim_core::trace::{TraceEvent, TraceRing, TraceSink};
 use lr_sim_core::{CoreId, Cycle, EventQueue, LineAddr, MachineStats, SystemConfig};
 use lr_sim_mem::SimMemory;
 use std::panic::AssertUnwindSafe;
+use std::sync::mpsc::{channel, Receiver, Sender};
 
 /// A workload thread: a closure over the simulated-instruction API.
 pub type ThreadFn = Box<dyn FnOnce(&mut ThreadCtx) + Send + 'static>;
@@ -86,11 +87,22 @@ struct Shared {
     to_pin: Vec<(CoreId, LineAddr)>,
     deferred_release: Vec<(CoreId, LineAddr)>,
     prioritization: bool,
+    /// Structured trace window (depth 0 = off) fed by both the engine
+    /// (through the [`CohContext`] hooks) and the machine loop itself.
+    trace: TraceRing,
 }
 
 impl CohContext for Shared {
     fn schedule(&mut self, delay: Cycle, ev: CohEvent) {
         self.queue.push_at(self.base + delay, Ev::Coh(ev));
+    }
+
+    fn tracing(&self) -> bool {
+        self.trace.enabled()
+    }
+
+    fn trace(&mut self, now: Cycle, ev: TraceEvent) {
+        self.trace.record(now, ev);
     }
 
     fn xact_completed(&mut self, token: u64, now: Cycle) {
@@ -249,8 +261,11 @@ impl Machine {
         }
     }
 
-    /// Keep a ring buffer of the last `depth` engine events and include
-    /// it in watchdog/deadlock panics (0 = off, the default).
+    /// Keep a ring of the last `depth` structured protocol/machine trace
+    /// events ([`lr_sim_core::TraceEvent`]) and include the window in the
+    /// failure report emitted on watchdog trips, deadlocks, or invariant
+    /// violations (0 = off, the default). Events are plain `Copy` records;
+    /// nothing is formatted unless a report is actually printed.
     pub fn with_trace(mut self, depth: usize) -> Self {
         self.trace_depth = depth;
         self
@@ -281,8 +296,6 @@ impl Machine {
     pub fn run_with_memory(self, programs: Vec<ThreadFn>) -> (MachineStats, SimMemory) {
         let n = programs.len();
         let trace_depth = self.trace_depth;
-        let mut trace: std::collections::VecDeque<String> =
-            std::collections::VecDeque::with_capacity(trace_depth);
         let cfg = self.cfg;
         assert!(n >= 1, "no workload threads");
         assert!(
@@ -304,14 +317,15 @@ impl Machine {
             to_pin: Vec::new(),
             deferred_release: Vec::new(),
             prioritization: cfg.lease.prioritization,
+            trace: TraceRing::new(trace_depth),
         };
 
         let mut req_rx: Vec<Receiver<Request>> = Vec::with_capacity(n);
         let mut reply_tx: Vec<Sender<Reply>> = Vec::with_capacity(n);
         let mut handles = Vec::with_capacity(n);
         for (tid, f) in programs.into_iter().enumerate() {
-            let (rtx, rrx) = unbounded::<Request>();
-            let (ptx, prx) = unbounded::<Reply>();
+            let (rtx, rrx) = channel::<Request>();
+            let (ptx, prx) = channel::<Reply>();
             let mut tctx = ThreadCtx::new(
                 tid,
                 cfg.instruction_cost,
@@ -336,101 +350,116 @@ impl Machine {
         let mut exit_ops = vec![0u64; n];
         let mut panicked: Vec<usize> = Vec::new();
 
-        while let Some((t, ev)) = shared.queue.pop() {
-            if trace_depth > 0 {
-                if trace.len() == trace_depth {
-                    trace.pop_front();
-                }
-                trace.push_back(format!("t={t} {ev:?}"));
-            }
-            assert!(
-                t <= cfg.watchdog_max_cycles,
-                "watchdog: simulated time exceeded {} cycles (livelock?)",
-                cfg.watchdog_max_cycles
-            );
-            assert!(
-                shared.queue.processed() <= cfg.watchdog_max_events,
-                "watchdog: event budget exceeded"
-            );
-            match ev {
-                Ev::Start(tid) => {
-                    Self::await_request(
-                        tid,
-                        &req_rx,
-                        &mut shared,
-                        &mut pending,
-                        &mut live,
-                        &mut finish_time,
-                        &mut exit_inst,
-                        &mut exit_ops,
-                        &mut panicked,
-                    );
-                }
-                Ev::OpStart(tid) => {
-                    let Some(Pending::Incoming(op)) = pending[tid].take() else {
-                        panic!("OpStart without incoming op for thread {tid}")
-                    };
-                    Self::start_op(
-                        tid,
-                        t,
-                        op,
-                        &cfg,
-                        &mut engine,
-                        &mut shared,
-                        &mut mem,
-                        &mut pending,
-                    );
-                }
-                Ev::OpComplete(tid) => {
-                    Self::complete_op(
-                        tid,
-                        t,
-                        &mut engine,
-                        &mut shared,
-                        &mut mem,
-                        &mut pending,
-                        &reply_tx,
-                        &req_rx,
-                        &mut live,
-                        &mut finish_time,
-                        &mut exit_inst,
-                        &mut exit_ops,
-                        &mut panicked,
-                    );
-                }
-                Ev::Coh(e) => {
-                    shared.base = t;
-                    engine.handle(t, e, &mut shared);
-                    Self::drain(t, &mut engine, &mut shared);
-                }
-                Ev::Expiry {
-                    core,
-                    line,
-                    generation,
-                } => {
-                    let lines = shared.tables[core.idx()].on_expiry(line, generation);
-                    if !lines.is_empty() {
-                        shared.lc[core.idx()].involuntary += lines.len() as u64;
-                        for l in lines {
-                            shared.base = t;
-                            engine.lease_released(t, core, l, &mut shared);
+        // Any panic inside the event loop — watchdog trip, protocol
+        // assertion, invariant violation, deadlock at drain — is caught
+        // and re-raised as one coherent report: the failure reason, the
+        // trace window, the in-flight protocol state, and every core's
+        // lease table.
+        let loop_result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            while let Some((t, ev)) = shared.queue.pop() {
+                assert!(
+                    t <= cfg.watchdog_max_cycles,
+                    "watchdog: simulated time exceeded {} cycles (livelock?)",
+                    cfg.watchdog_max_cycles
+                );
+                assert!(
+                    shared.queue.processed() <= cfg.watchdog_max_events,
+                    "watchdog: event budget exceeded"
+                );
+                match ev {
+                    Ev::Start(tid) => {
+                        Self::await_request(
+                            tid,
+                            &req_rx,
+                            &mut shared,
+                            &mut pending,
+                            &mut live,
+                            &mut finish_time,
+                            &mut exit_inst,
+                            &mut exit_ops,
+                            &mut panicked,
+                        );
+                    }
+                    Ev::OpStart(tid) => {
+                        if shared.trace.enabled() {
+                            shared.trace.record(t, TraceEvent::OpStart { tid });
                         }
+                        let Some(Pending::Incoming(op)) = pending[tid].take() else {
+                            panic!("OpStart without incoming op for thread {tid}")
+                        };
+                        Self::start_op(
+                            tid,
+                            t,
+                            op,
+                            &cfg,
+                            &mut engine,
+                            &mut shared,
+                            &mut mem,
+                            &mut pending,
+                        );
+                    }
+                    Ev::OpComplete(tid) => {
+                        if shared.trace.enabled() {
+                            shared.trace.record(t, TraceEvent::OpComplete { tid });
+                        }
+                        Self::complete_op(
+                            tid,
+                            t,
+                            &mut engine,
+                            &mut shared,
+                            &mut mem,
+                            &mut pending,
+                            &reply_tx,
+                            &req_rx,
+                            &mut live,
+                            &mut finish_time,
+                            &mut exit_inst,
+                            &mut exit_ops,
+                            &mut panicked,
+                        );
+                    }
+                    Ev::Coh(e) => {
+                        shared.base = t;
+                        engine.handle(t, e, &mut shared);
                         Self::drain(t, &mut engine, &mut shared);
+                    }
+                    Ev::Expiry {
+                        core,
+                        line,
+                        generation,
+                    } => {
+                        let lines = shared.tables[core.idx()].on_expiry(line, generation);
+                        if !lines.is_empty() {
+                            shared.lc[core.idx()].involuntary += lines.len() as u64;
+                            for l in lines {
+                                if shared.trace.enabled() {
+                                    shared
+                                        .trace
+                                        .record(t, TraceEvent::LeaseExpired { core, line: l });
+                                }
+                                shared.base = t;
+                                engine.lease_released(t, core, l, &mut shared);
+                            }
+                            Self::drain(t, &mut engine, &mut shared);
+                        }
                     }
                 }
             }
-        }
 
-        assert_eq!(
-            live,
-            0,
-            "simulation deadlock: event queue drained with {live} threads blocked\n\
-             pending: {pending:?}\nprotocol:\n{}\nlast events:\n{}",
-            engine.debug_dump(),
-            trace.iter().cloned().collect::<Vec<_>>().join("\n")
-        );
-        assert_eq!(engine.in_flight(), 0);
-        engine.check_invariants();
+            assert_eq!(
+                live, 0,
+                "simulation deadlock: event queue drained with {live} threads blocked"
+            );
+            assert_eq!(engine.in_flight(), 0);
+            engine.check_invariants();
+        }));
+        if let Err(payload) = loop_result {
+            let reason = panic_payload_msg(payload.as_ref());
+            panic!(
+                "{}",
+                render_failure_report(&reason, &shared, &engine, &pending)
+            );
+        }
 
         for h in handles {
             let _ = h.join();
@@ -601,6 +630,16 @@ impl Machine {
                 };
                 shared.lc[tid].voluntary += lines.len() as u64;
                 for l in lines {
+                    if shared.trace.enabled() {
+                        shared.trace.record(
+                            t,
+                            TraceEvent::LeaseReleased {
+                                core,
+                                line: l,
+                                voluntary: true,
+                            },
+                        );
+                    }
                     shared.base = t;
                     engine.lease_released(t, core, l, shared);
                 }
@@ -661,6 +700,16 @@ impl Machine {
                 let lines = shared.tables[tid].release_all();
                 shared.lc[tid].voluntary += lines.len() as u64;
                 for l in lines {
+                    if shared.trace.enabled() {
+                        shared.trace.record(
+                            t,
+                            TraceEvent::LeaseReleased {
+                                core,
+                                line: l,
+                                voluntary: true,
+                            },
+                        );
+                    }
                     shared.base = t;
                     engine.lease_released(t, core, l, shared);
                 }
@@ -799,4 +848,70 @@ impl Machine {
             panicked,
         );
     }
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_payload_msg(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        String::from("<non-string panic payload>")
+    }
+}
+
+/// One coherent diagnosis of a failed simulation: the failure reason, the
+/// structured trace window, the engine's in-flight protocol state, and
+/// every core's lease table.
+fn render_failure_report(
+    reason: &str,
+    shared: &Shared,
+    engine: &CoherenceEngine,
+    pending: &[Option<Pending>],
+) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    let _ = writeln!(s, "==== simulation failure report ====");
+    let _ = writeln!(s, "reason: {reason}");
+    let _ = writeln!(s, "-- trace window --");
+    if shared.trace.enabled() {
+        let _ = writeln!(
+            s,
+            "  ({} retained of {} recorded events)",
+            shared.trace.len(),
+            shared.trace.recorded()
+        );
+        s.push_str(&shared.trace.render());
+    } else {
+        let _ = writeln!(
+            s,
+            "  (tracing off; build the machine with Machine::with_trace(depth) to capture events)"
+        );
+    }
+    let _ = writeln!(s, "-- in-flight protocol state --");
+    let dump = engine.debug_dump();
+    if dump.is_empty() {
+        let _ = writeln!(s, "  (quiescent)");
+    } else {
+        s.push_str(&dump);
+    }
+    let _ = writeln!(s, "-- lease tables --");
+    for (i, tbl) in shared.tables.iter().enumerate() {
+        let _ = writeln!(s, " core{i}:");
+        s.push_str(&tbl.debug_dump());
+    }
+    let _ = writeln!(s, "-- pending ops --");
+    let mut any = false;
+    for (tid, p) in pending.iter().enumerate() {
+        if let Some(p) = p {
+            any = true;
+            let _ = writeln!(s, "  tid{tid}: {p:?}");
+        }
+    }
+    if !any {
+        let _ = writeln!(s, "  (none)");
+    }
+    let _ = writeln!(s, "===================================");
+    s
 }

@@ -1,9 +1,9 @@
-//! Property tests at the whole-machine level: memory semantics and
-//! lease-pattern robustness under randomized programs.
+//! Randomized tests at the whole-machine level: memory semantics and
+//! lease-pattern robustness under randomized programs, driven by the
+//! in-tree [`SplitMix64`] generator.
 
 use lr_machine::{Machine, SystemConfig, ThreadCtx, ThreadFn};
-use lr_sim_core::Addr;
-use proptest::prelude::*;
+use lr_sim_core::{Addr, SplitMix64};
 use std::sync::{Arc, Mutex};
 
 #[derive(Debug, Clone)]
@@ -15,32 +15,43 @@ enum SeqOp {
     Xchg { slot: u8, val: u64 },
 }
 
-fn seq_op() -> impl Strategy<Value = SeqOp> {
-    prop_oneof![
-        (any::<u8>(), any::<u64>()).prop_map(|(slot, val)| SeqOp::Write { slot, val }),
-        any::<u8>().prop_map(|slot| SeqOp::Read { slot }),
-        (any::<u8>(), 0u64..4, any::<u64>()).prop_map(|(slot, expected, new)| SeqOp::Cas {
+fn random_seq_op(rng: &mut SplitMix64) -> SeqOp {
+    let slot = (rng.next_u64() & 0xff) as u8;
+    match rng.gen_range(0u8..5) {
+        0 => SeqOp::Write {
             slot,
-            expected,
-            new
-        }),
-        (any::<u8>(), any::<u32>()).prop_map(|(slot, delta)| SeqOp::Faa { slot, delta }),
-        (any::<u8>(), any::<u64>()).prop_map(|(slot, val)| SeqOp::Xchg { slot, val }),
-    ]
+            val: rng.next_u64(),
+        },
+        1 => SeqOp::Read { slot },
+        2 => SeqOp::Cas {
+            slot,
+            expected: rng.gen_range(0u64..4),
+            new: rng.next_u64(),
+        },
+        3 => SeqOp::Faa {
+            slot,
+            delta: (rng.next_u64() & 0xffff_ffff) as u32,
+        },
+        _ => SeqOp::Xchg {
+            slot,
+            val: rng.next_u64(),
+        },
+    }
 }
 
-proptest! {
+/// A single simulated thread sees exactly the semantics of a plain
+/// array: the cache hierarchy and coherence protocol must be
+/// transparent to data values.
+#[test]
+fn single_thread_memory_is_an_array() {
     // Machine runs are comparatively slow; keep the case counts modest.
-    #![proptest_config(ProptestConfig::with_cases(24))]
+    for case in 0..24u64 {
+        let mut rng = SplitMix64::new(0x3_ac41_0000 + case);
+        let nops = rng.gen_range(1usize..60);
+        let ops: Vec<SeqOp> = (0..nops).map(|_| random_seq_op(&mut rng)).collect();
 
-    /// A single simulated thread sees exactly the semantics of a plain
-    /// array: the cache hierarchy and coherence protocol must be
-    /// transparent to data values.
-    #[test]
-    fn single_thread_memory_is_an_array(ops in proptest::collection::vec(seq_op(), 1..60)) {
         let mut m = Machine::new(SystemConfig::with_cores(1));
-        let slots: Vec<Addr> =
-            m.setup(|mem| (0..8).map(|_| mem.alloc_line_aligned(8)).collect());
+        let slots: Vec<Addr> = m.setup(|mem| (0..8).map(|_| mem.alloc_line_aligned(8)).collect());
         let trace: Arc<Mutex<Vec<u64>>> = Arc::new(Mutex::new(Vec::new()));
         let trace2 = trace.clone();
         let ops2 = ops.clone();
@@ -51,16 +62,18 @@ proptest! {
                 match *op {
                     SeqOp::Write { slot, val } => ctx.write(slots2[slot as usize % 8], val),
                     SeqOp::Read { slot } => out.push(ctx.read(slots2[slot as usize % 8])),
-                    SeqOp::Cas { slot, expected, new } => {
+                    SeqOp::Cas {
+                        slot,
+                        expected,
+                        new,
+                    } => {
                         let (_, old) = ctx.cas_val(slots2[slot as usize % 8], expected, new);
                         out.push(old);
                     }
                     SeqOp::Faa { slot, delta } => {
                         out.push(ctx.faa(slots2[slot as usize % 8], delta as u64))
                     }
-                    SeqOp::Xchg { slot, val } => {
-                        out.push(ctx.xchg(slots2[slot as usize % 8], val))
-                    }
+                    SeqOp::Xchg { slot, val } => out.push(ctx.xchg(slots2[slot as usize % 8], val)),
                 }
             }
             trace2.lock().unwrap().extend(out);
@@ -73,7 +86,11 @@ proptest! {
             match *op {
                 SeqOp::Write { slot, val } => model[slot as usize % 8] = val,
                 SeqOp::Read { slot } => expected_out.push(model[slot as usize % 8]),
-                SeqOp::Cas { slot, expected, new } => {
+                SeqOp::Cas {
+                    slot,
+                    expected,
+                    new,
+                } => {
                     let s = slot as usize % 8;
                     expected_out.push(model[s]);
                     if model[s] == expected {
@@ -92,20 +109,33 @@ proptest! {
                 }
             }
         }
-        prop_assert_eq!(&*trace.lock().unwrap(), &expected_out);
+        assert_eq!(&*trace.lock().unwrap(), &expected_out, "case {case}");
     }
+}
 
-    /// Concurrent increments with arbitrary per-thread lease decorations
-    /// (lease or not, random durations, forgotten releases) never lose an
-    /// update and never deadlock: leases are advisory.
-    #[test]
-    fn random_lease_patterns_preserve_counts(
-        plans in proptest::collection::vec(
-            proptest::collection::vec((any::<bool>(), 1u64..3000, any::<bool>()), 5..25),
-            2..5
-        )
-    ) {
-        let threads = plans.len();
+/// Concurrent increments with arbitrary per-thread lease decorations
+/// (lease or not, random durations, forgotten releases) never lose an
+/// update and never deadlock: leases are advisory.
+#[test]
+fn random_lease_patterns_preserve_counts() {
+    for case in 0..24u64 {
+        let mut rng = SplitMix64::new(0x3_ac41_1000 + case);
+        let threads = rng.gen_range(2usize..5);
+        let plans: Vec<Vec<(bool, u64, bool)>> = (0..threads)
+            .map(|_| {
+                let n = rng.gen_range(5usize..25);
+                (0..n)
+                    .map(|_| {
+                        (
+                            rng.gen_bool(0.5),
+                            rng.gen_range(1u64..3000),
+                            rng.gen_bool(0.5),
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+
         let mut m = Machine::new(SystemConfig::with_cores(threads));
         let cell = m.setup(|mem| mem.alloc_line_aligned(8));
         let total: u64 = plans.iter().map(|p| p.len() as u64).sum();
@@ -132,23 +162,32 @@ proptest! {
             })
             .collect();
         let (_, mem) = m.run_with_memory(progs);
-        prop_assert_eq!(mem.read_word(cell), total);
+        assert_eq!(mem.read_word(cell), total, "case {case}");
     }
+}
 
-    /// Random MultiLease groups over a small set of lines, issued by
-    /// several threads, complete without deadlock and keep per-line sums
-    /// exact (Proposition 3, stress-tested).
-    #[test]
-    fn random_multilease_groups_terminate_and_are_atomic(
-        plans in proptest::collection::vec(
-            proptest::collection::vec(proptest::collection::vec(0usize..5, 1..4), 3..12),
-            2..5
-        )
-    ) {
-        let threads = plans.len();
+/// Random MultiLease groups over a small set of lines, issued by
+/// several threads, complete without deadlock and keep per-line sums
+/// exact (Proposition 3, stress-tested).
+#[test]
+fn random_multilease_groups_terminate_and_are_atomic() {
+    for case in 0..24u64 {
+        let mut rng = SplitMix64::new(0x3_ac41_2000 + case);
+        let threads = rng.gen_range(2usize..5);
+        let plans: Vec<Vec<Vec<usize>>> = (0..threads)
+            .map(|_| {
+                let n = rng.gen_range(3usize..12);
+                (0..n)
+                    .map(|_| {
+                        let g = rng.gen_range(1usize..4);
+                        (0..g).map(|_| rng.gen_range(0usize..5)).collect()
+                    })
+                    .collect()
+            })
+            .collect();
+
         let mut m = Machine::new(SystemConfig::with_cores(threads));
-        let lines: Vec<Addr> =
-            m.setup(|mem| (0..5).map(|_| mem.alloc_line_aligned(8)).collect());
+        let lines: Vec<Addr> = m.setup(|mem| (0..5).map(|_| mem.alloc_line_aligned(8)).collect());
         let mut expected = [0u64; 5];
         for plan in &plans {
             for group in plan {
@@ -187,7 +226,11 @@ proptest! {
             .collect();
         let (_, mem) = m.run_with_memory(progs);
         for (i, &line) in lines.iter().enumerate() {
-            prop_assert_eq!(mem.read_word(line), expected[i], "line {} sum wrong", i);
+            assert_eq!(
+                mem.read_word(line),
+                expected[i],
+                "case {case}: line {i} sum wrong"
+            );
         }
     }
 }

@@ -370,7 +370,6 @@ fn deterministic_same_seed_same_stats() {
             .collect();
         m.run(progs).summary()
     };
-    use rand::RngCore;
     let _ = &run; // silence unused-trait-import pattern
     assert_eq!(run(), run(), "same seed must give identical statistics");
 }
@@ -520,6 +519,43 @@ fn malloc_and_free_roundtrip() {
         assert_eq!(ctx.read(q), 0, "recycled memory must be zeroed");
     })];
     m.run(progs);
+}
+
+#[test]
+fn watchdog_trip_emits_structured_failure_report() {
+    // A livelocked program trips the cycle watchdog; instead of a bare
+    // panic the machine must emit one coherent report: the trace window,
+    // the coherence engine's in-flight dump, and every lease table.
+    let mut config = cfg(2);
+    config.watchdog_max_cycles = 20_000;
+    let mut m = Machine::new(config).with_trace(64);
+    let a = m.setup(|mem| mem.alloc_line_aligned(8));
+    let progs: Vec<ThreadFn> = vec![Box::new(move |ctx| {
+        // Hold a lease (so the report has lease-table content) and spin
+        // past the watchdog limit.
+        ctx.lease(a, 1_000_000);
+        loop {
+            ctx.read(a);
+            ctx.work(100);
+        }
+    })];
+    let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| m.run(progs)))
+        .expect_err("watchdog must trip");
+    let msg = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .expect("report is a String payload");
+    assert!(msg.contains("simulation failure report"), "{msg}");
+    assert!(msg.contains("watchdog"), "{msg}");
+    assert!(msg.contains("-- trace window --"), "{msg}");
+    assert!(msg.contains("-- in-flight protocol state --"), "{msg}");
+    assert!(msg.contains("-- lease tables --"), "{msg}");
+    assert!(msg.contains("-- pending ops --"), "{msg}");
+    // The trace window actually captured protocol events.
+    assert!(
+        msg.contains("GrantArrive") || msg.contains("OpStart"),
+        "{msg}"
+    );
 }
 
 #[test]

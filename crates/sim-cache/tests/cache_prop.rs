@@ -1,9 +1,9 @@
-//! Property tests for the set-associative cache model, checked against a
-//! reference model (per-set vectors with explicit LRU ordering).
+//! Randomized tests for the set-associative cache model, checked against a
+//! reference model (per-set vectors with explicit LRU ordering) and driven
+//! by the in-tree [`SplitMix64`] generator.
 
 use lr_sim_cache::{Inserted, SetAssocCache};
-use lr_sim_core::LineAddr;
-use proptest::prelude::*;
+use lr_sim_core::{LineAddr, SplitMix64};
 use std::collections::HashMap;
 
 #[derive(Debug, Clone)]
@@ -14,13 +14,14 @@ enum Cmd {
     Pin(u64, bool),
 }
 
-fn cmd() -> impl Strategy<Value = Cmd> {
-    prop_oneof![
-        (0u64..64).prop_map(Cmd::Insert),
-        (0u64..64).prop_map(Cmd::Touch),
-        (0u64..64).prop_map(Cmd::Remove),
-        ((0u64..64), any::<bool>()).prop_map(|(l, p)| Cmd::Pin(l, p)),
-    ]
+fn random_cmd(rng: &mut SplitMix64) -> Cmd {
+    let l = rng.gen_range(0u64..64);
+    match rng.gen_range(0u8..4) {
+        0 => Cmd::Insert(l),
+        1 => Cmd::Touch(l),
+        2 => Cmd::Remove(l),
+        _ => Cmd::Pin(l, rng.gen_bool(0.5)),
+    }
 }
 
 /// Reference model: per set, a vector of (line, pinned) in LRU→MRU order.
@@ -68,42 +69,46 @@ impl Model {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn cache_matches_reference_model(cmds in proptest::collection::vec(cmd(), 1..150)) {
+#[test]
+fn cache_matches_reference_model() {
+    for case in 0..256u64 {
+        let mut rng = SplitMix64::new(0xc_ac4e_0000 + case);
+        let steps = rng.gen_range(1usize..150);
         let (num_sets, ways) = (4usize, 3usize);
         let mut cache: SetAssocCache<u64> = SetAssocCache::new(num_sets, ways);
-        let mut model = Model { num_sets, ways, ..Model::default() };
+        let mut model = Model {
+            num_sets,
+            ways,
+            ..Model::default()
+        };
 
-        for c in cmds {
-            match c {
+        for _ in 0..steps {
+            match random_cmd(&mut rng) {
                 Cmd::Insert(l) => {
                     if model.find(l).is_some() {
                         continue; // cache forbids double insert
                     }
                     let got = cache.insert(LineAddr(l), l);
                     match model.insert(l) {
-                        None => prop_assert_eq!(got, Inserted::AllPinned),
-                        Some(None) => prop_assert_eq!(got, Inserted::NoVictim),
+                        None => assert_eq!(got, Inserted::AllPinned),
+                        Some(None) => assert_eq!(got, Inserted::NoVictim),
                         Some(Some(victim)) => {
-                            prop_assert_eq!(got, Inserted::Evicted(LineAddr(victim), victim));
+                            assert_eq!(got, Inserted::Evicted(LineAddr(victim), victim));
                         }
                     }
                 }
                 Cmd::Touch(l) => {
                     let got = cache.touch(LineAddr(l)).is_some();
-                    prop_assert_eq!(got, model.touch(l));
+                    assert_eq!(got, model.touch(l));
                 }
                 Cmd::Remove(l) => {
                     let got = cache.remove(LineAddr(l));
                     match model.find(l) {
                         Some((s, i)) => {
                             model.sets.get_mut(&s).unwrap().remove(i);
-                            prop_assert_eq!(got, Some(l));
+                            assert_eq!(got, Some(l));
                         }
-                        None => prop_assert_eq!(got, None),
+                        None => assert_eq!(got, None),
                     }
                 }
                 Cmd::Pin(l, p) => {
@@ -111,23 +116,23 @@ proptest! {
                     match model.find(l) {
                         Some((s, i)) => {
                             model.sets.get_mut(&s).unwrap()[i].1 = p;
-                            prop_assert!(got);
+                            assert!(got);
                         }
-                        None => prop_assert!(!got),
+                        None => assert!(!got),
                     }
                 }
             }
             // Global invariants after every step.
             let mut count = 0;
             for (s, v) in &model.sets {
-                prop_assert!(v.len() <= ways, "set {s} over-full");
+                assert!(v.len() <= ways, "set {s} over-full");
                 count += v.len();
                 for &(l, p) in v {
-                    prop_assert!(cache.contains(LineAddr(l)));
-                    prop_assert_eq!(cache.is_pinned(LineAddr(l)), p);
+                    assert!(cache.contains(LineAddr(l)));
+                    assert_eq!(cache.is_pinned(LineAddr(l)), p);
                 }
             }
-            prop_assert_eq!(cache.len(), count);
+            assert_eq!(cache.len(), count);
         }
     }
 }

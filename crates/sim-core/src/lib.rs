@@ -9,11 +9,15 @@
 
 pub mod config;
 pub mod event;
+pub mod rng;
 pub mod stats;
+pub mod trace;
 
 pub use config::{CoherenceProtocol, EnergyModel, LeaseConfig, SystemConfig};
 pub use event::EventQueue;
+pub use rng::SplitMix64;
 pub use stats::{CoreStats, MachineStats};
+pub use trace::{TraceAccess, TraceEvent, TraceRecord, TraceRing, TraceSink};
 
 /// Simulated time, in core cycles (1 GHz ⇒ 1 cycle = 1 ns).
 pub type Cycle = u64;

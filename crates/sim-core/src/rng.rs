@@ -1,0 +1,203 @@
+//! Deterministic in-tree PRNG.
+//!
+//! The simulator promises bit-for-bit reproducibility from
+//! [`SystemConfig::seed`](crate::SystemConfig::seed), so all workload
+//! randomness flows through this small SplitMix64 generator instead of an
+//! external crate: the stream is fixed forever by this file, the workspace
+//! builds with no network access, and there is no hidden entropy source.
+//!
+//! SplitMix64 (Steele, Lea & Flood, "Fast splittable pseudorandom number
+//! generators", OOPSLA 2014) passes BigCrush, needs one u64 of state, and
+//! is trivially seedable — exactly what a simulator's workload RNG needs.
+
+use std::ops::{Range, RangeInclusive};
+
+/// A 64-bit SplitMix64 pseudorandom generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Generator seeded with `seed`. Equal seeds give equal streams.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform float in `[0, 1)` (53 significant bits).
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli draw: true with probability `p`.
+    #[inline]
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p));
+        self.next_f64() < p
+    }
+
+    /// Uniform draw from a half-open or inclusive integer range, e.g.
+    /// `rng.gen_range(0..n)` or `rng.gen_range(1..=6)`.
+    #[inline]
+    pub fn gen_range<T: UniformInt>(&mut self, range: impl SampleRange<T>) -> T {
+        let (lo, hi) = range.lo_hi_inclusive();
+        assert!(lo <= hi, "gen_range: empty range");
+        let span = hi - lo; // inclusive span; span+1 values
+        if span == u64::MAX {
+            return T::from_u64(self.next_u64());
+        }
+        T::from_u64(lo + self.bounded(span + 1))
+    }
+
+    /// Uniform value in `[0, n)` via 128-bit widening multiply
+    /// (deterministic, no rejection loop).
+    #[inline]
+    fn bounded(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.gen_range(0..=i);
+            xs.swap(i, j);
+        }
+    }
+}
+
+/// Integer types [`SplitMix64::gen_range`] can sample.
+pub trait UniformInt: Copy {
+    /// Widen to the sampling domain.
+    fn into_u64(self) -> u64;
+    /// Narrow back from the sampling domain.
+    fn from_u64(v: u64) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            #[inline]
+            fn into_u64(self) -> u64 {
+                self as u64
+            }
+            #[inline]
+            fn from_u64(v: u64) -> Self {
+                v as $t
+            }
+        }
+    )*};
+}
+impl_uniform_int!(u8, u16, u32, u64, usize);
+
+/// Range shapes accepted by [`SplitMix64::gen_range`].
+pub trait SampleRange<T: UniformInt> {
+    /// The range as inclusive `(lo, hi)` bounds in the sampling domain.
+    fn lo_hi_inclusive(&self) -> (u64, u64);
+}
+
+impl<T: UniformInt> SampleRange<T> for Range<T> {
+    fn lo_hi_inclusive(&self) -> (u64, u64) {
+        let lo = self.start.into_u64();
+        let hi = self.end.into_u64();
+        assert!(lo < hi, "gen_range: empty range");
+        (lo, hi - 1)
+    }
+}
+
+impl<T: UniformInt> SampleRange<T> for RangeInclusive<T> {
+    fn lo_hi_inclusive(&self) -> (u64, u64) {
+        ((*self.start()).into_u64(), (*self.end()).into_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_stream() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SplitMix64::new(43);
+        assert_ne!(SplitMix64::new(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn known_answer_vector() {
+        // Reference values from the canonical SplitMix64 (seed = 0).
+        let mut r = SplitMix64::new(0);
+        assert_eq!(r.next_u64(), 0xe220_a839_7b1d_cdaf);
+        assert_eq!(r.next_u64(), 0x6e78_9e6a_a1b9_65f4);
+        assert_eq!(r.next_u64(), 0x06c4_5d18_8009_454f);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = SplitMix64::new(7);
+        for _ in 0..1000 {
+            let x = r.gen_range(3u64..10);
+            assert!((3..10).contains(&x));
+            let y = r.gen_range(0usize..=5);
+            assert!(y <= 5);
+            let z: u8 = r.gen_range(250u8..=255);
+            assert!(z >= 250);
+        }
+        // Degenerate single-value ranges are fine.
+        assert_eq!(r.gen_range(4u32..5), 4);
+        assert_eq!(r.gen_range(9u64..=9), 9);
+    }
+
+    #[test]
+    fn full_domain_inclusive_range() {
+        let mut r = SplitMix64::new(1);
+        // 0..=u64::MAX must not overflow the span arithmetic.
+        let _ = r.gen_range(0u64..=u64::MAX);
+    }
+
+    #[test]
+    fn floats_in_unit_interval() {
+        let mut r = SplitMix64::new(3);
+        let mut acc = 0.0;
+        for _ in 0..1000 {
+            let f = r.next_f64();
+            assert!((0.0..1.0).contains(&f));
+            acc += f;
+        }
+        // Mean of 1000 uniforms is near 0.5.
+        assert!((acc / 1000.0 - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn gen_bool_probability() {
+        let mut r = SplitMix64::new(9);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "got {hits}");
+        assert!(!SplitMix64::new(1).gen_bool(0.0));
+        assert!(SplitMix64::new(1).gen_bool(1.0));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = SplitMix64::new(5);
+        let mut v: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<u32>>());
+    }
+}

@@ -180,6 +180,72 @@ impl MachineStats {
         self.coherence_messages() as f64 / self.app_ops as f64
     }
 
+    /// Serialize the whole stats block as one JSON object (hand-rolled —
+    /// the workspace is dependency-free by design). Every field is an
+    /// integer, so no float-formatting subtleties arise; derived
+    /// per-op metrics are recomputable from the raw counters.
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::with_capacity(1024 + 512 * self.cores.len());
+        s.push('{');
+        let _ = write!(
+            s,
+            "\"total_cycles\":{},\"app_ops\":{},\"dir_requests\":{},\"l2_hits\":{},\
+             \"l2_misses\":{},\"invalidations\":{},\"owner_probes\":{},\"msgs_control\":{},\
+             \"msgs_data\":{},\"flit_hops\":{},\"dir_queue_wait_cycles\":{},\
+             \"max_dir_queue_len\":{}",
+            self.total_cycles,
+            self.app_ops,
+            self.dir_requests,
+            self.l2_hits,
+            self.l2_misses,
+            self.invalidations,
+            self.owner_probes,
+            self.msgs_control,
+            self.msgs_data,
+            self.flit_hops,
+            self.dir_queue_wait_cycles,
+            self.max_dir_queue_len,
+        );
+        s.push_str(",\"cores\":[");
+        for (i, c) in self.cores.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "{{\"instructions\":{},\"l1_hits\":{},\"l1_misses\":{},\"l1_evictions\":{},\
+                 \"l1_writebacks\":{},\"loads\":{},\"stores\":{},\"cas_attempts\":{},\
+                 \"cas_failures\":{},\"rmw_ops\":{},\"mem_stall_cycles\":{},\"leases_taken\":{},\
+                 \"releases_voluntary\":{},\"releases_involuntary\":{},\"lease_overflows\":{},\
+                 \"leases_broken_by_priority\":{},\"multileases\":{},\"probes_received\":{},\
+                 \"probes_queued\":{},\"probe_queued_cycles\":{}}}",
+                c.instructions,
+                c.l1_hits,
+                c.l1_misses,
+                c.l1_evictions,
+                c.l1_writebacks,
+                c.loads,
+                c.stores,
+                c.cas_attempts,
+                c.cas_failures,
+                c.rmw_ops,
+                c.mem_stall_cycles,
+                c.leases_taken,
+                c.releases_voluntary,
+                c.releases_involuntary,
+                c.lease_overflows,
+                c.leases_broken_by_priority,
+                c.multileases,
+                c.probes_received,
+                c.probes_queued,
+                c.probe_queued_cycles,
+            );
+        }
+        s.push_str("]}");
+        s
+    }
+
     /// A compact human-readable summary.
     pub fn summary(&self) -> String {
         let t = self.core_totals();
@@ -260,6 +326,27 @@ mod tests {
         s.msgs_data = 45;
         assert!((s.misses_per_op() - 2.1).abs() < 1e-9);
         assert!((s.messages_per_op() - 9.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn json_is_well_formed_and_complete() {
+        let mut s = MachineStats::new(2);
+        s.total_cycles = 42;
+        s.app_ops = 7;
+        s.cores[1].l1_misses = 3;
+        let j = s.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"total_cycles\":42"));
+        assert!(j.contains("\"app_ops\":7"));
+        assert!(j.contains("\"l1_misses\":3"));
+        // Two core objects, balanced braces/brackets.
+        assert_eq!(j.matches("\"instructions\"").count(), 2);
+        assert_eq!(
+            j.matches('{').count(),
+            j.matches('}').count(),
+            "unbalanced braces in {j}"
+        );
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
     }
 
     #[test]

@@ -1,19 +1,20 @@
-//! Property tests for the discrete-event queue: pops must be a stable
-//! sort of pushes by timestamp.
+//! Randomized property tests for the discrete-event queue: pops must be a
+//! stable sort of pushes by timestamp. Driven by the in-tree [`SplitMix64`]
+//! generator, so every case is reproducible from its loop index.
 
-use lr_sim_core::EventQueue;
-use proptest::prelude::*;
+use lr_sim_core::{EventQueue, SplitMix64};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn pops_are_a_stable_sort(delays in proptest::collection::vec(0u64..50, 1..200)) {
+#[test]
+fn pops_are_a_stable_sort() {
+    for case in 0..256u64 {
+        let mut rng = SplitMix64::new(0xe_7e47_0000 + case);
+        let len = rng.gen_range(1usize..200);
         let mut q = EventQueue::new();
         // Interleave pushes and pops; every push is at now + delay.
         let mut pushed: Vec<(u64, usize)> = Vec::new();
-        for (i, d) in delays.iter().enumerate() {
-            q.push_after(*d, i);
+        for i in 0..len {
+            let d = rng.gen_range(0u64..50);
+            q.push_after(d, i);
             pushed.push((q.now() + d, i));
         }
         let mut popped = Vec::new();
@@ -23,29 +24,33 @@ proptest! {
         // Expected: stable sort by time (ties keep push order).
         let mut expected = pushed.clone();
         expected.sort_by_key(|&(t, _)| t);
-        prop_assert_eq!(popped, expected);
+        assert_eq!(popped, expected, "case {case}");
     }
+}
 
-    #[test]
-    fn interleaved_push_pop_never_goes_backwards(
-        script in proptest::collection::vec((any::<bool>(), 0u64..100), 1..300)
-    ) {
+#[test]
+fn interleaved_push_pop_never_goes_backwards() {
+    for case in 0..256u64 {
+        let mut rng = SplitMix64::new(0xe_7e47_1000 + case);
+        let steps = rng.gen_range(1usize..300);
         let mut q = EventQueue::new();
         let mut last = 0u64;
         let mut n = 0usize;
-        for (push, d) in script {
+        for _ in 0..steps {
+            let push = rng.gen_bool(0.5);
+            let d = rng.gen_range(0u64..100);
             if push || q.is_empty() {
                 q.push_after(d, n);
                 n += 1;
             } else if let Some((t, _)) = q.pop() {
-                prop_assert!(t >= last, "time went backwards: {t} < {last}");
+                assert!(t >= last, "case {case}: time went backwards: {t} < {last}");
                 last = t;
             }
         }
         while let Some((t, _)) = q.pop() {
-            prop_assert!(t >= last);
+            assert!(t >= last, "case {case}");
             last = t;
         }
-        prop_assert_eq!(q.processed() as usize, n);
+        assert_eq!(q.processed() as usize, n, "case {case}");
     }
 }

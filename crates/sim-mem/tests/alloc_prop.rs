@@ -1,8 +1,8 @@
-//! Property tests for the simulated allocator and word store.
+//! Randomized property tests for the simulated allocator and word store,
+//! driven by the in-tree [`SplitMix64`] generator.
 
-use lr_sim_core::{Addr, LINE_SIZE};
+use lr_sim_core::{Addr, SplitMix64, LINE_SIZE};
 use lr_sim_mem::SimMemory;
-use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
 enum Cmd {
@@ -11,38 +11,44 @@ enum Cmd {
     WriteNth { n: usize, val: u64 },
 }
 
-fn cmd_strategy() -> impl Strategy<Value = Cmd> {
-    prop_oneof![
-        (1u64..700, 3u8..9).prop_map(|(size, align_pow)| Cmd::Alloc { size, align_pow }),
-        (0usize..64).prop_map(Cmd::FreeNth),
-        (0usize..64, any::<u64>()).prop_map(|(n, val)| Cmd::WriteNth { n, val }),
-    ]
+fn random_cmd(rng: &mut SplitMix64) -> Cmd {
+    match rng.gen_range(0u8..3) {
+        0 => Cmd::Alloc {
+            size: rng.gen_range(1u64..700),
+            align_pow: rng.gen_range(3u8..9),
+        },
+        1 => Cmd::FreeNth(rng.gen_range(0usize..64)),
+        _ => Cmd::WriteNth {
+            n: rng.gen_range(0usize..64),
+            val: rng.next_u64(),
+        },
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Live allocations never overlap, always satisfy alignment, and
-    /// writes through one block never corrupt another.
-    #[test]
-    fn allocator_blocks_disjoint_and_aligned(cmds in proptest::collection::vec(cmd_strategy(), 1..120)) {
+/// Live allocations never overlap, always satisfy alignment, and writes
+/// through one block never corrupt another.
+#[test]
+fn allocator_blocks_disjoint_and_aligned() {
+    for case in 0..128u64 {
+        let mut rng = SplitMix64::new(0xa_110c_0000 + case);
+        let steps = rng.gen_range(1usize..120);
         let mut mem = SimMemory::new();
         // (addr, size, stamp): live blocks and the value written to their
         // first word.
         let mut live: Vec<(Addr, u64, Option<u64>)> = Vec::new();
-        for cmd in cmds {
-            match cmd {
+        for _ in 0..steps {
+            match random_cmd(&mut rng) {
                 Cmd::Alloc { size, align_pow } => {
                     let align = 1u64 << align_pow;
                     let a = mem.alloc(size, align);
-                    prop_assert_eq!(a.0 % align, 0, "misaligned");
-                    prop_assert_eq!(mem.read_word(Addr(a.0 / 8 * 8)), 0, "not zeroed");
+                    assert_eq!(a.0 % align, 0, "misaligned");
+                    assert_eq!(mem.read_word(Addr(a.0 / 8 * 8)), 0, "not zeroed");
                     if size >= LINE_SIZE {
-                        prop_assert_eq!(a.0 % LINE_SIZE, 0, "big block not line-aligned");
+                        assert_eq!(a.0 % LINE_SIZE, 0, "big block not line-aligned");
                     }
                     for &(b, bsize, _) in &live {
                         let disjoint = a.0 + size <= b.0 || b.0 + bsize <= a.0;
-                        prop_assert!(disjoint, "overlap: {:?}+{} vs {:?}+{}", a, size, b, bsize);
+                        assert!(disjoint, "overlap: {a:?}+{size} vs {b:?}+{bsize}");
                     }
                     live.push((a, size, None));
                 }
@@ -64,25 +70,31 @@ proptest! {
             // Every previously written block still reads back its value.
             for &(a, _, stamp) in &live {
                 if let Some(v) = stamp {
-                    prop_assert_eq!(mem.read_word(a), v, "stamp corrupted at {:?}", a);
+                    assert_eq!(mem.read_word(a), v, "stamp corrupted at {a:?}");
                 }
             }
         }
     }
+}
 
-    /// The word store is an exact map: last write wins, everything else
-    /// reads zero.
-    #[test]
-    fn word_store_is_a_map(ops in proptest::collection::vec((0u64..256, any::<u64>()), 1..200)) {
+/// The word store is an exact map: last write wins, everything else reads
+/// zero.
+#[test]
+fn word_store_is_a_map() {
+    for case in 0..128u64 {
+        let mut rng = SplitMix64::new(0xa_110c_1000 + case);
+        let steps = rng.gen_range(1usize..200);
         let mut mem = SimMemory::new();
         let mut model = std::collections::HashMap::new();
-        for (slot, val) in ops {
+        for _ in 0..steps {
+            let slot = rng.gen_range(0u64..256);
+            let val = rng.next_u64();
             let addr = Addr(lr_sim_mem::HEAP_BASE + slot * 8);
             mem.write_word(addr, val);
             model.insert(slot, val);
             for s in 0..256u64 {
                 let a = Addr(lr_sim_mem::HEAP_BASE + s * 8);
-                prop_assert_eq!(mem.read_word(a), model.get(&s).copied().unwrap_or(0));
+                assert_eq!(mem.read_word(a), model.get(&s).copied().unwrap_or(0));
             }
         }
     }

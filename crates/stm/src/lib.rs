@@ -186,7 +186,6 @@ impl Tl2 {
 mod tests {
     use super::*;
     use lr_machine::{Machine, SystemConfig, ThreadFn};
-    use rand::Rng;
 
     fn run_variant(variant: Tl2Variant) -> (u64, u64) {
         let n_threads = 4;

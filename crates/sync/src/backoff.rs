@@ -6,7 +6,6 @@
 
 use lr_machine::ThreadCtx;
 use lr_sim_core::Cycle;
-use rand::Rng;
 
 /// Truncated exponential backoff with jitter, advancing simulated time.
 #[derive(Debug, Clone)]

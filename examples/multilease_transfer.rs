@@ -7,7 +7,6 @@
 //! ```
 
 use lease_release::machine::{Addr, Machine, SystemConfig, ThreadCtx, ThreadFn};
-use rand::Rng;
 
 const ACCOUNTS: usize = 8;
 const INITIAL: u64 = 1_000;

@@ -7,7 +7,6 @@ use lease_release::apps::{CounterBench, CounterLockKind, Graph, Pagerank, Pagera
 use lease_release::ds::{MsQueue, QueueVariant, StackVariant, TreiberStack};
 use lease_release::machine::{Machine, SystemConfig, ThreadCtx, ThreadFn};
 use lease_release::stm::{Tl2, Tl2Variant};
-use rand::Rng;
 
 fn cfg(cores: usize) -> SystemConfig {
     SystemConfig::with_cores(cores)
