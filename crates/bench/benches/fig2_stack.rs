@@ -1,50 +1,9 @@
-//! Figure 2: throughput of the lock-free Treiber stack with and without
-//! leases, 100% update operations, threads ∈ {1, 2, 4, ..., 64}.
-//!
-//! Each thread alternates push/pop pairs on the shared stack. The paper
-//! reports ops/second; the leased variant should stay roughly flat as
-//! threads grow while the base variant collapses (up to ~5–7x gap).
-
-use lr_bench::harness::ops_per_thread;
-use lr_bench::{print_header, print_row, threads_sweep, BenchRow};
-use lr_ds::{StackVariant, TreiberStack};
-use lr_machine::{Machine, SystemConfig, ThreadCtx, ThreadFn};
-
-fn run_stack(variant: StackVariant, threads: usize, ops: u64) -> BenchRow {
-    let cfg = SystemConfig::with_cores(threads.max(2));
-    let mut m = Machine::new(cfg.clone());
-    let s = m.setup(|mem| TreiberStack::init(mem, variant));
-    let progs: Vec<ThreadFn> = (0..threads)
-        .map(|_| {
-            Box::new(move |ctx: &mut ThreadCtx| {
-                for i in 0..ops {
-                    s.push(ctx, i + 1);
-                    ctx.count_op();
-                    s.pop(ctx);
-                    ctx.count_op();
-                }
-            }) as ThreadFn
-        })
-        .collect();
-    let stats = m.run(progs);
-    let name = match variant {
-        StackVariant::Base => "treiber-base",
-        StackVariant::Backoff => "treiber-backoff",
-        StackVariant::Leased => "treiber-lease",
-    };
-    BenchRow::from_stats(name, threads, &cfg, &stats)
-}
+//! Thin wrapper: the workload now lives in the scenario registry
+//! (`lr_bench::scenarios::fig2_stack`); this target is kept so
+//! `cargo bench -p lr-bench --bench fig2_stack` and the BENCH_*.json
+//! name are preserved. Use the `lr-bench` driver binary for filtered
+//! or parallel sweeps across scenarios.
 
 fn main() {
-    let cfg = SystemConfig::default();
-    print_header(
-        "Figure 2: Treiber stack throughput, 100% updates, base vs lease",
-        &cfg,
-    );
-    let ops = ops_per_thread(200);
-    for variant in [StackVariant::Base, StackVariant::Leased] {
-        for &t in &threads_sweep() {
-            print_row(&run_stack(variant, t, ops));
-        }
-    }
+    lr_bench::run_scenario("fig2_stack");
 }

@@ -1,56 +1,9 @@
-//! Figure 3 (left column): the contended lock-based counter — throughput
-//! and energy per operation for the TTS baseline, TTS + lease, the
-//! ticket lock with linear backoff, and the CLH queue lock.
-//!
-//! The paper reports up to 20x throughput and 10x energy improvement for
-//! the leased lock at 64 threads.
-
-use lr_apps::{CounterBench, CounterLockKind};
-use lr_bench::harness::ops_per_thread;
-use lr_bench::{print_header, print_row, threads_sweep, BenchRow};
-use lr_machine::{Machine, SystemConfig, ThreadCtx, ThreadFn};
-
-fn run_counter(kind: CounterLockKind, threads: usize, ops: u64) -> BenchRow {
-    let cfg = SystemConfig::with_cores(threads.max(2));
-    let mut m = Machine::new(cfg.clone());
-    let bench = m.setup(|mem| CounterBench::init(mem, kind));
-    let progs: Vec<ThreadFn> = (0..threads)
-        .map(|_| {
-            Box::new(move |ctx: &mut ThreadCtx| {
-                bench.run_thread(ctx, ops);
-            }) as ThreadFn
-        })
-        .collect();
-    let (stats, mem) = m.run_with_memory(progs);
-    assert_eq!(
-        mem.read_word(bench.counter_addr()),
-        ops * threads as u64,
-        "lost increments under {kind:?}"
-    );
-    let name = match kind {
-        CounterLockKind::Tts => "counter-tts-base",
-        CounterLockKind::TtsLeased => "counter-tts-lease",
-        CounterLockKind::TicketBackoff => "counter-ticket-backoff",
-        CounterLockKind::Clh => "counter-clh",
-    };
-    BenchRow::from_stats(name, threads, &cfg, &stats)
-}
+//! Thin wrapper: the workload now lives in the scenario registry
+//! (`lr_bench::scenarios::fig3_counter`); this target is kept so
+//! `cargo bench -p lr-bench --bench fig3_counter` and the BENCH_*.json
+//! name are preserved. Use the `lr-bench` driver binary for filtered
+//! or parallel sweeps across scenarios.
 
 fn main() {
-    let cfg = SystemConfig::default();
-    print_header(
-        "Figure 3 (counter): lock-based counter throughput + energy",
-        &cfg,
-    );
-    let ops = ops_per_thread(60);
-    for kind in [
-        CounterLockKind::Tts,
-        CounterLockKind::TtsLeased,
-        CounterLockKind::TicketBackoff,
-        CounterLockKind::Clh,
-    ] {
-        for &t in &threads_sweep() {
-            print_row(&run_counter(kind, t, ops));
-        }
-    }
+    lr_bench::run_scenario("fig3_counter");
 }

@@ -1,69 +1,9 @@
-//! Figure 3 (right column): the skiplist-based priority queue —
-//! Lotan–Shavit over Pugh's locking skiplist (baseline) versus the
-//! lease-based implementation, which "relies on a global lock". A plain
-//! global lock is included as an ablation (how much of the win is the
-//! lease vs. serialization).
-//!
-//! 100% updates: each thread alternates insert(random key)/deleteMin,
-//! after pre-filling the queue.
-
-use lr_bench::harness::ops_per_thread;
-use lr_bench::{print_header, print_row, threads_sweep, BenchRow};
-use lr_ds::PriorityQueue;
-use lr_machine::{Machine, SystemConfig, ThreadCtx, ThreadFn};
-use lr_sim_mem::SimMemory;
-
-const PREFILL: u64 = 256;
-
-/// Constructor of one priority-queue implementation.
-type PqInit = fn(&mut SimMemory) -> PriorityQueue;
-
-fn run_pq(
-    name: &'static str,
-    init: fn(&mut SimMemory) -> PriorityQueue,
-    threads: usize,
-    ops: u64,
-) -> BenchRow {
-    let cfg = SystemConfig::with_cores(threads.max(2));
-    let mut m = Machine::new(cfg.clone());
-    let pq = m.setup(init);
-    let progs: Vec<ThreadFn> = (0..threads)
-        .map(|tid| {
-            Box::new(move |ctx: &mut ThreadCtx| {
-                // Pre-fill a private slice of keys (not counted).
-                for i in 0..PREFILL / threads as u64 + 1 {
-                    let k = (tid as u64 + 1) * 1_000_000 + i * 17 + 1;
-                    pq.insert(ctx, k, tid as u64);
-                }
-                for _ in 0..ops {
-                    let k: u64 = ctx.rng().gen_range(1..100_000_000);
-                    pq.insert(ctx, k, tid as u64);
-                    ctx.count_op();
-                    pq.delete_min(ctx);
-                    ctx.count_op();
-                }
-            }) as ThreadFn
-        })
-        .collect();
-    let stats = m.run(progs);
-    BenchRow::from_stats(name, threads, &cfg, &stats)
-}
+//! Thin wrapper: the workload now lives in the scenario registry
+//! (`lr_bench::scenarios::fig3_pq`); this target is kept so
+//! `cargo bench -p lr-bench --bench fig3_pq` and the BENCH_*.json
+//! name are preserved. Use the `lr-bench` driver binary for filtered
+//! or parallel sweeps across scenarios.
 
 fn main() {
-    let cfg = SystemConfig::default();
-    print_header(
-        "Figure 3 (priority queue): Lotan-Shavit baseline vs global-lock + lease",
-        &cfg,
-    );
-    let ops = ops_per_thread(30);
-    let variants: [(&'static str, PqInit); 3] = [
-        ("pq-lotan-shavit-base", PriorityQueue::init_lotan_shavit),
-        ("pq-global-lock", PriorityQueue::init_global_lock),
-        ("pq-global-lock-lease", PriorityQueue::init_global_leased),
-    ];
-    for (name, init) in variants {
-        for &t in &threads_sweep() {
-            print_row(&run_pq(name, init, t, ops));
-        }
-    }
+    lr_bench::run_scenario("fig3_pq");
 }

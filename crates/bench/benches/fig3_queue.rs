@@ -1,53 +1,9 @@
-//! Figure 3 (middle column): the Michael–Scott queue — throughput and
-//! energy for the base implementation, single leases on the sentinel
-//! pointers (Algorithm 3), and the multi-lease ablation (tail + last
-//! node's next field), which the paper finds *slower* than the single
-//! predecessor lease.
-
-use lr_bench::harness::ops_per_thread;
-use lr_bench::{print_header, print_row, threads_sweep, BenchRow};
-use lr_ds::{MsQueue, QueueVariant};
-use lr_machine::{Machine, SystemConfig, ThreadCtx, ThreadFn};
-
-fn run_queue(variant: QueueVariant, threads: usize, ops: u64) -> BenchRow {
-    let cfg = SystemConfig::with_cores(threads.max(2));
-    let mut m = Machine::new(cfg.clone());
-    let q = m.setup(|mem| MsQueue::init(mem, variant));
-    let progs: Vec<ThreadFn> = (0..threads)
-        .map(|_| {
-            Box::new(move |ctx: &mut ThreadCtx| {
-                for i in 0..ops {
-                    q.enqueue(ctx, i + 1);
-                    ctx.count_op();
-                    q.dequeue(ctx);
-                    ctx.count_op();
-                }
-            }) as ThreadFn
-        })
-        .collect();
-    let stats = m.run(progs);
-    let name = match variant {
-        QueueVariant::Base => "msqueue-base",
-        QueueVariant::Leased => "msqueue-lease",
-        QueueVariant::MultiLeased => "msqueue-multilease",
-    };
-    BenchRow::from_stats(name, threads, &cfg, &stats)
-}
+//! Thin wrapper: the workload now lives in the scenario registry
+//! (`lr_bench::scenarios::fig3_queue`); this target is kept so
+//! `cargo bench -p lr-bench --bench fig3_queue` and the BENCH_*.json
+//! name are preserved. Use the `lr-bench` driver binary for filtered
+//! or parallel sweeps across scenarios.
 
 fn main() {
-    let cfg = SystemConfig::default();
-    print_header(
-        "Figure 3 (queue): Michael-Scott queue throughput + energy, single vs multi lease",
-        &cfg,
-    );
-    let ops = ops_per_thread(150);
-    for variant in [
-        QueueVariant::Base,
-        QueueVariant::Leased,
-        QueueVariant::MultiLeased,
-    ] {
-        for &t in &threads_sweep() {
-            print_row(&run_queue(variant, t, ops));
-        }
-    }
+    lr_bench::run_scenario("fig3_queue");
 }

@@ -1,56 +1,9 @@
-//! Figure 4 (left pair): MultiQueues [36] with eight queues — threads
-//! alternate insert and deleteMin (Algorithm 4). The paper reports ~50%
-//! improvement from leases/MultiLeases (bounded by the long sequential
-//! critical sections).
-
-use lr_bench::harness::ops_per_thread;
-use lr_bench::{print_header, print_row, threads_sweep, BenchRow};
-use lr_ds::{MqVariant, MultiQueue};
-use lr_machine::{Machine, SystemConfig, ThreadCtx, ThreadFn};
-
-const NUM_QUEUES: usize = 8;
-const PREFILL: u64 = 512;
-
-fn run_mq(variant: MqVariant, threads: usize, ops: u64) -> BenchRow {
-    let cfg = SystemConfig::with_cores(threads.max(2));
-    let mut m = Machine::new(cfg.clone());
-    let mq = m.setup(|mem| MultiQueue::init(mem, NUM_QUEUES, variant));
-    let progs: Vec<ThreadFn> = (0..threads)
-        .map(|tid| {
-            let mq = mq.clone();
-            Box::new(move |ctx: &mut ThreadCtx| {
-                for i in 0..PREFILL / threads as u64 + 1 {
-                    let k = (tid as u64 + 1) * 1_000_000 + i * 13 + 1;
-                    mq.insert(ctx, k, tid as u64);
-                }
-                for _ in 0..ops {
-                    let k: u64 = ctx.rng().gen_range(1..100_000_000);
-                    mq.insert(ctx, k, tid as u64);
-                    ctx.count_op();
-                    mq.delete_min(ctx);
-                    ctx.count_op();
-                }
-            }) as ThreadFn
-        })
-        .collect();
-    let stats = m.run(progs);
-    let name = match variant {
-        MqVariant::Base => "multiqueue-base",
-        MqVariant::Leased => "multiqueue-lease",
-    };
-    BenchRow::from_stats(name, threads, &cfg, &stats)
-}
+//! Thin wrapper: the workload now lives in the scenario registry
+//! (`lr_bench::scenarios::fig4_multiqueue`); this target is kept so
+//! `cargo bench -p lr-bench --bench fig4_multiqueue` and the BENCH_*.json
+//! name are preserved. Use the `lr-bench` driver binary for filtered
+//! or parallel sweeps across scenarios.
 
 fn main() {
-    let cfg = SystemConfig::default();
-    print_header(
-        "Figure 4 (MultiQueues): 8 queues, alternating insert/deleteMin",
-        &cfg,
-    );
-    let ops = ops_per_thread(40);
-    for variant in [MqVariant::Base, MqVariant::Leased] {
-        for &t in &threads_sweep() {
-            print_row(&run_mq(variant, t, ops));
-        }
-    }
+    lr_bench::run_scenario("fig4_multiqueue");
 }

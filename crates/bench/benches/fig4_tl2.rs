@@ -1,74 +1,9 @@
-//! Figure 4 (right pair): the TL2-style transactional benchmark —
-//! "transactions attempt to modify the values of two randomly chosen
-//! transactional objects out of a fixed set of ten, by acquiring locks
-//! on both". The paper reports up to 5x from MultiLeases (the abort rate
-//! collapses) and a moderate gain from leasing only the first lock.
-
-use lr_bench::harness::ops_per_thread;
-use lr_bench::{print_header, print_row, threads_sweep, BenchRow};
-use lr_machine::{Machine, SystemConfig, ThreadCtx, ThreadFn};
-use lr_stm::{Tl2, Tl2Variant};
-
-const NUM_OBJECTS: usize = 10;
-
-pub fn run_tl2(variant: Tl2Variant, threads: usize, ops: u64) -> (BenchRow, f64) {
-    let cfg = SystemConfig::with_cores(threads.max(2));
-    let mut m = Machine::new(cfg.clone());
-    let tl2 = m.setup(|mem| Tl2::init(mem, NUM_OBJECTS, variant));
-    let aborts = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
-    let progs: Vec<ThreadFn> = (0..threads)
-        .map(|_| {
-            let tl2 = tl2.clone();
-            let aborts = aborts.clone();
-            Box::new(move |ctx: &mut ThreadCtx| {
-                let mut local = 0;
-                for _ in 0..ops {
-                    let i = ctx.rng().gen_range(0..NUM_OBJECTS);
-                    let mut j = ctx.rng().gen_range(0..NUM_OBJECTS);
-                    while j == i {
-                        j = ctx.rng().gen_range(0..NUM_OBJECTS);
-                    }
-                    local += tl2.transact_pair(ctx, i, j, 1).aborts;
-                    ctx.count_op();
-                }
-                aborts.fetch_add(local, std::sync::atomic::Ordering::Relaxed);
-            }) as ThreadFn
-        })
-        .collect();
-    let stats = m.run(progs);
-    let total_aborts = aborts.load(std::sync::atomic::Ordering::Relaxed);
-    let abort_rate = total_aborts as f64 / (total_aborts + stats.app_ops) as f64;
-    let name = match variant {
-        Tl2Variant::Base => "tl2-base",
-        Tl2Variant::SingleLease => "tl2-single-lease",
-        Tl2Variant::HwMultiLease => "tl2-hw-multilease",
-        Tl2Variant::SwMultiLease => "tl2-sw-multilease",
-    };
-    (
-        BenchRow::from_stats(name, threads, &cfg, &stats),
-        abort_rate,
-    )
-}
+//! Thin wrapper: the workload now lives in the scenario registry
+//! (`lr_bench::scenarios::fig4_tl2`); this target is kept so
+//! `cargo bench -p lr-bench --bench fig4_tl2` and the BENCH_*.json
+//! name are preserved. Use the `lr-bench` driver binary for filtered
+//! or parallel sweeps across scenarios.
 
 fn main() {
-    let cfg = SystemConfig::default();
-    print_header(
-        "Figure 4 (TL2): 2-of-10 object transactions, base vs single lease vs MultiLease",
-        &cfg,
-    );
-    let ops = ops_per_thread(120);
-    for variant in [
-        Tl2Variant::Base,
-        Tl2Variant::SingleLease,
-        Tl2Variant::HwMultiLease,
-    ] {
-        for &t in &threads_sweep() {
-            let (row, abort_rate) = run_tl2(variant, t, ops);
-            print_row(&row);
-            println!(
-                "CSVX,{},{},abort_rate,{:.4}",
-                row.series, row.threads, abort_rate
-            );
-        }
-    }
+    lr_bench::run_scenario("fig4_tl2");
 }

@@ -1,55 +1,9 @@
-//! Figure 5 (right): the lock-based Pagerank of CRONO [2]. Around 25% of
-//! pages are dangling ("inaccessible"), and their rank mass is folded
-//! into one shared cell under a contended lock. The paper reports 8x
-//! throughput at 32 threads from leasing that lock, letting the
-//! application scale.
-
-use lr_apps::{Graph, Pagerank, PagerankVariant, SCALE};
-use lr_bench::harness::ops_per_thread;
-use lr_bench::{print_header, print_row, threads_sweep, BenchRow};
-use lr_machine::{Machine, SystemConfig, ThreadCtx, ThreadFn};
-use std::sync::Arc;
-
-fn run_pagerank(variant: PagerankVariant, threads: usize, nodes: usize) -> BenchRow {
-    let graph = Arc::new(Graph::synthesize(nodes, 0.25, 97));
-    let iterations = 3;
-    let cfg = SystemConfig::with_cores(threads.max(2));
-    let mut m = Machine::new(cfg.clone());
-    let pr = m.setup(|mem| Pagerank::init(mem, &graph, threads, variant));
-    let pr2 = pr.clone();
-    let progs: Vec<ThreadFn> = (0..threads)
-        .map(|tid| {
-            let pr = pr.clone();
-            let graph = graph.clone();
-            Box::new(move |ctx: &mut ThreadCtx| {
-                pr.run_thread(ctx, &graph, tid, threads, iterations);
-            }) as ThreadFn
-        })
-        .collect();
-    let (stats, mem) = m.run_with_memory(progs);
-    let total = pr2.total_rank(&mem);
-    assert!(
-        total > SCALE * 70 / 100,
-        "rank mass lost: {total} (race in the dangling lock?)"
-    );
-    let name = match variant {
-        PagerankVariant::Base => "pagerank-tts-base",
-        PagerankVariant::Leased => "pagerank-lease",
-    };
-    BenchRow::from_stats(name, threads, &cfg, &stats)
-}
+//! Thin wrapper: the workload now lives in the scenario registry
+//! (`lr_bench::scenarios::fig5_pagerank`); this target is kept so
+//! `cargo bench -p lr-bench --bench fig5_pagerank` and the BENCH_*.json
+//! name are preserved. Use the `lr-bench` driver binary for filtered
+//! or parallel sweeps across scenarios.
 
 fn main() {
-    let cfg = SystemConfig::default();
-    print_header(
-        "Figure 5 (right): lock-based Pagerank, contended dangling-mass lock",
-        &cfg,
-    );
-    // Node count doubles as the per-run size knob.
-    let nodes = ops_per_thread(300) as usize;
-    for variant in [PagerankVariant::Base, PagerankVariant::Leased] {
-        for &t in &threads_sweep() {
-            print_row(&run_pagerank(variant, t, nodes));
-        }
-    }
+    lr_bench::run_scenario("fig5_pagerank");
 }

@@ -1,54 +1,9 @@
-//! Figure 5 (left): hardware versus software MultiLeases on the TL2
-//! benchmark. The paper finds them comparable, with the software
-//! emulation paying a slight but consistent penalty (extra instructions;
-//! joint holding not guaranteed).
-
-use lr_bench::harness::ops_per_thread;
-use lr_bench::{print_header, print_row, threads_sweep, BenchRow};
-use lr_machine::{Machine, SystemConfig, ThreadCtx, ThreadFn};
-use lr_stm::{Tl2, Tl2Variant};
-
-const NUM_OBJECTS: usize = 10;
-
-fn run_tl2(variant: Tl2Variant, threads: usize, ops: u64) -> BenchRow {
-    let cfg = SystemConfig::with_cores(threads.max(2));
-    let mut m = Machine::new(cfg.clone());
-    let tl2 = m.setup(|mem| Tl2::init(mem, NUM_OBJECTS, variant));
-    let progs: Vec<ThreadFn> = (0..threads)
-        .map(|_| {
-            let tl2 = tl2.clone();
-            Box::new(move |ctx: &mut ThreadCtx| {
-                for _ in 0..ops {
-                    let i = ctx.rng().gen_range(0..NUM_OBJECTS);
-                    let mut j = ctx.rng().gen_range(0..NUM_OBJECTS);
-                    while j == i {
-                        j = ctx.rng().gen_range(0..NUM_OBJECTS);
-                    }
-                    tl2.transact_pair(ctx, i, j, 1);
-                    ctx.count_op();
-                }
-            }) as ThreadFn
-        })
-        .collect();
-    let stats = m.run(progs);
-    let name = match variant {
-        Tl2Variant::HwMultiLease => "tl2-hw-multilease",
-        Tl2Variant::SwMultiLease => "tl2-sw-multilease",
-        _ => unreachable!(),
-    };
-    BenchRow::from_stats(name, threads, &cfg, &stats)
-}
+//! Thin wrapper: the workload now lives in the scenario registry
+//! (`lr_bench::scenarios::fig5_tl2_swhw`); this target is kept so
+//! `cargo bench -p lr-bench --bench fig5_tl2_swhw` and the BENCH_*.json
+//! name are preserved. Use the `lr-bench` driver binary for filtered
+//! or parallel sweeps across scenarios.
 
 fn main() {
-    let cfg = SystemConfig::default();
-    print_header(
-        "Figure 5 (left): hardware vs software MultiLeases on TL2",
-        &cfg,
-    );
-    let ops = ops_per_thread(120);
-    for variant in [Tl2Variant::HwMultiLease, Tl2Variant::SwMultiLease] {
-        for &t in &threads_sweep() {
-            print_row(&run_tl2(variant, t, ops));
-        }
-    }
+    lr_bench::run_scenario("fig5_tl2_swhw");
 }

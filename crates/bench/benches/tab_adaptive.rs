@@ -1,89 +1,9 @@
-//! §5 "Speculative Execution" ablation: adaptive lease suppression.
-//!
-//! Workload: a shared cell updated by a read–compute–CAS pattern whose
-//! compute window is ~150 cycles. With the default 20K-cycle
-//! `MAX_LEASE_TIME` the lease covers the window and removes all CAS
-//! retries. With a pathological 60-cycle bound the lease *always*
-//! expires mid-window — pure overhead — and the adaptive predictor
-//! (tracking involuntary releases per call site, as the paper proposes)
-//! suppresses it, recovering baseline behaviour.
-
-use lr_bench::harness::ops_per_thread;
-use lr_bench::{print_header, print_row, threads_sweep, BenchRow};
-use lr_lease::AdaptiveLease;
-use lr_machine::{Machine, SystemConfig, ThreadCtx, ThreadFn};
-use lr_sim_core::Cycle;
-
-const COMPUTE: Cycle = 150;
-const SITE: u64 = 0xadaf_0001;
-
-#[derive(Clone, Copy, PartialEq)]
-enum Mode {
-    Base,
-    StaticLease,
-    Adaptive,
-}
-
-fn run(name: &str, mode: Mode, lease_time: Cycle, threads: usize, ops: u64) -> BenchRow {
-    let mut cfg = SystemConfig::with_cores(threads.max(2));
-    cfg.lease.max_lease_time = lease_time;
-    let mut m = Machine::new(cfg.clone());
-    let cell = m.setup(|mem| mem.alloc_line_aligned(8));
-    let progs: Vec<ThreadFn> = (0..threads)
-        .map(|_| {
-            Box::new(move |ctx: &mut ThreadCtx| {
-                let mut al = AdaptiveLease::default();
-                for _ in 0..ops {
-                    loop {
-                        let took = match mode {
-                            Mode::Base => false,
-                            Mode::StaticLease => {
-                                ctx.lease(cell, lease_time);
-                                true
-                            }
-                            Mode::Adaptive => al.lease(ctx, SITE, cell, lease_time),
-                        };
-                        let v = ctx.read(cell);
-                        ctx.work(COMPUTE); // compute the new value
-                        let ok = ctx.cas(cell, v, v + 1);
-                        match mode {
-                            Mode::Base => {}
-                            Mode::StaticLease => {
-                                ctx.release(cell);
-                            }
-                            Mode::Adaptive => al.release(ctx, SITE, cell, took),
-                        }
-                        if ok {
-                            break;
-                        }
-                    }
-                    ctx.count_op();
-                }
-            }) as ThreadFn
-        })
-        .collect();
-    let stats = m.run(progs);
-    BenchRow::from_stats(name, threads, &cfg, &stats)
-}
+//! Thin wrapper: the workload now lives in the scenario registry
+//! (`lr_bench::scenarios::tab_adaptive`); this target is kept so
+//! `cargo bench -p lr-bench --bench tab_adaptive` and the BENCH_*.json
+//! name are preserved. Use the `lr-bench` driver binary for filtered
+//! or parallel sweeps across scenarios.
 
 fn main() {
-    let cfg = SystemConfig::default();
-    print_header(
-        "Adaptive lease suppression: healthy (20K) vs pathological (60-cycle) MAX_LEASE_TIME",
-        &cfg,
-    );
-    let ops = ops_per_thread(120);
-    let rows: [(&str, Mode, Cycle); 6] = [
-        ("rmw-base", Mode::Base, 20_000),
-        ("rmw-lease-20k", Mode::StaticLease, 20_000),
-        ("rmw-adaptive-20k", Mode::Adaptive, 20_000),
-        ("rmw-base-60", Mode::Base, 60),
-        ("rmw-lease-60", Mode::StaticLease, 60),
-        ("rmw-adaptive-60", Mode::Adaptive, 60),
-    ];
-    for (name, mode, lease_time) in rows {
-        for &t in &threads_sweep() {
-            print_row(&run(name, mode, lease_time, t, ops));
-        }
-    }
+    lr_bench::run_scenario("tab_adaptive");
 }

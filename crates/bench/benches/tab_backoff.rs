@@ -1,58 +1,9 @@
-//! §7 "Comparison with Backoffs and Optimized Implementations": the
-//! Treiber stack with exponential backoff versus leases. The paper finds
-//! backoff buys up to 3x over base but stays ~2.5x below leases.
-//!
-//! Also covers the §5 prioritization ablation: leases with regular
-//! requests allowed to break them.
-
-use lr_bench::harness::ops_per_thread;
-use lr_bench::{print_header, print_row, threads_sweep, BenchRow};
-use lr_ds::{StackVariant, TreiberStack};
-use lr_machine::{Machine, SystemConfig, ThreadCtx, ThreadFn};
-
-fn run_stack(
-    name: &str,
-    variant: StackVariant,
-    prioritization: bool,
-    threads: usize,
-    ops: u64,
-) -> BenchRow {
-    let mut cfg = SystemConfig::with_cores(threads.max(2));
-    cfg.lease.prioritization = prioritization;
-    let mut m = Machine::new(cfg.clone());
-    let s = m.setup(|mem| TreiberStack::init(mem, variant));
-    let progs: Vec<ThreadFn> = (0..threads)
-        .map(|_| {
-            Box::new(move |ctx: &mut ThreadCtx| {
-                for i in 0..ops {
-                    s.push(ctx, i + 1);
-                    ctx.count_op();
-                    s.pop(ctx);
-                    ctx.count_op();
-                }
-            }) as ThreadFn
-        })
-        .collect();
-    let stats = m.run(progs);
-    BenchRow::from_stats(name, threads, &cfg, &stats)
-}
+//! Thin wrapper: the workload now lives in the scenario registry
+//! (`lr_bench::scenarios::tab_backoff`); this target is kept so
+//! `cargo bench -p lr-bench --bench tab_backoff` and the BENCH_*.json
+//! name are preserved. Use the `lr-bench` driver binary for filtered
+//! or parallel sweeps across scenarios.
 
 fn main() {
-    let cfg = SystemConfig::default();
-    print_header(
-        "Backoff comparison (+ prioritization ablation): Treiber stack",
-        &cfg,
-    );
-    let ops = ops_per_thread(80);
-    let rows: [(&str, StackVariant, bool); 4] = [
-        ("treiber-base", StackVariant::Base, false),
-        ("treiber-backoff", StackVariant::Backoff, false),
-        ("treiber-lease", StackVariant::Leased, false),
-        ("treiber-lease-prio", StackVariant::Leased, true),
-    ];
-    for (name, variant, prio) in rows {
-        for &t in &threads_sweep() {
-            print_row(&run_stack(name, variant, prio, t, ops));
-        }
-    }
+    lr_bench::run_scenario("tab_backoff");
 }

@@ -1,86 +1,9 @@
-//! §7 / §8 ablations on the lease configuration:
-//!
-//! * `MAX_LEASE_TIME` ∈ {1K, 20K} cycles — the paper's sensitivity check
-//!   (results should be essentially unchanged);
-//! * `MAX_NUM_LEASES` = 1 — the paper's recommended minimal hardware
-//!   proposal (single-lease-only cores, §8), which must not hurt the
-//!   single-lease workloads.
-
-use lr_bench::harness::ops_per_thread;
-use lr_bench::{print_header, print_row, threads_sweep, BenchRow};
-use lr_ds::{MsQueue, QueueVariant, StackVariant, TreiberStack};
-use lr_machine::{Machine, SystemConfig, ThreadCtx, ThreadFn};
-use lr_sim_core::Cycle;
-
-fn run_stack(
-    name: &str,
-    lease_time: Cycle,
-    max_leases: usize,
-    threads: usize,
-    ops: u64,
-) -> BenchRow {
-    let mut cfg = SystemConfig::with_cores(threads.max(2));
-    cfg.lease.max_lease_time = lease_time;
-    cfg.lease.max_num_leases = max_leases;
-    let mut m = Machine::new(cfg.clone());
-    let s = m.setup(|mem| TreiberStack::init(mem, StackVariant::Leased));
-    let progs: Vec<ThreadFn> = (0..threads)
-        .map(|_| {
-            Box::new(move |ctx: &mut ThreadCtx| {
-                for i in 0..ops {
-                    s.push(ctx, i + 1);
-                    ctx.count_op();
-                    s.pop(ctx);
-                    ctx.count_op();
-                }
-            }) as ThreadFn
-        })
-        .collect();
-    let stats = m.run(progs);
-    BenchRow::from_stats(name, threads, &cfg, &stats)
-}
-
-fn run_queue(
-    name: &str,
-    lease_time: Cycle,
-    max_leases: usize,
-    threads: usize,
-    ops: u64,
-) -> BenchRow {
-    let mut cfg = SystemConfig::with_cores(threads.max(2));
-    cfg.lease.max_lease_time = lease_time;
-    cfg.lease.max_num_leases = max_leases;
-    let mut m = Machine::new(cfg.clone());
-    let q = m.setup(|mem| MsQueue::init(mem, QueueVariant::Leased));
-    let progs: Vec<ThreadFn> = (0..threads)
-        .map(|_| {
-            Box::new(move |ctx: &mut ThreadCtx| {
-                for i in 0..ops {
-                    q.enqueue(ctx, i + 1);
-                    ctx.count_op();
-                    q.dequeue(ctx);
-                    ctx.count_op();
-                }
-            }) as ThreadFn
-        })
-        .collect();
-    let stats = m.run(progs);
-    BenchRow::from_stats(name, threads, &cfg, &stats)
-}
+//! Thin wrapper: the workload now lives in the scenario registry
+//! (`lr_bench::scenarios::tab_lease_sensitivity`); this target is kept so
+//! `cargo bench -p lr-bench --bench tab_lease_sensitivity` and the BENCH_*.json
+//! name are preserved. Use the `lr-bench` driver binary for filtered
+//! or parallel sweeps across scenarios.
 
 fn main() {
-    let cfg = SystemConfig::default();
-    print_header(
-        "Lease-config sensitivity: MAX_LEASE_TIME 1K vs 20K; MAX_NUM_LEASES = 1",
-        &cfg,
-    );
-    let ops = ops_per_thread(80);
-    for &t in &threads_sweep() {
-        print_row(&run_stack("stack-lease-20k", 20_000, 8, t, ops));
-        print_row(&run_stack("stack-lease-1k", 1_000, 8, t, ops));
-        print_row(&run_stack("stack-lease-single-entry", 20_000, 1, t, ops));
-        print_row(&run_queue("queue-lease-20k", 20_000, 8, t, ops));
-        print_row(&run_queue("queue-lease-1k", 1_000, 8, t, ops));
-        print_row(&run_queue("queue-lease-single-entry", 20_000, 1, t, ops));
-    }
+    lr_bench::run_scenario("tab_lease_sensitivity");
 }

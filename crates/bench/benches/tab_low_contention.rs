@@ -1,133 +1,9 @@
-//! §7 "Low Contention": lock-free linked lists, skiplists, binary trees,
-//! and lock-based hash tables with 20% updates / 80% searches on uniform
-//! random keys. The paper finds identical throughput, with leases adding
-//! ≤ 5% at ≥ 32 threads.
-
-use lr_bench::harness::ops_per_thread;
-use lr_bench::{print_header, print_row, threads_sweep, BenchRow};
-use lr_ds::{Bst, HarrisList, HashTable, LockingSkipList};
-use lr_machine::{Machine, SystemConfig, ThreadCtx, ThreadFn};
-
-const KEY_RANGE: u64 = 512;
-const PREFILL: u64 = 128;
-
-/// One op: 80% contains, 10% insert, 10% remove, uniform keys.
-fn mixed_op(ctx: &mut ThreadCtx, op: &impl Fn(&mut ThreadCtx, u8, u64)) {
-    let k: u64 = ctx.rng().gen_range(1..KEY_RANGE);
-    let dice: u8 = ctx.rng().gen_range(0..10);
-    op(ctx, dice, k);
-    ctx.count_op();
-}
-
-fn sweep<F>(name: &str, threads: usize, ops: u64, build: F) -> BenchRow
-where
-    F: Fn(&mut Machine, usize) -> Box<dyn Fn(&mut ThreadCtx, u8, u64) + Send + Sync>,
-{
-    let cfg = SystemConfig::with_cores(threads.max(2));
-    let mut m = Machine::new(cfg.clone());
-    let op = std::sync::Arc::new(build(&mut m, threads));
-    let stripe = PREFILL / threads as u64 + 1;
-    let progs: Vec<ThreadFn> = (0..threads)
-        .map(|tid| {
-            let op = op.clone();
-            Box::new(move |ctx: &mut ThreadCtx| {
-                // Pre-fill a disjoint key stripe (uncounted).
-                for i in 0..stripe {
-                    let k = (tid as u64 * stripe + i) % (KEY_RANGE - 1) + 1;
-                    op(ctx, 0, k);
-                }
-                for _ in 0..ops {
-                    mixed_op(ctx, op.as_ref());
-                }
-            }) as ThreadFn
-        })
-        .collect();
-    let stats = m.run(progs);
-    BenchRow::from_stats(name, threads, &cfg, &stats)
-}
+//! Thin wrapper: the workload now lives in the scenario registry
+//! (`lr_bench::scenarios::tab_low_contention`); this target is kept so
+//! `cargo bench -p lr-bench --bench tab_low_contention` and the BENCH_*.json
+//! name are preserved. Use the `lr-bench` driver binary for filtered
+//! or parallel sweeps across scenarios.
 
 fn main() {
-    let cfg = SystemConfig::default();
-    print_header(
-        "Low contention: list/skiplist/BST/hashtable, 20% updates, uniform keys",
-        &cfg,
-    );
-    let ops = ops_per_thread(40);
-    for &t in &threads_sweep() {
-        for leased in [false, true] {
-            let suffix = if leased { "lease" } else { "base" };
-
-            print_row(&sweep(&format!("harris-list-{suffix}"), t, ops, |m, _| {
-                let l = m.setup(|mem| HarrisList::init(mem, leased));
-                Box::new(move |ctx, dice, k| {
-                    match dice {
-                        0 => {
-                            l.insert(ctx, k);
-                        }
-                        1 => {
-                            l.remove(ctx, k);
-                        }
-                        _ => {
-                            l.contains(ctx, k);
-                        }
-                    };
-                })
-            }));
-
-            print_row(&sweep(&format!("hashtable-{suffix}"), t, ops, |m, _| {
-                let h = m.setup(|mem| HashTable::init(mem, 256, leased));
-                Box::new(move |ctx, dice, k| {
-                    match dice {
-                        0 => {
-                            h.insert(ctx, k);
-                        }
-                        1 => {
-                            h.remove(ctx, k);
-                        }
-                        _ => {
-                            h.contains(ctx, k);
-                        }
-                    };
-                })
-            }));
-
-            print_row(&sweep(&format!("bst-{suffix}"), t, ops, |m, _| {
-                let b = m.setup(|mem| Bst::init(mem, leased));
-                Box::new(move |ctx, dice, k| {
-                    match dice {
-                        0 => {
-                            b.insert(ctx, k);
-                        }
-                        1 => {
-                            b.remove(ctx, k);
-                        }
-                        _ => {
-                            b.contains(ctx, k);
-                        }
-                    };
-                })
-            }));
-        }
-
-        // Locking skiplist set (lease variant not applicable: its locks
-        // are per-node and short; the paper's skiplist-set numbers are
-        // base-only here).
-        print_row(&sweep("skiplist-set-base", t, ops, |m, threads| {
-            let sl = m.setup(LockingSkipList::init);
-            let _ = threads;
-            Box::new(move |ctx, dice, k| {
-                match dice {
-                    0 => {
-                        sl.insert(ctx, k, k);
-                    }
-                    1 => {
-                        sl.remove(ctx, k);
-                    }
-                    _ => {
-                        sl.contains(ctx, k);
-                    }
-                };
-            })
-        }));
-    }
+    lr_bench::run_scenario("tab_low_contention");
 }

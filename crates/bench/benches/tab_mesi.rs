@@ -1,67 +1,9 @@
-//! §8 "Other Protocols" ablation: Lease/Release on MESI instead of MSI.
-//! The lease semantics are identical ("a core leasing a line demands it
-//! in Exclusive state, and will delay incoming coherence requests"); the
-//! contended results must be essentially protocol-independent, while
-//! MESI saves the upgrade transaction in read-then-write patterns.
-
-use lr_bench::harness::ops_per_thread;
-use lr_bench::{print_header, print_row, threads_sweep, BenchRow};
-use lr_ds::{StackVariant, TreiberStack};
-use lr_machine::{Machine, SystemConfig, ThreadCtx, ThreadFn};
-use lr_sim_core::CoherenceProtocol;
-
-fn run_stack(
-    name: &str,
-    variant: StackVariant,
-    protocol: CoherenceProtocol,
-    threads: usize,
-    ops: u64,
-) -> BenchRow {
-    let mut cfg = SystemConfig::with_cores(threads.max(2));
-    cfg.protocol = protocol;
-    let mut m = Machine::new(cfg.clone());
-    let s = m.setup(|mem| TreiberStack::init(mem, variant));
-    let progs: Vec<ThreadFn> = (0..threads)
-        .map(|_| {
-            Box::new(move |ctx: &mut ThreadCtx| {
-                for i in 0..ops {
-                    s.push(ctx, i + 1);
-                    ctx.count_op();
-                    s.pop(ctx);
-                    ctx.count_op();
-                }
-            }) as ThreadFn
-        })
-        .collect();
-    let stats = m.run(progs);
-    BenchRow::from_stats(name, threads, &cfg, &stats)
-}
+//! Thin wrapper: the workload now lives in the scenario registry
+//! (`lr_bench::scenarios::tab_mesi`); this target is kept so
+//! `cargo bench -p lr-bench --bench tab_mesi` and the BENCH_*.json
+//! name are preserved. Use the `lr-bench` driver binary for filtered
+//! or parallel sweeps across scenarios.
 
 fn main() {
-    let cfg = SystemConfig::default();
-    print_header("MESI ablation: Treiber stack under MSI vs MESI", &cfg);
-    let ops = ops_per_thread(120);
-    let rows: [(&str, StackVariant, CoherenceProtocol); 4] = [
-        ("stack-base-msi", StackVariant::Base, CoherenceProtocol::Msi),
-        (
-            "stack-base-mesi",
-            StackVariant::Base,
-            CoherenceProtocol::Mesi,
-        ),
-        (
-            "stack-lease-msi",
-            StackVariant::Leased,
-            CoherenceProtocol::Msi,
-        ),
-        (
-            "stack-lease-mesi",
-            StackVariant::Leased,
-            CoherenceProtocol::Mesi,
-        ),
-    ];
-    for (name, variant, protocol) in rows {
-        for &t in &threads_sweep() {
-            print_row(&run_stack(name, variant, protocol, t, ops));
-        }
-    }
+    lr_bench::run_scenario("tab_mesi");
 }

@@ -1,69 +1,9 @@
-//! §7 message/miss constancy: "average cache misses per operation for
-//! the stack are constant ... from 4 to 64 threads; on the base
-//! implementation, this parameter increases by 5x at 64 threads. The
-//! same holds if we record average coherence messages per operation ...
-//! and even if we decrease MAX_LEASE_TIME to 1K cycles."
-
-use lr_bench::harness::ops_per_thread;
-use lr_bench::{print_header, print_row, threads_sweep, BenchRow};
-use lr_ds::{StackVariant, TreiberStack};
-use lr_machine::{Machine, SystemConfig, ThreadCtx, ThreadFn};
-use lr_sim_core::Cycle;
-
-fn run_stack(
-    name: &str,
-    variant: StackVariant,
-    lease_time: Cycle,
-    threads: usize,
-    ops: u64,
-) -> BenchRow {
-    let mut cfg = SystemConfig::with_cores(threads.max(2));
-    cfg.lease.max_lease_time = lease_time;
-    let mut m = Machine::new(cfg.clone());
-    let s = m.setup(|mem| TreiberStack::init(mem, variant));
-    let progs: Vec<ThreadFn> = (0..threads)
-        .map(|_| {
-            Box::new(move |ctx: &mut ThreadCtx| {
-                for i in 0..ops {
-                    s.push(ctx, i + 1);
-                    ctx.count_op();
-                    s.pop(ctx);
-                    ctx.count_op();
-                }
-            }) as ThreadFn
-        })
-        .collect();
-    let stats = m.run(progs);
-    BenchRow::from_stats(name, threads, &cfg, &stats)
-}
+//! Thin wrapper: the workload now lives in the scenario registry
+//! (`lr_bench::scenarios::tab_msg_constancy`); this target is kept so
+//! `cargo bench -p lr-bench --bench tab_msg_constancy` and the BENCH_*.json
+//! name are preserved. Use the `lr-bench` driver binary for filtered
+//! or parallel sweeps across scenarios.
 
 fn main() {
-    let cfg = SystemConfig::default();
-    print_header(
-        "Message/miss constancy: stack misses/op and messages/op vs threads",
-        &cfg,
-    );
-    let ops = ops_per_thread(120);
-    let rows: [(&str, StackVariant, Cycle); 3] = [
-        ("stack-base", StackVariant::Base, 20_000),
-        ("stack-lease-20k", StackVariant::Leased, 20_000),
-        ("stack-lease-1k", StackVariant::Leased, 1_000),
-    ];
-    for (name, variant, lease_time) in rows {
-        let mut first = None;
-        for &t in &threads_sweep() {
-            let row = run_stack(name, variant, lease_time, t, ops);
-            if t >= 4 && first.is_none() {
-                first = Some((row.misses_per_op, row.msgs_per_op));
-            }
-            if let Some((m0, g0)) = first {
-                println!(
-                    "CSVX,{name},{t},miss_growth,{:.3},msg_growth,{:.3}",
-                    row.misses_per_op / m0,
-                    row.msgs_per_op / g0
-                );
-            }
-            print_row(&row);
-        }
-    }
+    lr_bench::run_scenario("tab_msg_constancy");
 }

@@ -1,106 +1,9 @@
-//! §7 setup validation: the paper compared base (lease-less)
-//! implementations on Graphite against a real Intel machine and found
-//! "the scalability trends are similar". This bench replays that check:
-//! the host-atomics Treiber stack and Michael–Scott queue are run on the
-//! real CPU across thread counts, for trend comparison against the
-//! simulated `treiber-base` / `msqueue-base` series (Figures 2/3).
-//!
-//! Only the *trend* (throughput flattening/dropping under contention) is
-//! comparable — absolute numbers differ by design.
-
-use lr_ds::{NativeQueue, NativeStack};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
-use std::time::Instant;
-
-fn host_threads() -> Vec<usize> {
-    let max = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4);
-    [1usize, 2, 4, 8, 16, 32, 64]
-        .into_iter()
-        .filter(|&t| t <= max)
-        .collect()
-}
-
-fn bench_stack(threads: usize, ops_per_thread: u64) -> f64 {
-    let s = Arc::new(NativeStack::new());
-    let go = Arc::new(AtomicBool::new(false));
-    let handles: Vec<_> = (0..threads)
-        .map(|_| {
-            let s = s.clone();
-            let go = go.clone();
-            std::thread::spawn(move || {
-                while !go.load(Ordering::Acquire) {
-                    std::hint::spin_loop();
-                }
-                for i in 0..ops_per_thread {
-                    s.push(i + 1);
-                    s.pop();
-                }
-            })
-        })
-        .collect();
-    let t0 = Instant::now();
-    go.store(true, Ordering::Release);
-    for h in handles {
-        h.join().unwrap();
-    }
-    let secs = t0.elapsed().as_secs_f64();
-    (threads as u64 * ops_per_thread * 2) as f64 / secs / 1e6
-}
-
-fn bench_queue(threads: usize, ops_per_thread: u64) -> f64 {
-    let q = Arc::new(NativeQueue::new());
-    let go = Arc::new(AtomicBool::new(false));
-    let handles: Vec<_> = (0..threads)
-        .map(|_| {
-            let q = q.clone();
-            let go = go.clone();
-            std::thread::spawn(move || {
-                while !go.load(Ordering::Acquire) {
-                    std::hint::spin_loop();
-                }
-                for i in 0..ops_per_thread {
-                    q.enqueue(i + 1);
-                    q.dequeue();
-                }
-            })
-        })
-        .collect();
-    let t0 = Instant::now();
-    go.store(true, Ordering::Release);
-    for h in handles {
-        h.join().unwrap();
-    }
-    let secs = t0.elapsed().as_secs_f64();
-    (threads as u64 * ops_per_thread * 2) as f64 / secs / 1e6
-}
+//! Thin wrapper: the workload now lives in the scenario registry
+//! (`lr_bench::scenarios::validation_native`); this target is kept so
+//! `cargo bench -p lr-bench --bench validation_native` and the BENCH_*.json
+//! name are preserved. Use the `lr-bench` driver binary for filtered
+//! or parallel sweeps across scenarios.
 
 fn main() {
-    println!("==================================================================");
-    println!("Validation: native (host CPU) base stack/queue scalability trend");
-    println!("==================================================================");
-    println!("{:<20} {:>7} {:>14}", "series", "threads", "Mops/s (host)");
-    // Native ops use their own knob: the simulated-bench LR_OPS values
-    // are far too small for wall-clock timing.
-    let ops = std::env::var("LR_NATIVE_OPS")
-        .ok()
-        .and_then(|v| v.parse::<u64>().ok())
-        .unwrap_or(200_000);
-    for &t in &host_threads() {
-        let m = bench_stack(t, ops);
-        println!("{:<20} {:>7} {:>14.2}", "native-stack", t, m);
-        println!("CSV,native-stack,{t},{m:.4}");
-    }
-    for &t in &host_threads() {
-        let m = bench_queue(t, ops);
-        println!("{:<20} {:>7} {:>14.2}", "native-queue", t, m);
-        println!("CSV,native-queue,{t},{m:.4}");
-    }
-    println!(
-        "Compare the trend against the simulated treiber-base / msqueue-base\n\
-         series from fig2_stack / fig3_queue: throughput should flatten or\n\
-         degrade beyond a few threads in both worlds."
-    );
+    lr_bench::run_scenario("validation_native");
 }

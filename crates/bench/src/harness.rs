@@ -1,19 +1,13 @@
-//! Output helpers shared by all figure/table bench binaries.
+//! Row extraction shared by every scenario.
 //!
-//! Every bench prints (a) the system configuration (the paper's Table 1),
-//! (b) an aligned human-readable table, and (c) the same rows as CSV
-//! lines prefixed with `CSV,` for machine consumption. In addition the
-//! harness maintains a machine-readable `BENCH_<name>.json` file: every
-//! `print_row` call appends the row — including the *complete*
-//! [`MachineStats`] dump — and rewrites the file, so it is valid JSON at
-//! every point during the run. Knobs:
-//!
-//! * `LR_JSON_DIR` — directory for the JSON files (default: cwd);
-//! * `LR_NO_JSON=1` — disable the JSON export entirely.
+//! A [`BenchRow`] is one measured point of a figure/table series: the
+//! derived per-op metrics plus the complete raw [`MachineStats`] dump
+//! (as JSON) so reports can expose raw counters, not just derivatives.
+//! Rendering — the aligned table, `CSV,` lines, and the `BENCH_*.json`
+//! files — lives in [`crate::report`]; the sweep axes come from the
+//! driver ([`crate::sweep`]).
 
 use lr_sim_core::{MachineStats, SystemConfig};
-use std::path::PathBuf;
-use std::sync::Mutex;
 
 /// One measured point of a figure/table series.
 #[derive(Debug, Clone)]
@@ -59,8 +53,24 @@ impl BenchRow {
         }
     }
 
+    /// A row carrying only a host-side throughput measurement (the
+    /// native validation scenario): every simulator-derived metric is
+    /// zero and no raw stats are attached.
+    pub fn host_only(series: &str, threads: usize, mops: f64) -> Self {
+        BenchRow {
+            series: series.to_string(),
+            threads,
+            mops,
+            nj_per_op: 0.0,
+            misses_per_op: 0.0,
+            msgs_per_op: 0.0,
+            cas_fail_ratio: 0.0,
+            stats_json: String::new(),
+        }
+    }
+
     /// Render this row as a JSON object (derived metrics + raw stats).
-    fn to_json(&self) -> String {
+    pub(crate) fn to_json(&self) -> String {
         format!(
             concat!(
                 "{{\"series\":\"{}\",\"threads\":{},\"mops\":{:.6},",
@@ -85,7 +95,7 @@ impl BenchRow {
 
 /// Minimal JSON string escaping (series names are plain ASCII, but don't
 /// rely on it).
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -100,30 +110,8 @@ fn json_escape(s: &str) -> String {
     out
 }
 
-/// In-process JSON sink: the bench name (set by `print_header`) and the
-/// rows accumulated so far. Bench binaries are single-threaded, but a
-/// Mutex keeps the harness safe to reuse from tests.
-static JSON_SINK: Mutex<Option<(String, Vec<String>)>> = Mutex::new(None);
-
-fn json_enabled() -> bool {
-    std::env::var("LR_NO_JSON").map_or(true, |v| v != "1")
-}
-
-/// `BENCH_<name>.json` in `LR_JSON_DIR`; by default the workspace root
-/// (cargo runs bench binaries with cwd = the package dir, which would
-/// scatter the files under `crates/bench/`).
-fn json_path(name: &str) -> PathBuf {
-    let dir = std::env::var("LR_JSON_DIR").unwrap_or_else(|_| {
-        match std::env::var("CARGO_MANIFEST_DIR") {
-            Ok(m) => format!("{m}/../.."),
-            Err(_) => ".".to_string(),
-        }
-    });
-    PathBuf::from(dir).join(format!("BENCH_{name}.json"))
-}
-
 /// Turn a bench title like "Figure 2: Treiber stack" into a file slug.
-fn slug(title: &str) -> String {
+pub(crate) fn slug(title: &str) -> String {
     let mut out = String::new();
     for c in title.chars() {
         if c.is_ascii_alphanumeric() {
@@ -135,85 +123,15 @@ fn slug(title: &str) -> String {
     out.trim_end_matches('_').to_string()
 }
 
-/// Rewrite the JSON file with everything recorded so far. The file is a
-/// single object so partial runs still parse.
-fn json_flush(name: &str, rows: &[String]) {
-    let body = format!(
-        "{{\"bench\":\"{}\",\"rows\":[\n{}\n]}}\n",
-        json_escape(name),
-        rows.join(",\n")
-    );
-    let path = json_path(name);
-    if let Err(e) = std::fs::write(&path, body) {
-        eprintln!("warning: could not write {}: {e}", path.display());
-    }
-}
-
-/// Print the bench banner and Table 1 configuration, and start the JSON
-/// report for this bench (`BENCH_<slug-of-title>.json`).
-pub fn print_header(title: &str, cfg: &SystemConfig) {
-    println!("==================================================================");
-    println!("{title}");
-    println!("==================================================================");
-    println!("{}", cfg.table1());
-    println!("------------------------------------------------------------------");
-    println!(
-        "{:<24} {:>7} {:>12} {:>12} {:>10} {:>10} {:>9}",
-        "series", "threads", "Mops/s", "nJ/op", "miss/op", "msg/op", "casfail"
-    );
-    if json_enabled() {
-        let name = slug(title);
-        println!("JSON -> {}", json_path(&name).display());
-        *JSON_SINK.lock().unwrap() = Some((name, Vec::new()));
-    }
-}
-
-/// Print one row, both human-aligned and as CSV, and append it to the
-/// bench's JSON report.
-pub fn print_row(r: &BenchRow) {
-    println!(
-        "{:<24} {:>7} {:>12.3} {:>12.1} {:>10.2} {:>10.2} {:>8.1}%",
-        r.series,
-        r.threads,
-        r.mops,
-        r.nj_per_op,
-        r.misses_per_op,
-        r.msgs_per_op,
-        r.cas_fail_ratio * 100.0
-    );
-    println!(
-        "CSV,{},{},{:.6},{:.3},{:.4},{:.4},{:.4}",
-        r.series, r.threads, r.mops, r.nj_per_op, r.misses_per_op, r.msgs_per_op, r.cas_fail_ratio
-    );
-    if let Some((name, rows)) = JSON_SINK.lock().unwrap().as_mut() {
-        rows.push(r.to_json());
-        // Rewrite after every row: the file stays valid JSON even if the
-        // run is interrupted part-way through a sweep.
-        json_flush(name, rows);
-    }
-}
-
 /// The paper's thread counts ("We tested for 2, 4, 8, 16, 32, 64
-/// threads/cores"), capped by `max` (useful for quick runs and hosts with
-/// few cores). Controlled by the `LR_MAX_THREADS` environment variable.
-pub fn threads_sweep() -> Vec<usize> {
-    let max = std::env::var("LR_MAX_THREADS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .unwrap_or(64);
+/// threads/cores"), capped by `max` (useful for quick runs and hosts
+/// with few cores). Pure: the driver parses `LR_MAX_THREADS` exactly
+/// once and passes the cap in.
+pub fn threads_sweep(max: usize) -> Vec<usize> {
     [1, 2, 4, 8, 16, 32, 64]
         .into_iter()
         .filter(|&t| t <= max)
         .collect()
-}
-
-/// Per-thread operation count, scaled down for quick runs via the
-/// `LR_OPS` environment variable.
-pub fn ops_per_thread(default: u64) -> u64 {
-    std::env::var("LR_OPS")
-        .ok()
-        .and_then(|v| v.parse::<u64>().ok())
-        .unwrap_or(default)
 }
 
 #[cfg(test)]
@@ -265,10 +183,21 @@ mod tests {
     }
 
     #[test]
-    fn sweep_is_powers_of_two_up_to_64() {
-        // Without the env override the sweep is the paper's thread set.
-        if std::env::var("LR_MAX_THREADS").is_err() {
-            assert_eq!(threads_sweep(), vec![1, 2, 4, 8, 16, 32, 64]);
-        }
+    fn sweep_is_powers_of_two_up_to_cap() {
+        // Pure function of the cap: no environment involved, so this
+        // holds regardless of LR_MAX_THREADS in the test environment.
+        assert_eq!(threads_sweep(64), vec![1, 2, 4, 8, 16, 32, 64]);
+        assert_eq!(threads_sweep(8), vec![1, 2, 4, 8]);
+        assert_eq!(threads_sweep(5), vec![1, 2, 4]);
+        assert_eq!(threads_sweep(1), vec![1]);
+        assert_eq!(threads_sweep(0), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn host_only_row_has_finite_zero_metrics() {
+        let r = BenchRow::host_only("native-stack", 4, 12.5);
+        assert_eq!(r.mops, 12.5);
+        assert_eq!(r.nj_per_op, 0.0);
+        assert!(r.to_json().contains("\"stats\":null"));
     }
 }

@@ -1,7 +1,28 @@
 //! # lr-bench
 //!
-//! Shared harness utilities for the per-figure/table bench targets.
+//! The experiment layer: a declarative [`Scenario`] registry covering
+//! every figure/table of the paper's evaluation, an instance-based
+//! [`Report`] sink (aligned table + `CSV,` lines + atomic
+//! `BENCH_*.json` files), and a parallel deterministic sweep driver.
+//!
+//! Three ways in:
+//!
+//! * the `lr-bench` binary (`cargo run -p lr-bench --bin lr-bench --
+//!   --list`) — filters, `--jobs N` parallelism, `--smoke`;
+//! * the historical per-figure bench targets (`cargo bench -p lr-bench
+//!   --bench fig2_stack`), now thin wrappers over [`run_scenario`];
+//! * the library API ([`build_plan`] + [`run`]) used by the tests.
 
 pub mod harness;
+pub mod report;
+pub mod scenario;
+pub mod scenarios;
+pub mod sweep;
 
-pub use harness::{print_header, print_row, threads_sweep, BenchRow};
+pub use harness::{threads_sweep, BenchRow};
+pub use report::{JsonPolicy, Report};
+pub use scenario::{CellOut, Scenario, ScenarioKind};
+pub use scenarios::{find, registry};
+pub use sweep::{
+    build_plan, default_jobs, max_threads_from_env, run, run_scenario, Plan, PlanOpts,
+};

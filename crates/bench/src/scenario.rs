@@ -1,0 +1,93 @@
+//! The declarative experiment surface: a [`Scenario`] describes one
+//! paper figure/table — its series, sweep axes, default operation
+//! count, and a pure `run_cell` function producing one measured row.
+//!
+//! Every (series × thread-count) grid cell is an independent
+//! deterministic simulation (same seed ⇒ identical stats), so the sweep
+//! driver ([`crate::sweep`]) is free to execute cells on parallel host
+//! workers and merge rows back in canonical order: output is
+//! byte-identical to a serial run.
+//!
+//! The concrete scenarios live under [`crate::scenarios`]; adding a
+//! workload is a ~30-line registry entry there, not a new binary.
+
+use crate::harness::BenchRow;
+
+/// How a scenario's cells measure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScenarioKind {
+    /// Deterministic simulator run: cells may execute on parallel
+    /// workers and are byte-reproducible across runs and job counts.
+    Sim,
+    /// Host wall-clock measurement (the native validation bench): cells
+    /// run serially on the main thread, after all sim cells, so
+    /// concurrent sim workers don't perturb the timing.
+    Host,
+}
+
+/// The output of one grid cell: the measured row plus any auxiliary
+/// lines (`CSVX,` extras) printed immediately after it.
+#[derive(Debug, Clone)]
+pub struct CellOut {
+    pub row: BenchRow,
+    /// Extra lines emitted right after the row (e.g. TL2 abort rates).
+    pub post: Vec<String>,
+}
+
+impl CellOut {
+    /// A cell with no auxiliary output.
+    pub fn row(row: BenchRow) -> Self {
+        CellOut {
+            row,
+            post: Vec::new(),
+        }
+    }
+}
+
+/// Lines emitted right *before* a row, computed from the rows already
+/// emitted for the same series (in canonical order) plus the current
+/// row — e.g. the message-constancy growth factors, which are relative
+/// to the series' first ≥4-thread row. Pure, so serial and parallel
+/// sweeps agree.
+pub type AnnotateFn = fn(prior: &[BenchRow], current: &BenchRow) -> Vec<String>;
+
+/// One paper figure/table as a declarative registry entry.
+pub struct Scenario {
+    /// Registry key and `cargo bench` target name, e.g. `fig2_stack`.
+    pub name: &'static str,
+    /// Header title; its slug names the `BENCH_<slug>.json` file.
+    pub title: &'static str,
+    /// Where in the paper this comes from, e.g. `"Figure 2"`.
+    pub paper_ref: &'static str,
+    /// Series (variant) names, in canonical emission order.
+    pub series: &'static [&'static str],
+    /// Default per-thread operation count (for Pagerank: node count;
+    /// for the native validation: total host ops per thread).
+    pub default_ops: u64,
+    /// Scenario-specific operation-count override environment variable
+    /// (e.g. `LR_NATIVE_OPS`), consulted between `--ops` and `LR_OPS`.
+    pub ops_env: Option<&'static str>,
+    /// Sim (parallelizable, deterministic) or Host (wall-clock).
+    pub kind: ScenarioKind,
+    /// Run one grid cell: `(series index, threads, ops) -> row`.
+    /// Must be pure up to the deterministic simulator seed.
+    pub run_cell: fn(series: usize, threads: usize, ops: u64) -> CellOut,
+    /// Optional pre-row annotation hook (see [`AnnotateFn`]).
+    pub annotate: Option<AnnotateFn>,
+    /// Optional trailer printed after the scenario's last row.
+    pub footer: Option<&'static str>,
+}
+
+impl Scenario {
+    /// The series index for `name`, if this scenario has it.
+    pub fn series_index(&self, name: &str) -> Option<usize> {
+        self.series.iter().position(|s| *s == name)
+    }
+}
+
+// Scenarios live in a `static` registry and are handed to sweep worker
+// threads by reference.
+const _: () = {
+    const fn assert_sync<T: Sync>() {}
+    assert_sync::<Scenario>();
+};

@@ -1,0 +1,37 @@
+//! Figure 3 (middle column): the Michael–Scott queue — throughput and
+//! energy for the base implementation, single leases on the sentinel
+//! pointers (Algorithm 3), and the multi-lease ablation (tail + last
+//! node's next field), which the paper finds *slower* than the single
+//! predecessor lease.
+
+use super::common::queue_cell;
+use crate::scenario::{CellOut, Scenario, ScenarioKind};
+use lr_ds::QueueVariant;
+
+pub static SCENARIO: Scenario = Scenario {
+    name: "fig3_queue",
+    title: "Figure 3 (queue): Michael-Scott queue throughput + energy, single vs multi lease",
+    paper_ref: "Figure 3",
+    series: &["msqueue-base", "msqueue-lease", "msqueue-multilease"],
+    default_ops: 150,
+    ops_env: None,
+    kind: ScenarioKind::Sim,
+    run_cell,
+    annotate: None,
+    footer: None,
+};
+
+fn run_cell(series: usize, threads: usize, ops: u64) -> CellOut {
+    let variant = match series {
+        0 => QueueVariant::Base,
+        1 => QueueVariant::Leased,
+        _ => QueueVariant::MultiLeased,
+    };
+    CellOut::row(queue_cell(
+        SCENARIO.series[series],
+        variant,
+        threads,
+        ops,
+        |_| {},
+    ))
+}

@@ -1,0 +1,44 @@
+//! §8 "Other Protocols" ablation: Lease/Release on MESI instead of MSI.
+//! The lease semantics are identical ("a core leasing a line demands it
+//! in Exclusive state, and will delay incoming coherence requests"); the
+//! contended results must be essentially protocol-independent, while
+//! MESI saves the upgrade transaction in read-then-write patterns.
+
+use super::common::stack_cell;
+use crate::scenario::{CellOut, Scenario, ScenarioKind};
+use lr_ds::StackVariant;
+use lr_sim_core::CoherenceProtocol;
+
+pub static SCENARIO: Scenario = Scenario {
+    name: "tab_mesi",
+    title: "MESI ablation: Treiber stack under MSI vs MESI",
+    paper_ref: "§8",
+    series: &[
+        "stack-base-msi",
+        "stack-base-mesi",
+        "stack-lease-msi",
+        "stack-lease-mesi",
+    ],
+    default_ops: 120,
+    ops_env: None,
+    kind: ScenarioKind::Sim,
+    run_cell,
+    annotate: None,
+    footer: None,
+};
+
+fn run_cell(series: usize, threads: usize, ops: u64) -> CellOut {
+    let (variant, protocol) = match series {
+        0 => (StackVariant::Base, CoherenceProtocol::Msi),
+        1 => (StackVariant::Base, CoherenceProtocol::Mesi),
+        2 => (StackVariant::Leased, CoherenceProtocol::Msi),
+        _ => (StackVariant::Leased, CoherenceProtocol::Mesi),
+    };
+    CellOut::row(stack_cell(
+        SCENARIO.series[series],
+        variant,
+        threads,
+        ops,
+        |cfg| cfg.protocol = protocol,
+    ))
+}

@@ -1,0 +1,367 @@
+//! The deterministic sweep driver: expands scenarios into a flat list
+//! of independent (series × threads) grid cells, executes sim cells
+//! across parallel host workers, and merges rows back in canonical
+//! order — the output stream is byte-identical to a serial run
+//! (`--jobs 1`), because every cell is a deterministic simulation and
+//! emission order is fixed by the plan, not by completion order.
+//!
+//! Host (wall-clock) cells run serially on the calling thread after all
+//! sim cells, so worker contention never perturbs native timing; the
+//! registry keeps host scenarios last so the merge stays in order.
+
+use crate::harness::{threads_sweep, BenchRow};
+use crate::report::{JsonPolicy, Report};
+use crate::scenario::{CellOut, Scenario, ScenarioKind};
+use crate::scenarios;
+use lr_sim_core::SystemConfig;
+use std::io::Write;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// One grid cell: a single deterministic measurement.
+#[derive(Clone, Copy)]
+pub struct CellSpec {
+    pub scenario: &'static Scenario,
+    pub series: usize,
+    pub threads: usize,
+    pub ops: u64,
+}
+
+/// A fully expanded sweep: cells in canonical emission order.
+pub struct Plan {
+    pub cells: Vec<CellSpec>,
+    pub jobs: usize,
+    pub json: JsonPolicy,
+}
+
+/// Everything that selects and scales a sweep. `Default` gives the full
+/// registry at the paper's thread counts and per-scenario default ops.
+pub struct PlanOpts {
+    /// Scenarios to run, in canonical order (default: whole registry).
+    pub scenarios: Vec<&'static Scenario>,
+    /// Keep only series whose name contains this substring.
+    pub series_filter: Option<String>,
+    /// Explicit thread axis (default: paper sweep capped by
+    /// `max_threads`).
+    pub threads: Option<Vec<usize>>,
+    /// Cap for the default paper thread sweep.
+    pub max_threads: usize,
+    /// Per-thread operation-count override (`--ops` / smoke mode);
+    /// takes precedence over every environment knob.
+    pub ops: Option<u64>,
+    /// Worker thread count for sim cells.
+    pub jobs: usize,
+    pub json: JsonPolicy,
+}
+
+impl Default for PlanOpts {
+    fn default() -> Self {
+        PlanOpts {
+            scenarios: scenarios::registry().to_vec(),
+            series_filter: None,
+            threads: None,
+            max_threads: 64,
+            ops: None,
+            jobs: default_jobs(),
+            json: JsonPolicy::disabled(),
+        }
+    }
+}
+
+/// Host parallelism, the default `--jobs`.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Parse `LR_MAX_THREADS` (the sweep cap) exactly once, at plan time —
+/// [`threads_sweep`] itself is pure.
+pub fn max_threads_from_env() -> usize {
+    std::env::var("LR_MAX_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(64)
+}
+
+/// Resolve one scenario's per-thread operation count:
+/// explicit override (`--ops`) > scenario-specific env knob
+/// (e.g. `LR_NATIVE_OPS`) > `LR_OPS` > the scenario default.
+fn resolve_ops(sc: &Scenario, over: Option<u64>) -> u64 {
+    if let Some(o) = over {
+        return o;
+    }
+    if let Some(var) = sc.ops_env {
+        if let Some(o) = std::env::var(var).ok().and_then(|v| v.parse().ok()) {
+            return o;
+        }
+    }
+    std::env::var("LR_OPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(sc.default_ops)
+}
+
+/// Expand `opts` into the canonical cell list: scenario-major (registry
+/// order), series-major within a scenario, threads ascending.
+pub fn build_plan(opts: &PlanOpts) -> Plan {
+    let host_cap = default_jobs();
+    let mut cells = Vec::new();
+    for sc in &opts.scenarios {
+        let ops = resolve_ops(sc, opts.ops);
+        let mut axis = opts
+            .threads
+            .clone()
+            .unwrap_or_else(|| threads_sweep(opts.max_threads));
+        if sc.kind == ScenarioKind::Host {
+            // Wall-clock cells beyond the host's cores only oversubscribe.
+            axis.retain(|&t| t <= host_cap);
+            if axis.is_empty() {
+                axis.push(1);
+            }
+        }
+        for (series, name) in sc.series.iter().enumerate() {
+            if let Some(f) = &opts.series_filter {
+                if !name.contains(f.as_str()) {
+                    continue;
+                }
+            }
+            for &threads in &axis {
+                cells.push(CellSpec {
+                    scenario: sc,
+                    series,
+                    threads,
+                    ops,
+                });
+            }
+        }
+    }
+    // Sim cells form a prefix (registry keeps host scenarios last);
+    // the executor depends on that.
+    debug_assert!(cells
+        .windows(2)
+        .all(|w| !(w[0].scenario.kind == ScenarioKind::Host
+            && w[1].scenario.kind == ScenarioKind::Sim)));
+    Plan {
+        cells,
+        jobs: opts.jobs.max(1),
+        json: opts.json.clone(),
+    }
+}
+
+/// Streaming merge state: emits completed cells strictly in plan order,
+/// opening/closing one [`Report`] per scenario as the cursor crosses
+/// scenario boundaries.
+struct Emitter<'a> {
+    plan: &'a Plan,
+    out: &'a mut (dyn Write + Send),
+    results: Vec<Option<CellOut>>,
+    cursor: usize,
+    report: Option<Report>,
+    /// Rows already emitted for the cursor's current series (input to
+    /// the scenario's `annotate` hook).
+    series_rows: Vec<BenchRow>,
+    header_cfg: SystemConfig,
+}
+
+impl<'a> Emitter<'a> {
+    fn new(plan: &'a Plan, out: &'a mut (dyn Write + Send)) -> Self {
+        Emitter {
+            results: (0..plan.cells.len()).map(|_| None).collect(),
+            cursor: 0,
+            report: None,
+            series_rows: Vec::new(),
+            // Headers print the paper's Table 1 (the full 64-core
+            // configuration), as the standalone benches always did.
+            header_cfg: SystemConfig::default(),
+            plan,
+            out,
+        }
+    }
+
+    /// Record cell `i`'s result and emit every cell that is now ready
+    /// in canonical order.
+    fn complete(&mut self, i: usize, cell_out: CellOut) {
+        self.results[i] = Some(cell_out);
+        while self.cursor < self.results.len() && self.results[self.cursor].is_some() {
+            let co = self.results[self.cursor].take().expect("checked above");
+            self.emit(self.cursor, co);
+            self.cursor += 1;
+        }
+        if self.cursor == self.results.len() {
+            self.close_report();
+        }
+    }
+
+    fn emit(&mut self, idx: usize, co: CellOut) {
+        let cell = &self.plan.cells[idx];
+        let scenario_changed =
+            idx == 0 || !std::ptr::eq(self.plan.cells[idx - 1].scenario, cell.scenario);
+        if scenario_changed {
+            self.close_report();
+            self.report = Some(Report::begin(
+                self.out,
+                cell.scenario.title,
+                &self.header_cfg,
+                &self.plan.json,
+            ));
+            self.series_rows.clear();
+        } else if self.plan.cells[idx - 1].series != cell.series {
+            self.series_rows.clear();
+        }
+        let report = self.report.as_mut().expect("opened above");
+        if let Some(annotate) = cell.scenario.annotate {
+            for line in annotate(&self.series_rows, &co.row) {
+                report.line(self.out, &line);
+            }
+        }
+        report.row(self.out, &co.row);
+        for line in &co.post {
+            report.line(self.out, line);
+        }
+        self.series_rows.push(co.row);
+    }
+
+    fn close_report(&mut self) {
+        if let Some(mut r) = self.report.take() {
+            // The scenario that just finished is the one owning the
+            // previous cell.
+            if self.cursor > 0 {
+                if let Some(f) = self.plan.cells[self.cursor - 1].scenario.footer {
+                    r.line(self.out, f);
+                }
+            }
+            r.finish(self.out);
+        }
+    }
+
+    fn assert_drained(&self) {
+        assert_eq!(
+            self.cursor,
+            self.results.len(),
+            "sweep ended with unemitted cells"
+        );
+    }
+}
+
+/// Execute the plan: sim cells on `plan.jobs` worker threads (merged in
+/// canonical order as they complete), then host cells serially.
+pub fn run(plan: &Plan, out: &mut (dyn Write + Send)) {
+    let sim_cells = plan
+        .cells
+        .iter()
+        .take_while(|c| c.scenario.kind == ScenarioKind::Sim)
+        .count();
+    let emit = Mutex::new(Emitter::new(plan, out));
+    let next = AtomicUsize::new(0);
+    let workers = plan.jobs.min(sim_cells);
+    if workers > 1 {
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= sim_cells {
+                        break;
+                    }
+                    let c = &plan.cells[i];
+                    let co = (c.scenario.run_cell)(c.series, c.threads, c.ops);
+                    emit.lock().unwrap().complete(i, co);
+                });
+            }
+        });
+    } else {
+        for i in 0..sim_cells {
+            let c = &plan.cells[i];
+            let co = (c.scenario.run_cell)(c.series, c.threads, c.ops);
+            emit.lock().unwrap().complete(i, co);
+        }
+    }
+    let mut em = emit.into_inner().unwrap();
+    for i in sim_cells..plan.cells.len() {
+        let c = &plan.cells[i];
+        let co = (c.scenario.run_cell)(c.series, c.threads, c.ops);
+        em.complete(i, co);
+    }
+    em.assert_drained();
+}
+
+/// Entry point for the thin per-figure wrapper binaries: run one
+/// registered scenario with the historical environment knobs
+/// (`LR_MAX_THREADS`, `LR_OPS`, `LR_JSON_DIR`, `LR_NO_JSON`, plus
+/// `LR_JOBS` for the worker count) and stream to stdout.
+pub fn run_scenario(name: &str) {
+    let sc = scenarios::find(name)
+        .unwrap_or_else(|| panic!("unknown scenario {name:?}; see `lr-bench --list`"));
+    let opts = PlanOpts {
+        scenarios: vec![sc],
+        max_threads: max_threads_from_env(),
+        jobs: std::env::var("LR_JOBS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(default_jobs),
+        json: JsonPolicy::from_env(),
+        ..PlanOpts::default()
+    };
+    let plan = build_plan(&opts);
+    let mut stdout = std::io::stdout();
+    run(&plan, &mut stdout);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_is_scenario_then_series_then_threads_ordered() {
+        let opts = PlanOpts {
+            scenarios: vec![
+                scenarios::find("fig2_stack").unwrap(),
+                scenarios::find("fig3_queue").unwrap(),
+            ],
+            threads: Some(vec![2, 4]),
+            ops: Some(4),
+            ..PlanOpts::default()
+        };
+        let plan = build_plan(&opts);
+        let got: Vec<_> = plan
+            .cells
+            .iter()
+            .map(|c| (c.scenario.name, c.series, c.threads))
+            .collect();
+        assert_eq!(
+            got,
+            vec![
+                ("fig2_stack", 0, 2),
+                ("fig2_stack", 0, 4),
+                ("fig2_stack", 1, 2),
+                ("fig2_stack", 1, 4),
+                ("fig3_queue", 0, 2),
+                ("fig3_queue", 0, 4),
+                ("fig3_queue", 1, 2),
+                ("fig3_queue", 1, 4),
+                ("fig3_queue", 2, 2),
+                ("fig3_queue", 2, 4),
+            ]
+        );
+    }
+
+    #[test]
+    fn series_filter_selects_matching_series_only() {
+        let opts = PlanOpts {
+            scenarios: vec![scenarios::find("fig2_stack").unwrap()],
+            series_filter: Some("lease".to_string()),
+            threads: Some(vec![2]),
+            ops: Some(4),
+            ..PlanOpts::default()
+        };
+        let plan = build_plan(&opts);
+        assert_eq!(plan.cells.len(), 1);
+        assert_eq!(plan.cells[0].series, 1);
+    }
+
+    #[test]
+    fn explicit_ops_override_beats_env_default() {
+        let sc = scenarios::find("fig2_stack").unwrap();
+        assert_eq!(resolve_ops(sc, Some(7)), 7);
+    }
+}

@@ -250,6 +250,17 @@ pub struct Machine {
     trace_depth: usize,
 }
 
+// The `lr-bench` sweep driver constructs and runs one `Machine` per
+// grid cell from parallel host worker threads. Machines (and the
+// workload closures they accept) must therefore stay Send; this fails
+// compilation if a non-Send field (Rc, raw-pointer cache, ...) is ever
+// introduced.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Machine>();
+    assert_send::<ThreadFn>();
+};
+
 impl Machine {
     /// A machine with the given configuration and an empty heap.
     pub fn new(cfg: SystemConfig) -> Self {

@@ -218,6 +218,18 @@ impl SystemConfig {
     }
 }
 
+// The sweep driver in `lr-bench` instantiates one simulation per
+// (series × threads) grid cell on parallel host worker threads;
+// configurations are built once and moved/cloned into workers. Keep
+// that property explicit: a non-Send/Sync field sneaking in here should
+// fail compilation, not surface as a driver refactor.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<SystemConfig>();
+    assert_send_sync::<LeaseConfig>();
+    assert_send_sync::<CoherenceProtocol>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -80,6 +80,15 @@ impl CoreStats {
     }
 }
 
+// Stats cross thread boundaries in the parallel sweep driver (a worker
+// runs a cell's machine to completion and hands the stats to the merge
+// thread); keep them Send + Sync by construction.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<MachineStats>();
+    assert_send_sync::<CoreStats>();
+};
+
 /// Whole-machine statistics: per-core counters plus protocol globals.
 #[derive(Debug, Clone, Default)]
 pub struct MachineStats {
