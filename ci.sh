@@ -20,4 +20,7 @@ cargo test -q --offline --workspace --features lease-release/strict-invariants
 echo "== driver smoke: every scenario, 2 parallel jobs =="
 LR_NO_JSON=1 cargo run -q --release --offline -p lr-bench --bin lr-bench -- --smoke --jobs 2 > /dev/null
 
+echo "== engine throughput smoke (gates on completion, not numbers) =="
+LR_NO_JSON=1 cargo run -q --release --offline -p lr-bench --bin lr-bench -- --scenario engine_throughput --smoke > /dev/null
+
 echo "CI OK"

@@ -43,7 +43,7 @@ ENVIRONMENT:
     LR_NO_JSON=1    disable the JSON export
 ";
 
-/// Per-thread ops for `--smoke`: small enough that all 15 scenarios
+/// Per-thread ops for `--smoke`: small enough that all 16 scenarios
 /// finish in seconds, large enough that every metric is exercised.
 const SMOKE_OPS: u64 = 8;
 
@@ -76,6 +76,7 @@ fn list_scenarios() {
             match s.kind {
                 ScenarioKind::Sim => "sim",
                 ScenarioKind::Host => "host",
+                ScenarioKind::HostLockstep => "wall",
             },
             s.series.len(),
             s.default_ops,

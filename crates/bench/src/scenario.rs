@@ -21,8 +21,17 @@ pub enum ScenarioKind {
     Sim,
     /// Host wall-clock measurement (the native validation bench): cells
     /// run serially on the main thread, after all sim cells, so
-    /// concurrent sim workers don't perturb the timing.
+    /// concurrent sim workers don't perturb the timing. The thread axis
+    /// is capped at the host's core count (beyond it the native code
+    /// only oversubscribes).
     Host,
+    /// Host wall-clock measurement *of the lockstep simulator itself*
+    /// (the engine-throughput bench): serial like [`Host`], but the
+    /// thread axis is **not** capped — lockstep workers are real OS
+    /// threads of which exactly one is runnable at any moment, so high
+    /// thread counts never oversubscribe the host; they are precisely
+    /// the interesting regime for handoff overhead.
+    HostLockstep,
 }
 
 /// The output of one grid cell: the measured row plus any auxiliary

@@ -12,6 +12,7 @@ use crate::scenario::Scenario;
 
 mod common;
 
+pub mod engine_throughput;
 pub mod fig2_stack;
 pub mod fig3_counter;
 pub mod fig3_pq;
@@ -28,9 +29,10 @@ pub mod tab_mesi;
 pub mod tab_msg_constancy;
 pub mod validation_native;
 
-/// All 15 paper scenarios, in canonical (figure, table, validation)
+/// All 16 scenarios (15 paper experiments plus the engine-throughput
+/// infrastructure bench), in canonical (figure, table, validation)
 /// order; host-measured scenarios last.
-static REGISTRY: [&Scenario; 15] = [
+static REGISTRY: [&Scenario; 16] = [
     &fig2_stack::SCENARIO,
     &fig3_counter::SCENARIO,
     &fig3_queue::SCENARIO,
@@ -46,6 +48,7 @@ static REGISTRY: [&Scenario; 15] = [
     &tab_mesi::SCENARIO,
     &tab_adaptive::SCENARIO,
     &validation_native::SCENARIO,
+    &engine_throughput::SCENARIO,
 ];
 
 /// Every registered scenario, in canonical order.
@@ -77,12 +80,12 @@ mod tests {
     fn host_scenarios_come_after_all_sim_scenarios() {
         let first_host = registry()
             .iter()
-            .position(|s| s.kind == ScenarioKind::Host)
+            .position(|s| s.kind != ScenarioKind::Sim)
             .unwrap_or(registry().len());
         assert!(
             registry()[first_host..]
                 .iter()
-                .all(|s| s.kind == ScenarioKind::Host),
+                .all(|s| s.kind != ScenarioKind::Sim),
             "sim scenario after a host scenario breaks the sweep merge"
         );
     }

@@ -140,7 +140,7 @@ pub fn build_plan(opts: &PlanOpts) -> Plan {
     // the executor depends on that.
     debug_assert!(cells
         .windows(2)
-        .all(|w| !(w[0].scenario.kind == ScenarioKind::Host
+        .all(|w| !(w[0].scenario.kind != ScenarioKind::Sim
             && w[1].scenario.kind == ScenarioKind::Sim)));
     Plan {
         cells,

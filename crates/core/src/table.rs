@@ -153,6 +153,18 @@ impl LeaseTable {
         v.into_iter().map(|e| e.line).collect()
     }
 
+    /// The oldest lease (FIFO order) whose line is in `sorted` — the
+    /// replacement victim among a pinned set. `sorted` must be sorted
+    /// ascending; membership is a binary search, so the whole scan is
+    /// O(leases · log |sorted|) and allocation-free.
+    pub fn oldest_member(&self, sorted: &[LineAddr]) -> Option<LineAddr> {
+        self.entries
+            .iter()
+            .filter(|e| sorted.binary_search(&e.line).is_ok())
+            .min_by_key(|e| e.seq)
+            .map(|e| e.line)
+    }
+
     fn find(&self, line: LineAddr) -> Option<usize> {
         self.entries.iter().position(|e| e.line == line)
     }
@@ -237,10 +249,25 @@ impl LeaseTable {
     /// (single leases) or record the grant (MultiLease groups, whose
     /// counters start jointly). Returns the counters to arm.
     pub fn on_exclusive_granted(&mut self, line: LineAddr, now: Cycle) -> Vec<ArmedCounter> {
+        let mut out = Vec::new();
+        self.on_exclusive_granted_into(line, now, &mut out);
+        out
+    }
+
+    /// [`LeaseTable::on_exclusive_granted`] into a reusable buffer:
+    /// clears `out` and appends the counters to arm (the engine-loop
+    /// variant, allocation-free at steady state).
+    pub fn on_exclusive_granted_into(
+        &mut self,
+        line: LineAddr,
+        now: Cycle,
+        out: &mut Vec<ArmedCounter>,
+    ) {
+        out.clear();
         let Some(i) = self.find(line) else {
             // The lease was displaced/broken while its ownership request
             // was in flight; nothing to start.
-            return Vec::new();
+            return;
         };
         match self.entries[i].group {
             None => {
@@ -248,54 +275,61 @@ impl LeaseTable {
                 e.granted = true;
                 let expires = now + e.duration;
                 e.expires = Some(expires);
-                vec![ArmedCounter {
+                out.push(ArmedCounter {
                     line,
                     expires,
                     generation: e.generation,
-                }]
+                });
             }
-            Some(g) => self.group_line_granted(g, line, now),
+            Some(g) => self.group_line_granted(g, line, now, out),
         }
     }
 
-    fn group_line_granted(&mut self, g: u64, line: LineAddr, now: Cycle) -> Vec<ArmedCounter> {
+    fn group_line_granted(
+        &mut self,
+        g: u64,
+        line: LineAddr,
+        now: Cycle,
+        out: &mut Vec<ArmedCounter>,
+    ) {
         let Some(i) = self.find(line) else {
-            return Vec::new();
+            return;
         };
         if self.entries[i].granted {
             // Duplicate grant (stale notification): ignore.
-            return Vec::new();
+            return;
         }
         self.entries[i].granted = true;
         let Some((ag, granted)) = self.acquiring.as_mut() else {
             // The group's acquisition was cancelled meanwhile.
-            return Vec::new();
+            return;
         };
         if *ag != g {
-            return Vec::new();
+            return;
         }
         *granted += 1;
         let total = self.entries.iter().filter(|e| e.group == Some(g)).count();
         if *granted < total {
-            return Vec::new();
+            return;
         }
         // Last line granted: start every counter in the group jointly
         // (Section 5, "all corresponding counters are allocated and
         // started").
         self.acquiring = None;
-        self.entries
-            .iter_mut()
-            .filter(|e| e.group == Some(g))
-            .map(|e| {
-                let expires = now + e.duration;
-                e.expires = Some(expires);
-                ArmedCounter {
-                    line: e.line,
-                    expires,
-                    generation: e.generation,
-                }
-            })
-            .collect()
+        out.extend(
+            self.entries
+                .iter_mut()
+                .filter(|e| e.group == Some(g))
+                .map(|e| {
+                    let expires = now + e.duration;
+                    e.expires = Some(expires);
+                    ArmedCounter {
+                        line: e.line,
+                        expires,
+                        generation: e.generation,
+                    }
+                }),
+        );
     }
 
     /// Algorithm 2 `MULTILEASE`: admit a joint lease on `lines`.
@@ -334,19 +368,31 @@ impl LeaseTable {
     /// Algorithm 2 `MULTIRELEASE`): removes the entry — and its whole
     /// group, for MultiLease members.
     pub fn release(&mut self, line: LineAddr) -> ReleaseOutcome {
+        let mut out = Vec::new();
+        if self.release_into(line, &mut out) {
+            ReleaseOutcome::Released(out)
+        } else {
+            ReleaseOutcome::NotFound
+        }
+    }
+
+    /// [`LeaseTable::release`] into a reusable buffer: clears `out`,
+    /// appends the released lines, and returns whether a lease was found
+    /// (the engine-loop variant, allocation-free at steady state).
+    pub fn release_into(&mut self, line: LineAddr, out: &mut Vec<LineAddr>) -> bool {
+        out.clear();
         let Some(i) = self.find(line) else {
-            return ReleaseOutcome::NotFound;
+            return false;
         };
         match self.entries[i].group {
             None => {
                 self.entries.swap_remove(i);
-                ReleaseOutcome::Released(vec![line])
+                out.push(line);
             }
             Some(g) => {
-                let mut removed: Vec<LineAddr> = Vec::new();
                 self.entries.retain(|e| {
                     if e.group == Some(g) {
-                        removed.push(e.line);
+                        out.push(e.line);
                         false
                     } else {
                         true
@@ -355,15 +401,24 @@ impl LeaseTable {
                 if self.acquiring.is_some_and(|(ag, _)| ag == g) {
                     self.acquiring = None;
                 }
-                ReleaseOutcome::Released(removed)
             }
         }
+        true
     }
 
     /// `RELEASEALL`: drop every lease, returning the released lines.
     pub fn release_all(&mut self) -> Vec<LineAddr> {
+        let mut out = Vec::new();
+        self.release_all_into(&mut out);
+        out
+    }
+
+    /// [`LeaseTable::release_all`] into a reusable buffer: clears `out`
+    /// and appends every released line.
+    pub fn release_all_into(&mut self, out: &mut Vec<LineAddr>) {
+        out.clear();
         self.acquiring = None;
-        self.entries.drain(..).map(|e| e.line).collect()
+        out.extend(self.entries.drain(..).map(|e| e.line));
     }
 
     /// Diagnostic dump of the table's entries in FIFO order (one line per
@@ -394,16 +449,30 @@ impl LeaseTable {
     /// released (empty if the event was stale — the lease was already
     /// released and possibly replaced).
     pub fn on_expiry(&mut self, line: LineAddr, generation: u64) -> Vec<LineAddr> {
+        let mut out = Vec::new();
+        self.on_expiry_into(line, generation, &mut out);
+        out
+    }
+
+    /// [`LeaseTable::on_expiry`] into a reusable buffer: clears `out`,
+    /// appends the involuntarily released lines, and returns whether the
+    /// event was still valid (false for stale generations).
+    pub fn on_expiry_into(
+        &mut self,
+        line: LineAddr,
+        generation: u64,
+        out: &mut Vec<LineAddr>,
+    ) -> bool {
+        out.clear();
         let valid = self
             .find(line)
             .is_some_and(|i| self.entries[i].generation == generation);
         if !valid {
-            return Vec::new();
+            return false;
         }
-        match self.release(line) {
-            ReleaseOutcome::Released(lines) => lines,
-            ReleaseOutcome::NotFound => unreachable!(),
-        }
+        let found = self.release_into(line, out);
+        debug_assert!(found, "valid expiry must release its lease");
+        true
     }
 }
 

@@ -1,9 +1,9 @@
 //! The worker-side simulated-instruction API.
 
-use crate::proto::{Op, Reply, Request};
+use crate::proto::{AddrVec, Op, Reply, Request};
+use crate::rendezvous::{SlotReceiver, SlotSender};
 use lr_lease::LeaseOps;
 use lr_sim_core::{Addr, Cycle, LeaseConfig, SplitMix64};
-use std::sync::mpsc::{Receiver, Sender};
 
 /// Per-thread handle to the simulated machine.
 ///
@@ -15,8 +15,8 @@ pub struct ThreadCtx {
     time: Cycle,
     inst_cost: Cycle,
     lease_cfg: LeaseConfig,
-    req: Sender<Request>,
-    reply: Receiver<Reply>,
+    req: SlotSender<Request>,
+    reply: SlotReceiver<Reply>,
     rng: SplitMix64,
     instructions: u64,
     ops: u64,
@@ -28,8 +28,8 @@ impl ThreadCtx {
         inst_cost: Cycle,
         lease_cfg: LeaseConfig,
         seed: u64,
-        req: Sender<Request>,
-        reply: Receiver<Reply>,
+        req: SlotSender<Request>,
+        reply: SlotReceiver<Reply>,
     ) -> Self {
         ThreadCtx {
             tid,
@@ -167,7 +167,7 @@ impl ThreadCtx {
     /// if the group was rejected (`MAX_NUM_LEASES` exceeded).
     pub fn multi_lease(&mut self, addrs: &[Addr], time: Cycle) -> bool {
         self.issue(Op::MultiLease {
-            addrs: addrs.to_vec(),
+            addrs: AddrVec::from_slice(addrs),
             time,
         })
         .flag

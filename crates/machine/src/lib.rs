@@ -31,6 +31,7 @@ mod barrier;
 mod ctx;
 mod machine;
 mod proto;
+pub mod rendezvous;
 
 pub use barrier::SimBarrier;
 pub use ctx::ThreadCtx;

@@ -10,16 +10,23 @@
 
 use crate::ctx::ThreadCtx;
 use crate::proto::{Op, Reply, Request, ALLOC_COST};
+use crate::rendezvous::{slot, SlotReceiver, SlotSender};
 use lr_coherence::{AccessKind, CohContext, CohEvent, CoherenceEngine, ProbeAction};
-use lr_lease::{BeginLease, LeaseTable, MultiLeaseBegin, ReleaseOutcome};
+use lr_lease::{ArmedCounter, BeginLease, LeaseTable, MultiLeaseBegin};
 use lr_sim_core::trace::{TraceEvent, TraceRing, TraceSink};
 use lr_sim_core::{CoreId, Cycle, EventQueue, LineAddr, MachineStats, SystemConfig};
 use lr_sim_mem::SimMemory;
 use std::panic::AssertUnwindSafe;
-use std::sync::mpsc::{channel, Receiver, Sender};
 
 /// A workload thread: a closure over the simulated-instruction API.
 pub type ThreadFn = Box<dyn FnOnce(&mut ThreadCtx) + Send + 'static>;
+
+/// Yield-phase budget pool for worker reply receivers, divided by the
+/// worker count: the more workers are waiting, the longer each host
+/// scheduling rotation, so the quicker each should fall back to parking
+/// (see the comment at the `slot()` construction site in
+/// [`Machine::run_with_memory`]).
+const WORKER_YIELD_CAP: u32 = 16;
 
 /// Engine events.
 #[derive(Debug)]
@@ -75,6 +82,18 @@ enum Pending {
     },
 }
 
+/// Reusable engine-loop buffers. Deferred-effect staging ping-pongs
+/// between here and [`Shared`] (see [`Machine::drain`]) so the
+/// steady-state loop performs no per-event heap allocation.
+#[derive(Default)]
+struct Scratch {
+    pins: Vec<(CoreId, LineAddr)>,
+    rels: Vec<(CoreId, LineAddr)>,
+    completions: Vec<(u64, Cycle)>,
+    /// Release/expiry result lines for the machine-loop paths.
+    lines: Vec<LineAddr>,
+}
+
 /// State shared with the coherence engine through [`CohContext`].
 struct Shared {
     queue: EventQueue<Ev>,
@@ -90,6 +109,14 @@ struct Shared {
     /// Structured trace window (depth 0 = off) fed by both the engine
     /// (through the [`CohContext`] hooks) and the machine loop itself.
     trace: TraceRing,
+    /// Reusable buffer for lease-release results inside the `CohContext`
+    /// hooks (the hook signatures are fixed, so the scratch lives here).
+    released_scratch: Vec<LineAddr>,
+    /// Reusable sorted copy of the engine's pinned-ways set for
+    /// [`CohContext::pinned_victim`] membership tests.
+    pinned_scratch: Vec<LineAddr>,
+    /// Reusable buffer for counters armed by an exclusive grant.
+    armed_scratch: Vec<ArmedCounter>,
 }
 
 impl CohContext for Shared {
@@ -116,8 +143,7 @@ impl CohContext for Shared {
         regular: bool,
         now: Cycle,
     ) -> ProbeAction {
-        let table = &mut self.tables[owner.idx()];
-        match table.state(line, now) {
+        match self.tables[owner.idx()].state(line, now) {
             lr_lease::LeaseState::NotLeased => ProbeAction::Proceed,
             // The entry exists but ownership has not been (re-)acquired
             // under it: the line is merely stale-owned, so the probe may
@@ -128,16 +154,14 @@ impl CohContext for Shared {
             lr_lease::LeaseState::Active => {
                 if regular && self.prioritization {
                     // §5 prioritization: a regular request breaks the lease.
-                    match table.release(line) {
-                        ReleaseOutcome::Released(lines) => {
-                            self.lc[owner.idx()].broken += lines.len() as u64;
-                            for l in lines {
-                                if l != line {
-                                    self.deferred_release.push((owner, l));
-                                }
-                            }
+                    let found =
+                        self.tables[owner.idx()].release_into(line, &mut self.released_scratch);
+                    assert!(found, "Active lease vanished under release");
+                    self.lc[owner.idx()].broken += self.released_scratch.len() as u64;
+                    for &l in &self.released_scratch {
+                        if l != line {
+                            self.deferred_release.push((owner, l));
                         }
-                        ReleaseOutcome::NotFound => unreachable!(),
                     }
                     ProbeAction::ProceedBreakingLease
                 } else {
@@ -147,16 +171,13 @@ impl CohContext for Shared {
             // Expired but the expiry event has not fired yet (tie at the
             // same cycle): finish the involuntary release in place.
             lr_lease::LeaseState::Expired => {
-                match table.release(line) {
-                    ReleaseOutcome::Released(lines) => {
-                        self.lc[owner.idx()].involuntary += lines.len() as u64;
-                        for l in lines {
-                            if l != line {
-                                self.deferred_release.push((owner, l));
-                            }
-                        }
+                let found = self.tables[owner.idx()].release_into(line, &mut self.released_scratch);
+                assert!(found, "Expired lease vanished under release");
+                self.lc[owner.idx()].involuntary += self.released_scratch.len() as u64;
+                for &l in &self.released_scratch {
+                    if l != line {
+                        self.deferred_release.push((owner, l));
                     }
-                    ReleaseOutcome::NotFound => unreachable!(),
                 }
                 ProbeAction::ProceedBreakingLease
             }
@@ -164,11 +185,11 @@ impl CohContext for Shared {
     }
 
     fn exclusive_granted(&mut self, core: CoreId, line: LineAddr, now: Cycle) {
-        let armed = self.tables[core.idx()].on_exclusive_granted(line, now);
+        self.tables[core.idx()].on_exclusive_granted_into(line, now, &mut self.armed_scratch);
         if self.tables[core.idx()].is_leased(line, now) {
             self.to_pin.push((core, line));
         }
-        for a in armed {
+        for a in &self.armed_scratch {
             self.queue.push_at(
                 a.expires,
                 Ev::Expiry {
@@ -187,27 +208,31 @@ impl CohContext for Shared {
         _now: Cycle,
     ) -> Option<LineAddr> {
         // Oldest lease first (FIFO), matching Algorithm 1's replacement.
-        for l in self.tables[core.idx()].lines() {
-            if pinned.contains(&l) {
-                self.lc[core.idx()].overflow += 1;
-                if let ReleaseOutcome::Released(lines) = self.tables[core.idx()].release(l) {
-                    for m in lines {
-                        if m != l {
-                            self.deferred_release.push((core, m));
-                        }
+        // Membership is a binary search against a sorted copy of the
+        // pinned set (O(leases·log pinned)) instead of a linear
+        // `contains` per lease line.
+        self.pinned_scratch.clear();
+        self.pinned_scratch.extend_from_slice(pinned);
+        self.pinned_scratch.sort_unstable();
+        if let Some(l) = self.tables[core.idx()].oldest_member(&self.pinned_scratch) {
+            self.lc[core.idx()].overflow += 1;
+            if self.tables[core.idx()].release_into(l, &mut self.released_scratch) {
+                for &m in &self.released_scratch {
+                    if m != l {
+                        self.deferred_release.push((core, m));
                     }
                 }
-                return Some(l);
             }
+            return Some(l);
         }
         // Stale pin (lease already gone): let the engine unpin it.
         pinned.first().copied()
     }
 
     fn line_invalidated(&mut self, core: CoreId, line: LineAddr, _now: Cycle) {
-        if let ReleaseOutcome::Released(lines) = self.tables[core.idx()].release(line) {
-            self.lc[core.idx()].involuntary += lines.len() as u64;
-            for m in lines {
+        if self.tables[core.idx()].release_into(line, &mut self.released_scratch) {
+            self.lc[core.idx()].involuntary += self.released_scratch.len() as u64;
+            for &m in &self.released_scratch {
                 if m != line {
                     self.deferred_release.push((core, m));
                 }
@@ -305,6 +330,16 @@ impl Machine {
     /// Like [`Machine::run`], additionally returning the final simulated
     /// memory for post-run audits (rank sums, final counter values, ...).
     pub fn run_with_memory(self, programs: Vec<ThreadFn>) -> (MachineStats, SimMemory) {
+        let (stats, mem, _events) = self.run_counted(programs);
+        (stats, mem)
+    }
+
+    /// Like [`Machine::run_with_memory`], additionally returning the
+    /// number of discrete events the engine processed — the denominator
+    /// for host-throughput measurements (`engine_throughput` scenario).
+    /// Kept out of [`MachineStats`] so the published simulated metrics
+    /// stay exactly the paper's.
+    pub fn run_counted(self, programs: Vec<ThreadFn>) -> (MachineStats, SimMemory, u64) {
         let n = programs.len();
         let trace_depth = self.trace_depth;
         let cfg = self.cfg;
@@ -329,14 +364,25 @@ impl Machine {
             deferred_release: Vec::new(),
             prioritization: cfg.lease.prioritization,
             trace: TraceRing::new(trace_depth),
+            released_scratch: Vec::new(),
+            pinned_scratch: Vec::new(),
+            armed_scratch: Vec::new(),
         };
+        let mut scratch = Scratch::default();
 
-        let mut req_rx: Vec<Receiver<Request>> = Vec::with_capacity(n);
-        let mut reply_tx: Vec<Sender<Reply>> = Vec::with_capacity(n);
+        let mut req_rx: Vec<SlotReceiver<Request>> = Vec::with_capacity(n);
+        let mut reply_tx: Vec<SlotSender<Reply>> = Vec::with_capacity(n);
         let mut handles = Vec::with_capacity(n);
         for (tid, f) in programs.into_iter().enumerate() {
-            let (rtx, rrx) = channel::<Request>();
-            let (ptx, prx) = channel::<Reply>();
+            let (rtx, rrx) = slot::<Request>();
+            let (ptx, prx) = slot::<Reply>();
+            // A worker's reply may be many engine events away (other
+            // workers' ops are simulated first), so park early instead of
+            // lingering in the host scheduler's rotation and slowing the
+            // handoffs of the pair that is making progress. The engine's
+            // request receiver keeps the default (large) cap: the worker
+            // it just woke is always the very next sender.
+            let prx = prx.with_yield_cap(WORKER_YIELD_CAP / n as u32);
             let mut tctx = ThreadCtx::new(
                 tid,
                 cfg.instruction_cost,
@@ -381,7 +427,7 @@ impl Machine {
                     Ev::Start(tid) => {
                         Self::await_request(
                             tid,
-                            &req_rx,
+                            &mut req_rx,
                             &mut shared,
                             &mut pending,
                             &mut live,
@@ -405,6 +451,7 @@ impl Machine {
                             &cfg,
                             &mut engine,
                             &mut shared,
+                            &mut scratch,
                             &mut mem,
                             &mut pending,
                         );
@@ -418,10 +465,11 @@ impl Machine {
                             t,
                             &mut engine,
                             &mut shared,
+                            &mut scratch,
                             &mut mem,
                             &mut pending,
                             &reply_tx,
-                            &req_rx,
+                            &mut req_rx,
                             &mut live,
                             &mut finish_time,
                             &mut exit_inst,
@@ -432,17 +480,20 @@ impl Machine {
                     Ev::Coh(e) => {
                         shared.base = t;
                         engine.handle(t, e, &mut shared);
-                        Self::drain(t, &mut engine, &mut shared);
+                        Self::drain(t, &mut engine, &mut shared, &mut scratch);
                     }
                     Ev::Expiry {
                         core,
                         line,
                         generation,
                     } => {
-                        let lines = shared.tables[core.idx()].on_expiry(line, generation);
-                        if !lines.is_empty() {
-                            shared.lc[core.idx()].involuntary += lines.len() as u64;
-                            for l in lines {
+                        if shared.tables[core.idx()].on_expiry_into(
+                            line,
+                            generation,
+                            &mut scratch.lines,
+                        ) {
+                            shared.lc[core.idx()].involuntary += scratch.lines.len() as u64;
+                            for &l in &scratch.lines {
                                 if shared.trace.enabled() {
                                     shared
                                         .trace
@@ -451,7 +502,7 @@ impl Machine {
                                 shared.base = t;
                                 engine.lease_released(t, core, l, &mut shared);
                             }
-                            Self::drain(t, &mut engine, &mut shared);
+                            Self::drain(t, &mut engine, &mut shared, &mut scratch);
                         }
                     }
                 }
@@ -476,9 +527,16 @@ impl Machine {
             let _ = h.join();
         }
         if !panicked.is_empty() {
-            panic!("workload thread(s) {panicked:?} panicked inside the simulation");
+            // Same coherent report as a loop failure: the worker panic is
+            // the reason, the protocol state is the context.
+            let reason = format!("workload thread(s) {panicked:?} panicked inside the simulation");
+            panic!(
+                "{}",
+                render_failure_report(&reason, &shared, &engine, &pending)
+            );
         }
 
+        let events = shared.queue.processed();
         let mut stats = engine.stats().clone();
         stats.total_cycles = finish_time;
         stats.app_ops = exit_ops.iter().sum();
@@ -492,28 +550,37 @@ impl Machine {
             c.leases_broken_by_priority += lc.broken;
             c.multileases += lc.multileases;
         }
-        (stats, mem)
+        (stats, mem, events)
     }
 
     /// Drain effects deferred by the `CohContext` during engine calls.
-    fn drain(t: Cycle, engine: &mut CoherenceEngine, shared: &mut Shared) {
+    ///
+    /// The deferred-effect vectors ping-pong with `scratch` via
+    /// `mem::swap`, so at steady state this allocates nothing: both
+    /// sides keep their high-water capacity.
+    fn drain(t: Cycle, engine: &mut CoherenceEngine, shared: &mut Shared, scratch: &mut Scratch) {
         loop {
-            let pins: Vec<_> = shared.to_pin.drain(..).collect();
-            let rels: Vec<_> = shared.deferred_release.drain(..).collect();
-            if pins.is_empty() && rels.is_empty() {
+            if shared.to_pin.is_empty() && shared.deferred_release.is_empty() {
                 break;
             }
-            for (c, l) in pins {
+            std::mem::swap(&mut shared.to_pin, &mut scratch.pins);
+            std::mem::swap(&mut shared.deferred_release, &mut scratch.rels);
+            for &(c, l) in &scratch.pins {
                 engine.pin(c, l, true);
             }
-            for (c, l) in rels {
+            for &(c, l) in &scratch.rels {
                 shared.base = t;
                 engine.lease_released(t, c, l, shared);
             }
+            scratch.pins.clear();
+            scratch.rels.clear();
         }
-        let completions: Vec<_> = shared.completions.drain(..).collect();
-        for (token, done) in completions {
-            shared.queue.push_at(done, Ev::OpComplete(token as usize));
+        if !shared.completions.is_empty() {
+            std::mem::swap(&mut shared.completions, &mut scratch.completions);
+            for &(token, done) in &scratch.completions {
+                shared.queue.push_at(done, Ev::OpComplete(token as usize));
+            }
+            scratch.completions.clear();
         }
     }
 
@@ -522,7 +589,7 @@ impl Machine {
     #[allow(clippy::too_many_arguments)]
     fn await_request(
         tid: usize,
-        req_rx: &[Receiver<Request>],
+        req_rx: &mut [SlotReceiver<Request>],
         shared: &mut Shared,
         pending: &mut [Option<Pending>],
         live: &mut usize,
@@ -565,6 +632,7 @@ impl Machine {
         cfg: &SystemConfig,
         engine: &mut CoherenceEngine,
         shared: &mut Shared,
+        scratch: &mut Scratch,
         mem: &mut SimMemory,
         pending: &mut [Option<Pending>],
     ) {
@@ -599,7 +667,7 @@ impl Machine {
                     shared.queue.push_at(done, Ev::OpComplete(tid));
                 }
                 pending[tid] = Some(Pending::Data { op, issued: t });
-                Self::drain(t, engine, shared);
+                Self::drain(t, engine, shared, scratch);
             }
             Op::Lease { addr, time } => {
                 let line = addr.line();
@@ -631,16 +699,13 @@ impl Machine {
                         pending[tid] = Some(Pending::LeaseAcq { issued: t });
                     }
                 }
-                Self::drain(t, engine, shared);
+                Self::drain(t, engine, shared, scratch);
             }
             Op::Release { addr } => {
                 let line = addr.line();
-                let (flag, lines) = match shared.tables[tid].release(line) {
-                    ReleaseOutcome::NotFound => (false, Vec::new()),
-                    ReleaseOutcome::Released(lines) => (true, lines),
-                };
-                shared.lc[tid].voluntary += lines.len() as u64;
-                for l in lines {
+                let flag = shared.tables[tid].release_into(line, &mut scratch.lines);
+                shared.lc[tid].voluntary += scratch.lines.len() as u64;
+                for &l in &scratch.lines {
                     if shared.trace.enabled() {
                         shared.trace.record(
                             t,
@@ -655,7 +720,7 @@ impl Machine {
                     engine.lease_released(t, core, l, shared);
                 }
                 imm(shared, pending, 0, flag, 1);
-                Self::drain(t, engine, shared);
+                Self::drain(t, engine, shared, scratch);
             }
             Op::MultiLease { addrs, time } => {
                 let lines: Vec<LineAddr> = addrs.iter().map(|a| a.line()).collect();
@@ -705,12 +770,12 @@ impl Machine {
                         }
                     }
                 }
-                Self::drain(t, engine, shared);
+                Self::drain(t, engine, shared, scratch);
             }
             Op::ReleaseAll => {
-                let lines = shared.tables[tid].release_all();
-                shared.lc[tid].voluntary += lines.len() as u64;
-                for l in lines {
+                shared.tables[tid].release_all_into(&mut scratch.lines);
+                shared.lc[tid].voluntary += scratch.lines.len() as u64;
+                for &l in &scratch.lines {
                     if shared.trace.enabled() {
                         shared.trace.record(
                             t,
@@ -725,7 +790,7 @@ impl Machine {
                     engine.lease_released(t, core, l, shared);
                 }
                 imm(shared, pending, 0, true, 1);
-                Self::drain(t, engine, shared);
+                Self::drain(t, engine, shared, scratch);
             }
             Op::Malloc { size, align } => {
                 let a = mem.alloc(size, align);
@@ -748,10 +813,11 @@ impl Machine {
         t: Cycle,
         engine: &mut CoherenceEngine,
         shared: &mut Shared,
+        scratch: &mut Scratch,
         mem: &mut SimMemory,
         pending: &mut [Option<Pending>],
-        reply_tx: &[Sender<Reply>],
-        req_rx: &[Receiver<Request>],
+        reply_tx: &[SlotSender<Reply>],
+        req_rx: &mut [SlotReceiver<Request>],
         live: &mut usize,
         finish_time: &mut Cycle,
         exit_inst: &mut [u64],
@@ -827,7 +893,7 @@ impl Machine {
                         idx: idx + 1,
                         issued,
                     });
-                    Self::drain(t, engine, shared);
+                    Self::drain(t, engine, shared, scratch);
                     return;
                 }
                 (0, true, issued)

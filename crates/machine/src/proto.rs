@@ -2,6 +2,52 @@
 
 use lr_sim_core::{Addr, Cycle};
 
+/// Inline capacity of [`AddrVec`]: covers the default
+/// `MAX_NUM_LEASES = 8` group size without touching the heap.
+pub const ADDRVEC_INLINE: usize = 8;
+
+/// Small-vector of addresses carried by value through the worker ⇄
+/// engine rendezvous. MultiLease groups up to [`ADDRVEC_INLINE`] lines
+/// travel inline (no heap allocation per call); larger groups — only
+/// possible with a raised `max_num_leases` — fall back to a `Vec`.
+#[derive(Debug, Clone)]
+pub enum AddrVec {
+    Inline {
+        len: u8,
+        buf: [Addr; ADDRVEC_INLINE],
+    },
+    Heap(Vec<Addr>),
+}
+
+impl AddrVec {
+    pub fn from_slice(addrs: &[Addr]) -> Self {
+        if addrs.len() <= ADDRVEC_INLINE {
+            let mut buf = [Addr(0); ADDRVEC_INLINE];
+            buf[..addrs.len()].copy_from_slice(addrs);
+            AddrVec::Inline {
+                len: addrs.len() as u8,
+                buf,
+            }
+        } else {
+            AddrVec::Heap(addrs.to_vec())
+        }
+    }
+
+    pub fn as_slice(&self) -> &[Addr] {
+        match self {
+            AddrVec::Inline { len, buf } => &buf[..*len as usize],
+            AddrVec::Heap(v) => v,
+        }
+    }
+}
+
+impl std::ops::Deref for AddrVec {
+    type Target = [Addr];
+    fn deref(&self) -> &[Addr] {
+        self.as_slice()
+    }
+}
+
 /// Cost of a simulated `malloc`/`free` runtime call, cycles (a tuned
 /// allocator fast path; Graphite would simulate the allocator's own
 /// instructions).
@@ -29,7 +75,7 @@ pub enum Op {
     Release { addr: Addr },
     /// `MultiLease(num, time, addrs…)` — Algorithm 2. Reply `flag` is
     /// true iff the group was admitted (not over `MAX_NUM_LEASES`).
-    MultiLease { addrs: Vec<Addr>, time: Cycle },
+    MultiLease { addrs: AddrVec, time: Cycle },
     /// `ReleaseAll()`.
     ReleaseAll,
     /// Heap allocation; reply `value` is the address.

@@ -403,6 +403,38 @@ fn worker_panic_is_propagated() {
 }
 
 #[test]
+fn worker_panic_while_holding_lease_reports_coherently() {
+    // Thread 0 panics while holding a lease that thread 1 is queued
+    // behind: the engine must tear the run down (no hang on the parked
+    // rendezvous slots) and raise one coherent failure report naming
+    // the panicking thread, with the protocol state attached.
+    let mut m = Machine::new(cfg(2)).with_trace(64);
+    let a = m.setup(|mem| mem.alloc_line_aligned(8));
+    let progs: Vec<ThreadFn> = vec![
+        Box::new(move |ctx| {
+            ctx.lease(a, 20_000);
+            ctx.write(a, 1);
+            panic!("workload bug under lease");
+        }),
+        Box::new(move |ctx| {
+            ctx.work(200); // queue behind thread 0's lease
+            ctx.write(a, 2);
+            ctx.work(50_000);
+        }),
+    ];
+    let payload = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| m.run(progs)))
+        .expect_err("worker panic must propagate");
+    let msg = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .expect("report is a String payload");
+    assert!(msg.contains("panicked inside the simulation"), "{msg}");
+    assert!(msg.contains("[0]"), "report must name thread 0: {msg}");
+    assert!(msg.contains("simulation failure report"), "{msg}");
+    assert!(msg.contains("-- lease tables --"), "{msg}");
+}
+
+#[test]
 fn prioritization_lets_regular_requests_break_leases() {
     // Thread 0 camps on a lease and never releases; thread 1 issues a
     // plain (regular) store. With prioritization ON the store must

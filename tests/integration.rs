@@ -309,3 +309,56 @@ fn probe_delay_bounded_by_max_lease_time() {
         "average probe delay {avg} exceeds MAX_LEASE_TIME"
     );
 }
+
+/// Cross-runtime determinism regression: golden statistics captured
+/// from the original `std::sync::mpsc` lockstep runtime. The rendezvous
+/// scheduler (and any future scheduling change) must reproduce these
+/// *exact* numbers — simulated results are a function of the event
+/// order alone, never of how worker threads are woken.
+#[test]
+fn scheduler_change_preserves_golden_stats() {
+    let run = || {
+        let threads = 8;
+        let mut m = Machine::new(cfg(threads));
+        let s = m.setup(|mem| TreiberStack::init(mem, StackVariant::Leased));
+        let progs: Vec<ThreadFn> = (0..threads)
+            .map(|_| {
+                Box::new(move |ctx: &mut ThreadCtx| {
+                    for i in 0..60 {
+                        s.push(ctx, i + 1);
+                        ctx.count_op();
+                        s.pop(ctx);
+                        ctx.count_op();
+                    }
+                }) as ThreadFn
+            })
+            .collect();
+        m.run(progs)
+    };
+    let stats = run();
+    assert_eq!(stats.total_cycles, 19_947);
+    assert_eq!(stats.app_ops, 960);
+    assert_eq!(stats.msgs_control, 3_758);
+    assert_eq!(stats.msgs_data, 1_180);
+    assert_eq!(stats.flit_hops, 24_951);
+    assert_eq!(stats.dir_queue_wait_cycles, 37_233);
+    assert_eq!(stats.max_dir_queue_len, 7);
+    let t = stats.core_totals();
+    assert_eq!(t.instructions, 6_240);
+    assert_eq!(t.l1_hits, 3_620);
+    assert_eq!(t.l1_misses, 1_180);
+    assert_eq!(t.l1_writebacks, 699);
+    assert_eq!(t.loads, 1_920);
+    assert_eq!(t.stores, 960);
+    assert_eq!(t.cas_attempts, 960);
+    assert_eq!(t.cas_failures, 0);
+    assert_eq!(t.mem_stall_cycles, 136_896);
+    assert_eq!(t.leases_taken, 960);
+    assert_eq!(t.releases_voluntary, 960);
+    assert_eq!(t.probes_received, 699);
+    assert_eq!(t.probes_queued, 569);
+    assert_eq!(t.probe_queued_cycles, 3_824);
+    // And the whole document, not just the spot checks, is stable
+    // run to run.
+    assert_eq!(run().to_json(), run().to_json());
+}
