@@ -20,6 +20,24 @@ cargo test -q --offline --workspace --features lease-release/strict-invariants
 echo "== driver smoke: every scenario, 2 parallel jobs =="
 LR_NO_JSON=1 cargo run -q --release --offline -p lr-bench --bin lr-bench -- --smoke --jobs 2 > /dev/null
 
+echo "== event-queue A/B: heap vs wheel must be byte-identical =="
+# Every deterministic (sim) scenario, run once per event-queue store:
+# the emitted rows and every BENCH_*.json must not differ by one byte.
+# Wall-clock scenarios (--kind host/wall) are exempt by nature.
+AB_DIR=$(mktemp -d)
+mkdir -p "$AB_DIR/json_heap" "$AB_DIR/json_wheel"
+# The "JSON -> <path>" banner echoes the per-variant output directory;
+# everything else must match exactly.
+LR_EVENTQ=heap LR_JSON_DIR="$AB_DIR/json_heap" \
+    cargo run -q --release --offline -p lr-bench --bin lr-bench -- \
+    --smoke --jobs 2 --kind sim | grep -v "^JSON -> " > "$AB_DIR/rows_heap.txt"
+LR_EVENTQ=wheel LR_JSON_DIR="$AB_DIR/json_wheel" \
+    cargo run -q --release --offline -p lr-bench --bin lr-bench -- \
+    --smoke --jobs 2 --kind sim | grep -v "^JSON -> " > "$AB_DIR/rows_wheel.txt"
+diff -u "$AB_DIR/rows_heap.txt" "$AB_DIR/rows_wheel.txt"
+diff -ru "$AB_DIR/json_heap" "$AB_DIR/json_wheel"
+rm -rf "$AB_DIR"
+
 echo "== engine throughput smoke (gates on completion, not numbers) =="
 LR_NO_JSON=1 cargo run -q --release --offline -p lr-bench --bin lr-bench -- --scenario engine_throughput --smoke > /dev/null
 

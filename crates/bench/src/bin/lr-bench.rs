@@ -33,6 +33,10 @@ OPTIONS:
     --smoke              Tiny ops + 2-thread cells across all selected
                          scenarios: fast offline coverage of the whole
                          experiment surface (used by ci.sh)
+    --kind sim|host|wall Keep only scenarios of one measurement kind:
+                         sim = deterministic simulations (byte-
+                         reproducible; what the event-queue A/B gate
+                         diffs), host/wall = wall-clock benches
     -h, --help           This help
 
 ENVIRONMENT:
@@ -93,6 +97,7 @@ fn main() {
     let mut ops: Option<u64> = None;
     let mut jobs: Option<usize> = None;
     let mut smoke = false;
+    let mut kind_filter: Option<ScenarioKind> = None;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -130,11 +135,21 @@ fn main() {
                 )
             }
             "--smoke" => smoke = true,
+            "--kind" => {
+                kind_filter = Some(match value("--kind").as_str() {
+                    "sim" => ScenarioKind::Sim,
+                    "host" => ScenarioKind::Host,
+                    "wall" => ScenarioKind::HostLockstep,
+                    other => fail(&format!(
+                        "bad --kind value {other:?} (use sim, host, or wall)"
+                    )),
+                })
+            }
             other => fail(&format!("unknown argument {other:?}")),
         }
     }
 
-    let selected: Vec<&'static Scenario> = match &scenario_filter {
+    let mut selected: Vec<&'static Scenario> = match &scenario_filter {
         None => registry().to_vec(),
         Some(names) => {
             // Preserve registry (canonical) order regardless of the
@@ -155,6 +170,10 @@ fn main() {
                 .collect()
         }
     };
+
+    if let Some(k) = kind_filter {
+        selected.retain(|s| s.kind == k);
+    }
 
     if smoke {
         ops.get_or_insert(SMOKE_OPS);

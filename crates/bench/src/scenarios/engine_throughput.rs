@@ -4,7 +4,7 @@
 //! constant factor (rendezvous handoff cost, per-event allocation) so
 //! the real experiments keep finishing in seconds as workloads grow.
 //!
-//! Two series bracket the engine's work per instruction:
+//! Three series bracket the engine's work per instruction:
 //!
 //! * `contended-faa` — every thread FAAs one shared line: maximal
 //!   protocol work per instruction (directory round trips, probe
@@ -12,6 +12,12 @@
 //! * `private-rw` — each thread read/writes its own line: everything
 //!   hits L1 after warmup, so the wall-clock cost is almost pure
 //!   worker⇄engine handoff plus event-queue traffic.
+//! * `events-resident` — each thread churns max-length leases on its
+//!   own line: every acquisition schedules an expiry `MAX_LEASE_TIME`
+//!   (20 000 cycles) out, so hundreds of far-future events stay
+//!   resident per thread while the near-horizon pops proceed — the
+//!   event-queue stress that the hierarchical timing wheel exists for
+//!   (the `BinaryHeap` paid O(log n) on every push/pop here).
 //!
 //! Rows report wall-clock *simulated ops/s* in the Mops column; the
 //! `CSVX` extras carry events/s and the raw wall time. Numbers are
@@ -28,7 +34,7 @@ pub static SCENARIO: Scenario = Scenario {
     name: "engine_throughput",
     title: "Engine throughput",
     paper_ref: "infrastructure",
-    series: &["contended-faa", "private-rw"],
+    series: &["contended-faa", "private-rw", "events-resident"],
     // Per-thread simulated instructions; enough to amortize thread
     // startup while keeping a full sweep under a minute.
     default_ops: 4_000,
@@ -39,7 +45,8 @@ pub static SCENARIO: Scenario = Scenario {
     footer: Some(
         "Wall-clock simulator speed (host-dependent, not byte-reproducible).\n\
          contended-faa bounds the protocol-heavy regime, private-rw the pure\n\
-         handoff overhead; sim results are unaffected by either.",
+         handoff overhead, events-resident the far-future event-queue horizon\n\
+         (lease expiries); sim results are unaffected by any of them.",
     ),
 };
 
@@ -56,17 +63,36 @@ fn run_cell(series: usize, threads: usize, ops: u64) -> CellOut {
         .map(|tid| {
             let own = lines[tid];
             Box::new(move |ctx: &mut ThreadCtx| {
-                if series == 0 {
-                    for _ in 0..ops {
-                        ctx.faa(shared, 1);
-                        ctx.count_op();
+                match series {
+                    0 => {
+                        for _ in 0..ops {
+                            ctx.faa(shared, 1);
+                            ctx.count_op();
+                        }
                     }
-                } else {
-                    for i in 0..ops / 2 {
-                        ctx.write(own, i);
-                        ctx.count_op();
-                        ctx.read(own);
-                        ctx.count_op();
+                    1 => {
+                        for i in 0..ops / 2 {
+                            ctx.write(own, i);
+                            ctx.count_op();
+                            ctx.read(own);
+                            ctx.count_op();
+                        }
+                    }
+                    _ => {
+                        // Uncontended lease churn: the line stays
+                        // Modified in the local L1, so each iteration is
+                        // three fast-path instructions — but every lease
+                        // parks one more expiry event 20 000 cycles in
+                        // the future (released leases leave their armed
+                        // expiry behind; it fires as a generation-checked
+                        // no-op), keeping a deep far-future horizon
+                        // resident in the event queue.
+                        for i in 0..ops / 3 {
+                            ctx.lease_max(own);
+                            ctx.write(own, i);
+                            ctx.release(own);
+                            ctx.count_op();
+                        }
                     }
                 }
             }) as ThreadFn

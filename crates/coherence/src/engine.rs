@@ -21,6 +21,22 @@ use lr_sim_core::{CoreId, Cycle, LineAddr, MachineStats, SystemConfig};
 use lr_sim_noc::{Mesh, MsgClass};
 use std::collections::{HashMap, VecDeque};
 
+/// A protocol invariant does not hold: abort the simulation with a
+/// cycle-stamped reason carrying the violating core/line/transaction.
+/// Under `lr-machine` the panic unwinds into the engine loop's catch,
+/// which renders the structured failure report (trace window, in-flight
+/// transactions, lease tables) with this message as its reason line —
+/// never a bare `unwrap()` with no protocol context.
+macro_rules! protocol_bug {
+    ($now:expr, $($arg:tt)*) => {
+        panic!(
+            "protocol invariant violated at cycle {}: {}",
+            $now,
+            format_args!($($arg)*)
+        )
+    };
+}
+
 /// A probe queued at an owning core behind a lease (Section 3: at most one
 /// per (core, line) can exist — Proposition 1).
 #[derive(Debug, Clone, Copy)]
@@ -333,10 +349,9 @@ impl CoherenceEngine {
         if ctx.tracing() {
             ctx.trace(now, TraceEvent::DirUnlock { line });
         }
-        let ch = self
-            .channels
-            .get_mut(&line)
-            .expect("unlock without channel");
+        let Some(ch) = self.channels.get_mut(&line) else {
+            protocol_bug!(now, "DirUnlock for {line} but no request channel exists");
+        };
         ch.active = None;
         let next = ch.queue.pop_front();
         if next.is_none() {
@@ -424,6 +439,13 @@ impl CoherenceEngine {
         } = self.xacts[&x.0];
         let home = self.home_of(line);
         let mesi = self.cfg.protocol == lr_sim_core::CoherenceProtocol::Mesi;
+        if self.l2[home.idx()].peek(line).is_none() {
+            protocol_bug!(
+                now,
+                "granting {line} to {core} but the line is not resident in its home slice \
+                 {home} (L2 pin lost mid-transaction?)"
+            );
+        }
         let dir = self.l2[home.idx()].peek_mut(line).unwrap();
         *dir = if kind.needs_exclusive() {
             DirState::Modified(core)
@@ -483,10 +505,15 @@ impl CoherenceEngine {
                                 since: now,
                             },
                         );
-                        assert!(
-                            prev.is_none(),
-                            "two probes stalled at {o} for {line}: violates Proposition 1"
-                        );
+                        if let Some(prev) = prev {
+                            protocol_bug!(
+                                now,
+                                "two probes stalled at {o} for {line} (prior xact {:?} since \
+                                 cycle {}): violates Proposition 1",
+                                prev.xact,
+                                prev.since
+                            );
+                        }
                     }
                     ProbeAction::ProceedBreakingLease => {
                         self.l1[o.idx()].set_pinned(line, false);
@@ -515,11 +542,20 @@ impl CoherenceEngine {
         } = self.xacts[&x.0];
         let home = self.home_of(line);
         let t = now + self.cfg.l1_latency;
-        assert!(
-            !self.l1[o.idx()].is_pinned(line),
-            "downgrading a pinned (leased) line at {o} for {line}"
-        );
-        let owner_state = *self.l1[o.idx()].peek(line).unwrap();
+        if self.l1[o.idx()].is_pinned(line) {
+            protocol_bug!(
+                now,
+                "downgrading {line} at {o} while it is pinned (leased) — probes must stall \
+                 behind a valid lease, never break it silently"
+            );
+        }
+        let Some(&owner_state) = self.l1[o.idx()].peek(line) else {
+            protocol_bug!(
+                now,
+                "downgrading {line} at {o} for xact {x:?}, but the owner holds no copy \
+                 (directory/L1 disagree)"
+            );
+        };
         if kind.needs_exclusive() {
             self.l1[o.idx()].remove(line);
             *self.l2[home.idx()].peek_mut(line).unwrap() = DirState::Modified(req);
@@ -547,7 +583,10 @@ impl CoherenceEngine {
             lease_intent,
             grant_exclusive,
             ..
-        } = self.xacts.remove(&x.0).expect("grant for unknown xact");
+        } = match self.xacts.remove(&x.0) {
+            Some(x) => x,
+            None => protocol_bug!(now, "GrantArrive for unknown transaction {x:?}"),
+        };
 
         if let Some(st) = self.l1[core.idx()].touch(line) {
             // Upgrade path: the S copy is still resident.
@@ -571,10 +610,21 @@ impl CoherenceEngine {
                     }
                     Inserted::AllPinned => {
                         let pinned = self.l1[core.idx()].pinned_in_set(line);
-                        let victim = ctx
-                            .pinned_victim(core, &pinned, now)
-                            .expect("lease layer failed to free a pinned line");
-                        assert!(pinned.contains(&victim), "victim not in pinned set");
+                        let Some(victim) = ctx.pinned_victim(core, &pinned, now) else {
+                            protocol_bug!(
+                                now,
+                                "lease layer freed none of {} pinned ways at {core} for a fill \
+                                 of {line} (MAX_NUM_LEASES must bound pinned lines per set)",
+                                pinned.len()
+                            );
+                        };
+                        if !pinned.contains(&victim) {
+                            protocol_bug!(
+                                now,
+                                "lease layer chose victim {victim} outside the pinned set \
+                                 {pinned:?} at {core}"
+                            );
+                        }
                         // Force-releasing the lease also resumes any
                         // stalled probe on that line.
                         self.lease_released(now, core, victim, ctx);
@@ -629,9 +679,14 @@ impl CoherenceEngine {
         }
         self.stats.cores[core.idx()].l1_evictions += 1;
         let home_v = self.home_of(vline);
-        let dir = self.l2[home_v.idx()]
-            .peek_mut(vline)
-            .expect("inclusivity: evicted L1 line must be in L2");
+        if self.l2[home_v.idx()].peek(vline).is_none() {
+            protocol_bug!(
+                now,
+                "inclusivity violated: {vline} evicted from {core}'s L1 in state {vstate:?} \
+                 has no directory entry at its home {home_v}"
+            );
+        }
+        let dir = self.l2[home_v.idx()].peek_mut(vline).unwrap();
         match vstate {
             L1State::Modified => {
                 self.stats.cores[core.idx()].l1_writebacks += 1;
@@ -674,10 +729,16 @@ impl CoherenceEngine {
                     }
                 }
                 DirState::Modified(o) => {
-                    assert!(
-                        !self.stalled.contains_key(&(o, vline)),
-                        "evicted an L2 line with a stalled probe"
-                    );
+                    if let Some(p) = self.stalled.get(&(o, vline)) {
+                        protocol_bug!(
+                            now,
+                            "L2 victim {vline} still has a probe (xact {:?}) stalled at its \
+                             owner {o} since cycle {} — the slice evicted a line with an \
+                             in-flight transaction",
+                            p.xact,
+                            p.since
+                        );
+                    }
                     ctx.line_invalidated(o, vline, now);
                     self.l1[o.idx()].set_pinned(vline, false);
                     self.l1[o.idx()].remove(vline);
@@ -687,7 +748,11 @@ impl CoherenceEngine {
                 }
             },
             Inserted::AllPinned => {
-                panic!("all ways of an L2 set have active transactions; enlarge L2")
+                protocol_bug!(
+                    now,
+                    "installing {line} at {home}: every way of its L2 set is pinned by an \
+                     active transaction; enlarge L2 or the set associativity"
+                )
             }
         }
     }

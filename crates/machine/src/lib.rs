@@ -37,4 +37,4 @@ pub use barrier::SimBarrier;
 pub use ctx::ThreadCtx;
 pub use machine::{Machine, ThreadFn};
 
-pub use lr_sim_core::{Addr, CoreId, Cycle, LineAddr, MachineStats, SystemConfig};
+pub use lr_sim_core::{Addr, CoreId, Cycle, EventQueueKind, LineAddr, MachineStats, SystemConfig};

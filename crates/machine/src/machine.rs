@@ -14,7 +14,9 @@ use crate::rendezvous::{slot, SlotReceiver, SlotSender};
 use lr_coherence::{AccessKind, CohContext, CohEvent, CoherenceEngine, ProbeAction};
 use lr_lease::{ArmedCounter, BeginLease, LeaseTable, MultiLeaseBegin};
 use lr_sim_core::trace::{TraceEvent, TraceRing, TraceSink};
-use lr_sim_core::{CoreId, Cycle, EventQueue, LineAddr, MachineStats, SystemConfig};
+use lr_sim_core::{
+    CoreId, Cycle, EventQueue, EventQueueKind, LineAddr, MachineStats, SystemConfig,
+};
 use lr_sim_mem::SimMemory;
 use std::panic::AssertUnwindSafe;
 
@@ -273,6 +275,9 @@ pub struct Machine {
     cfg: SystemConfig,
     mem: SimMemory,
     trace_depth: usize,
+    /// Explicit event-queue store override; `None` follows the
+    /// process-wide `LR_EVENTQ` default.
+    eventq: Option<EventQueueKind>,
 }
 
 // The `lr-bench` sweep driver constructs and runs one `Machine` per
@@ -294,7 +299,17 @@ impl Machine {
             cfg,
             mem: SimMemory::new(),
             trace_depth: 0,
+            eventq: None,
         }
+    }
+
+    /// Pin this machine to a specific event-queue store, bypassing the
+    /// `LR_EVENTQ` process default. Simulated results are required to be
+    /// byte-identical across stores; this exists for the tests that
+    /// prove it (heap/wheel A/B) — production callers keep the default.
+    pub fn with_event_queue(mut self, kind: EventQueueKind) -> Self {
+        self.eventq = Some(kind);
+        self
     }
 
     /// Keep a ring of the last `depth` structured protocol/machine trace
@@ -353,7 +368,9 @@ impl Machine {
         let mut engine = CoherenceEngine::new(&cfg);
         let mut mem = self.mem;
         let mut shared = Shared {
-            queue: EventQueue::new(),
+            queue: self
+                .eventq
+                .map_or_else(EventQueue::new, EventQueue::with_kind),
             tables: (0..cfg.num_cores)
                 .map(|_| LeaseTable::new(cfg.lease.clone()))
                 .collect(),

@@ -12,9 +12,10 @@ pub mod event;
 pub mod rng;
 pub mod stats;
 pub mod trace;
+mod wheel;
 
 pub use config::{CoherenceProtocol, EnergyModel, LeaseConfig, SystemConfig};
-pub use event::EventQueue;
+pub use event::{EventQueue, EventQueueKind};
 pub use rng::SplitMix64;
 pub use stats::{CoreStats, MachineStats};
 pub use trace::{TraceAccess, TraceEvent, TraceRecord, TraceRing, TraceSink};
