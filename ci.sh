@@ -41,4 +41,17 @@ rm -rf "$AB_DIR"
 echo "== engine throughput smoke (gates on completion, not numbers) =="
 LR_NO_JSON=1 cargo run -q --release --offline -p lr-bench --bin lr-bench -- --scenario engine_throughput --smoke > /dev/null
 
+echo "== record/replay: every sim scenario must replay byte-identical =="
+# Record every deterministic simulation of a smoke sweep as a trace,
+# then re-drive each trace engine-only: the replayed MachineStats must
+# match the live run byte-for-byte (exit non-zero on any divergence).
+TR_DIR=$(mktemp -d)
+LR_NO_JSON=1 cargo run -q --release --offline -p lr-bench --bin lr-bench -- \
+    --smoke --jobs 2 --kind sim --record "$TR_DIR" > /dev/null
+# No pipe here: a pipeline would report tail's status, not the replay's.
+cargo run -q --release --offline -p lr-bench --bin lr-bench -- \
+    --replay "$TR_DIR" > "$TR_DIR/replay.txt"
+tail -n 1 "$TR_DIR/replay.txt"
+rm -rf "$TR_DIR"
+
 echo "CI OK"

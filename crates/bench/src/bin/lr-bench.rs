@@ -37,6 +37,11 @@ OPTIONS:
                          sim = deterministic simulations (byte-
                          reproducible; what the event-queue A/B gate
                          diffs), host/wall = wall-clock benches
+    --record DIR         Record every simulation of this run as a trace
+                         file in DIR (sets LR_TRACE_DIR)
+    --replay DIR         Do not run the grid; replay every *.lrt trace
+                         in DIR engine-only and require byte-identical
+                         MachineStats (exit non-zero on any divergence)
     -h, --help           This help
 
 ENVIRONMENT:
@@ -45,9 +50,10 @@ ENVIRONMENT:
     LR_NATIVE_OPS   ops for the host-native validation scenario
     LR_JSON_DIR     directory for BENCH_*.json (default: workspace root)
     LR_NO_JSON=1    disable the JSON export
+    LR_TRACE_DIR    record every simulation as a trace file (= --record)
 ";
 
-/// Per-thread ops for `--smoke`: small enough that all 16 scenarios
+/// Per-thread ops for `--smoke`: small enough that all 17 scenarios
 /// finish in seconds, large enough that every metric is exercised.
 const SMOKE_OPS: u64 = 8;
 
@@ -89,6 +95,56 @@ fn list_scenarios() {
     }
 }
 
+/// `--replay DIR`: verify every `*.lrt` trace in `DIR` (sorted by file
+/// name) by engine-only replay, requiring byte-identical `MachineStats`.
+fn replay_directory(dir: &std::path::Path) -> ! {
+    let mut paths: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
+        .unwrap_or_else(|e| fail(&format!("cannot read --replay dir {}: {e}", dir.display())))
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.extension()
+                .is_some_and(|x| x == lr_sim_core::tracefmt::TRACE_EXT)
+        })
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        fail(&format!("no .lrt traces in {}", dir.display()));
+    }
+    let mut failures = 0usize;
+    let mut total_ops = 0u64;
+    for path in &paths {
+        match lr_replay::read_trace(path)
+            .map_err(|e| e.to_string())
+            .and_then(|t| {
+                lr_replay::verify(&t)
+                    .map(|stats| (t.total_ops(), t.cores.len(), stats))
+                    .map_err(|d| d.to_string())
+            }) {
+            Ok((ops, cores, stats)) => {
+                total_ops += ops;
+                println!(
+                    "PASS {}: {ops} ops over {cores} cores replayed byte-identical ({} cycles)",
+                    path.display(),
+                    stats.total_cycles
+                );
+            }
+            Err(e) => {
+                eprintln!("FAIL {}: {e}", path.display());
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("{failures} of {} trace(s) diverged", paths.len());
+        std::process::exit(1);
+    }
+    println!(
+        "{} trace(s), {total_ops} recorded ops: all replays byte-identical",
+        paths.len()
+    );
+    std::process::exit(0);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut scenario_filter: Option<Vec<String>> = None;
@@ -98,6 +154,8 @@ fn main() {
     let mut jobs: Option<usize> = None;
     let mut smoke = false;
     let mut kind_filter: Option<ScenarioKind> = None;
+    let mut record_dir: Option<String> = None;
+    let mut replay_dir: Option<String> = None;
 
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -135,6 +193,8 @@ fn main() {
                 )
             }
             "--smoke" => smoke = true,
+            "--record" => record_dir = Some(value("--record")),
+            "--replay" => replay_dir = Some(value("--replay")),
             "--kind" => {
                 kind_filter = Some(match value("--kind").as_str() {
                     "sim" => ScenarioKind::Sim,
@@ -147,6 +207,17 @@ fn main() {
             }
             other => fail(&format!("unknown argument {other:?}")),
         }
+    }
+
+    if let Some(dir) = &replay_dir {
+        replay_directory(std::path::Path::new(dir));
+    }
+    if let Some(dir) = &record_dir {
+        std::fs::create_dir_all(dir)
+            .unwrap_or_else(|e| fail(&format!("cannot create --record dir {dir:?}: {e}")));
+        // The machine layer reads this knob at every run start; sweep
+        // worker threads inherit it from the process environment.
+        std::env::set_var("LR_TRACE_DIR", dir);
     }
 
     let mut selected: Vec<&'static Scenario> = match &scenario_filter {

@@ -27,12 +27,13 @@ pub mod tab_lease_sensitivity;
 pub mod tab_low_contention;
 pub mod tab_mesi;
 pub mod tab_msg_constancy;
+pub mod trace_replay;
 pub mod validation_native;
 
-/// All 16 scenarios (15 paper experiments plus the engine-throughput
-/// infrastructure bench), in canonical (figure, table, validation)
-/// order; host-measured scenarios last.
-static REGISTRY: [&Scenario; 16] = [
+/// All 17 scenarios (15 paper experiments plus the engine-throughput
+/// and trace-replay infrastructure benches), in canonical (figure,
+/// table, validation) order; host-measured scenarios last.
+static REGISTRY: [&Scenario; 17] = [
     &fig2_stack::SCENARIO,
     &fig3_counter::SCENARIO,
     &fig3_queue::SCENARIO,
@@ -49,6 +50,7 @@ static REGISTRY: [&Scenario; 16] = [
     &tab_adaptive::SCENARIO,
     &validation_native::SCENARIO,
     &engine_throughput::SCENARIO,
+    &trace_replay::SCENARIO,
 ];
 
 /// Every registered scenario, in canonical order.

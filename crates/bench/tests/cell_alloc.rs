@@ -1,0 +1,83 @@
+//! Steady-state allocation audit for a full sweep cell: machine
+//! construction, setup, a *contended* 2-thread run, and row extraction.
+//! The machine-level zero_alloc test covers the single-worker fast
+//! path; this one adds the contention machinery — directory waiter
+//! queues (pooled `LineChannel`s in the coherence engine) and paged
+//! `SimMemory` — by comparing the process-wide allocation count of a
+//! short cell against one 8x longer. The extra operations must add
+//! exactly zero allocations: every per-op structure the directory or
+//! memory system touches has to come from a pool, not the heap.
+//!
+//! The row is built with fixed metric values (`BenchRow::host_only`)
+//! rather than `from_stats`: formatting real counters into the stats
+//! JSON grows a `String` whose reallocation count depends on digit
+//! counts, which would make the comparison op-count-sensitive for
+//! reasons unrelated to pooling.
+//!
+//! This file holds a single test on purpose — the counting allocator is
+//! global, so a concurrently running test would perturb the count.
+
+use lr_bench::BenchRow;
+use lr_machine::{Machine, SystemConfig, ThreadCtx, ThreadFn};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct Counting;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for Counting {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static A: Counting = Counting;
+
+/// One fixed-shape sweep cell: two workers hammering a single shared
+/// line with FAA (maximal directory-queue churn), then a fixed-value
+/// row. Returns the allocations the whole cell performed.
+fn cell_allocs(ops: u64) -> u64 {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let mut m = Machine::new(SystemConfig::with_cores(2));
+    let shared = m.setup(|mem| mem.alloc_line_aligned(8));
+    let progs: Vec<ThreadFn> = (0..2)
+        .map(|_| {
+            Box::new(move |ctx: &mut ThreadCtx| {
+                for _ in 0..ops {
+                    ctx.faa(shared, 1);
+                    ctx.count_op();
+                }
+            }) as ThreadFn
+        })
+        .collect();
+    let stats = m.run(progs);
+    assert_eq!(stats.app_ops, 2 * ops);
+    let row = BenchRow::host_only("contended-faa", 2, 1.0);
+    assert_eq!(row.threads, 2);
+    ALLOCS.load(Ordering::Relaxed) - before
+}
+
+#[test]
+fn contended_cell_makes_no_steady_state_allocations() {
+    // Warm up the process (thread-spawn TLS, panic hooks, page pool).
+    cell_allocs(16);
+    cell_allocs(16);
+    let short = cell_allocs(512);
+    let long = cell_allocs(512 * 8);
+    assert_eq!(
+        long, short,
+        "a contended sweep cell allocated per-op (directory queue or \
+         memory pooling regression): {short} allocs for 512 ops vs \
+         {long} for 4096"
+    );
+}

@@ -78,6 +78,14 @@ pub struct CoherenceEngine {
     l2: Vec<SetAssocCache<DirState>>,
     /// Per-line FIFO request channels (Assumption 1 of the paper).
     channels: HashMap<LineAddr, LineChannel>,
+    /// Slab of retired channel nodes. A line's channel is created on
+    /// first directory arrival and dropped once its queue drains, so a
+    /// contended line churns through channels continuously; recycling
+    /// them keeps each queue's `VecDeque` buffer (the only per-node
+    /// heap block) alive across that churn, making the steady-state
+    /// directory path allocation-free (audited by `lr-bench`'s
+    /// `cell_alloc` counting-allocator test).
+    free_channels: Vec<LineChannel>,
     xacts: HashMap<u64, Xact>,
     next_xact: u64,
     /// Probes stalled behind leases, keyed by (owning core, line).
@@ -112,6 +120,7 @@ impl CoherenceEngine {
             l1,
             l2,
             channels: HashMap::new(),
+            free_channels: Vec::new(),
             xacts: HashMap::new(),
             next_xact: 0,
             stalled: HashMap::new(),
@@ -316,7 +325,11 @@ impl CoherenceEngine {
 
     fn dir_arrive(&mut self, now: Cycle, x: XactId, ctx: &mut dyn CohContext) {
         let line = self.xacts[&x.0].line;
-        let ch = self.channels.entry(line).or_default();
+        let pool = &mut self.free_channels;
+        let ch = self
+            .channels
+            .entry(line)
+            .or_insert_with(|| pool.pop().unwrap_or_default());
         if ch.active.is_some() {
             ch.queue.push_back(x);
             self.xacts.get_mut(&x.0).unwrap().enq_time = now;
@@ -355,7 +368,11 @@ impl CoherenceEngine {
         ch.active = None;
         let next = ch.queue.pop_front();
         if next.is_none() {
-            self.channels.remove(&line);
+            if let Some(ch) = self.channels.remove(&line) {
+                debug_assert!(ch.active.is_none() && ch.queue.is_empty());
+                // Recycle the node: its queue keeps (empty) capacity.
+                self.free_channels.push(ch);
+            }
         }
         // The previous transaction on `line` is fully settled here, before
         // any queued successor starts mutating state again.

@@ -43,6 +43,7 @@ impl SimBarrier {
 
     /// Block (in simulated time) until all `n` threads have arrived.
     pub fn wait(&mut self, ctx: &mut ThreadCtx) {
+        ctx.note_barrier();
         let my = !self.local_sense;
         self.local_sense = my;
         let arrived = ctx.faa(self.count, 1);

@@ -35,6 +35,7 @@ pub mod rendezvous;
 
 pub use barrier::SimBarrier;
 pub use ctx::ThreadCtx;
-pub use machine::{Machine, ThreadFn};
+pub use machine::{Machine, OpSource, RecordedRun, SourceAbort, ThreadFn};
+pub use proto::{AddrVec, Op, Reply, Request};
 
 pub use lr_sim_core::{Addr, CoreId, Cycle, EventQueueKind, LineAddr, MachineStats, SystemConfig};

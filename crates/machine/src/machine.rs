@@ -8,20 +8,122 @@
 //! Graphite's loose synchronization — one source of constant-factor
 //! differences from the paper's absolute numbers).
 
-use crate::ctx::ThreadCtx;
+use crate::ctx::{trace_dir_from_env, RecordSink, Recorder, ThreadCtx};
 use crate::proto::{Op, Reply, Request, ALLOC_COST};
 use crate::rendezvous::{slot, SlotReceiver, SlotSender};
 use lr_coherence::{AccessKind, CohContext, CohEvent, CoherenceEngine, ProbeAction};
 use lr_lease::{ArmedCounter, BeginLease, LeaseTable, MultiLeaseBegin};
 use lr_sim_core::trace::{TraceEvent, TraceRing, TraceSink};
+use lr_sim_core::tracefmt::{self, MachineTrace, OpRecord};
 use lr_sim_core::{
     CoreId, Cycle, EventQueue, EventQueueKind, LineAddr, MachineStats, SystemConfig,
 };
 use lr_sim_mem::SimMemory;
 use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 /// A workload thread: a closure over the simulated-instruction API.
 pub type ThreadFn = Box<dyn FnOnce(&mut ThreadCtx) + Send + 'static>;
+
+/// A single-threaded supplier of requests for engine-only replay.
+///
+/// `next(tid)` is called exactly where the live machine would block on
+/// core `tid`'s rendezvous slot; `observe(tid, reply)` is called with the
+/// reply the live worker would have received, immediately before the next
+/// `next(tid)`. Returning `Err` from either aborts the run with a
+/// structured failure report — this is how `lr-replay` surfaces
+/// divergence between a recorded trace and the engine's behaviour.
+pub trait OpSource {
+    /// The next request core `tid` issues (or its `Op::Exit`).
+    fn next(&mut self, tid: usize) -> Result<Request, String>;
+    /// The engine's reply to core `tid`'s in-flight request.
+    fn observe(&mut self, tid: usize, reply: Reply) -> Result<(), String>;
+}
+
+/// Why a [`Machine::run_source`] run stopped early.
+#[derive(Debug)]
+pub struct SourceAbort {
+    /// One-line failure reason (divergence detail, deadlock, watchdog…).
+    pub reason: String,
+    /// Full rendered failure report: reason, protocol-trace window,
+    /// in-flight protocol state, lease tables, pending ops.
+    pub report: String,
+}
+
+/// Result of [`Machine::run_recorded`]: the usual run outputs plus the
+/// captured trace, ready for [`tracefmt::encode`].
+pub struct RecordedRun {
+    pub stats: MachineStats,
+    pub mem: SimMemory,
+    /// Discrete events the engine processed.
+    pub events: u64,
+    pub trace: MachineTrace,
+}
+
+/// How `run_inner` is driven: live OS-thread workers (optionally
+/// recording) or an engine-only [`OpSource`].
+enum Mode<'a> {
+    Live {
+        programs: Vec<ThreadFn>,
+        record: bool,
+    },
+    Source {
+        threads: usize,
+        source: &'a mut dyn OpSource,
+    },
+}
+
+/// Where requests come from and replies go to: the live rendezvous slots
+/// or an [`OpSource`] feeding recorded ops from the engine's own thread.
+enum Transport<'a> {
+    Live {
+        req_rx: Vec<SlotReceiver<Request>>,
+        reply_tx: Vec<SlotSender<Reply>>,
+    },
+    Source(&'a mut dyn OpSource),
+}
+
+impl Transport<'_> {
+    fn recv(&mut self, tid: usize) -> Result<Request, String> {
+        match self {
+            Transport::Live { req_rx, .. } => req_rx[tid]
+                .recv()
+                .map_err(|_| format!("core {tid}: worker hung up without sending Exit")),
+            Transport::Source(src) => src.next(tid),
+        }
+    }
+
+    fn reply(&mut self, tid: usize, r: Reply) -> Result<(), String> {
+        match self {
+            Transport::Live { reply_tx, .. } => reply_tx[tid]
+                .send(r)
+                .map_err(|_| format!("core {tid}: worker hung up before receiving its reply")),
+            Transport::Source(src) => src.observe(tid, r),
+        }
+    }
+}
+
+/// Monotonic per-process trace file sequence (files from concurrent
+/// sweep cells land in the same `LR_TRACE_DIR`).
+static TRACE_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Best-effort trace write for the `LR_TRACE_DIR` knob: IO failure warns
+/// on stderr rather than failing an otherwise-successful simulation.
+fn write_trace_file(dir: &std::path::Path, trace: &MachineTrace) {
+    let seq = TRACE_SEQ.fetch_add(1, Ordering::Relaxed);
+    let name = format!(
+        "trace_{:016x}_{}_{seq:05}.{}",
+        tracefmt::config_fingerprint(&trace.config),
+        std::process::id(),
+        tracefmt::TRACE_EXT
+    );
+    let path = dir.join(name);
+    let bytes = tracefmt::encode(trace);
+    if let Err(e) = std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, &bytes)) {
+        eprintln!("lr-machine: cannot write trace {}: {e}", path.display());
+    }
+}
 
 /// Yield-phase budget pool for worker reply receivers, divided by the
 /// worker count: the more workers are waiting, the longer each host
@@ -355,9 +457,62 @@ impl Machine {
     /// Kept out of [`MachineStats`] so the published simulated metrics
     /// stay exactly the paper's.
     pub fn run_counted(self, programs: Vec<ThreadFn>) -> (MachineStats, SimMemory, u64) {
-        let n = programs.len();
+        match self.run_inner(Mode::Live {
+            programs,
+            record: false,
+        }) {
+            Ok((stats, mem, events, _)) => (stats, mem, events),
+            // Live-mode failures panic inside run_inner; keep the
+            // fallback for type completeness.
+            Err(abort) => panic!("{}", abort.report),
+        }
+    }
+
+    /// Like [`Machine::run_counted`], additionally capturing every
+    /// worker's op stream (operands, issue times, and observed replies)
+    /// plus a pre-run memory snapshot, as a [`MachineTrace`] ready for
+    /// [`tracefmt::encode`] and later engine-only replay.
+    pub fn run_recorded(self, programs: Vec<ThreadFn>) -> RecordedRun {
+        match self.run_inner(Mode::Live {
+            programs,
+            record: true,
+        }) {
+            Ok((stats, mem, events, trace)) => RecordedRun {
+                stats,
+                mem,
+                events,
+                trace: trace.expect("recording run produces a trace"),
+            },
+            Err(abort) => panic!("{}", abort.report),
+        }
+    }
+
+    /// Engine-only run: instead of spawning workers, pull every request
+    /// from `source` on the engine's own thread — no rendezvous slots, no
+    /// parked OS threads. `threads` is the simulated core count to drive
+    /// (must match the recording for faithful replay). Failures —
+    /// including `source` reporting divergence — return a structured
+    /// [`SourceAbort`] instead of panicking.
+    pub fn run_source(
+        self,
+        threads: usize,
+        source: &mut dyn OpSource,
+    ) -> Result<(MachineStats, SimMemory, u64), Box<SourceAbort>> {
+        let (stats, mem, events, _) = self.run_inner(Mode::Source { threads, source })?;
+        Ok((stats, mem, events))
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn run_inner(
+        self,
+        mode: Mode<'_>,
+    ) -> Result<(MachineStats, SimMemory, u64, Option<MachineTrace>), Box<SourceAbort>> {
         let trace_depth = self.trace_depth;
         let cfg = self.cfg;
+        let (n, is_live) = match &mode {
+            Mode::Live { programs, .. } => (programs.len(), true),
+            Mode::Source { threads, .. } => (*threads, false),
+        };
         assert!(n >= 1, "no workload threads");
         assert!(
             n <= cfg.num_cores,
@@ -365,8 +520,18 @@ impl Machine {
             cfg.num_cores
         );
 
+        // Recording is on when explicitly requested (run_recorded) or
+        // when the LR_TRACE_DIR knob asks every live run to dump traces.
+        let trace_dir = if is_live { trace_dir_from_env() } else { None };
+        let record = trace_dir.is_some() || matches!(mode, Mode::Live { record: true, .. });
+
         let mut engine = CoherenceEngine::new(&cfg);
         let mut mem = self.mem;
+        // The replayer restores this exact image before re-driving ops,
+        // so it must be taken before any simulated execution.
+        let pre_image = record.then(|| mem.snapshot());
+        let sink: Option<RecordSink> =
+            record.then(|| Arc::new(Mutex::new((0..n).map(|_| None).collect())));
         let mut shared = Shared {
             queue: self
                 .eventq
@@ -387,33 +552,43 @@ impl Machine {
         };
         let mut scratch = Scratch::default();
 
-        let mut req_rx: Vec<SlotReceiver<Request>> = Vec::with_capacity(n);
-        let mut reply_tx: Vec<SlotSender<Reply>> = Vec::with_capacity(n);
-        let mut handles = Vec::with_capacity(n);
-        for (tid, f) in programs.into_iter().enumerate() {
-            let (rtx, rrx) = slot::<Request>();
-            let (ptx, prx) = slot::<Reply>();
-            // A worker's reply may be many engine events away (other
-            // workers' ops are simulated first), so park early instead of
-            // lingering in the host scheduler's rotation and slowing the
-            // handoffs of the pair that is making progress. The engine's
-            // request receiver keeps the default (large) cap: the worker
-            // it just woke is always the very next sender.
-            let prx = prx.with_yield_cap(WORKER_YIELD_CAP / n as u32);
-            let mut tctx = ThreadCtx::new(
-                tid,
-                cfg.instruction_cost,
-                cfg.lease.clone(),
-                cfg.seed,
-                rtx,
-                prx,
-            );
-            handles.push(std::thread::spawn(move || {
-                let r = std::panic::catch_unwind(AssertUnwindSafe(|| f(&mut tctx)));
-                tctx.send_exit(r.is_err());
-            }));
-            req_rx.push(rrx);
-            reply_tx.push(ptx);
+        let (mut transport, handles) = match mode {
+            Mode::Live { programs, .. } => {
+                let mut req_rx: Vec<SlotReceiver<Request>> = Vec::with_capacity(n);
+                let mut reply_tx: Vec<SlotSender<Reply>> = Vec::with_capacity(n);
+                let mut handles = Vec::with_capacity(n);
+                for (tid, f) in programs.into_iter().enumerate() {
+                    let (rtx, rrx) = slot::<Request>();
+                    let (ptx, prx) = slot::<Reply>();
+                    // A worker's reply may be many engine events away (other
+                    // workers' ops are simulated first), so park early instead of
+                    // lingering in the host scheduler's rotation and slowing the
+                    // handoffs of the pair that is making progress. The engine's
+                    // request receiver keeps the default (large) cap: the worker
+                    // it just woke is always the very next sender.
+                    let prx = prx.with_yield_cap(WORKER_YIELD_CAP / n as u32);
+                    let rec = sink.as_ref().map(|s| Recorder::new(s.clone()));
+                    let mut tctx = ThreadCtx::new(
+                        tid,
+                        cfg.instruction_cost,
+                        cfg.lease.clone(),
+                        cfg.seed,
+                        rtx,
+                        prx,
+                        rec,
+                    );
+                    handles.push(std::thread::spawn(move || {
+                        let r = std::panic::catch_unwind(AssertUnwindSafe(|| f(&mut tctx)));
+                        tctx.send_exit(r.is_err());
+                    }));
+                    req_rx.push(rrx);
+                    reply_tx.push(ptx);
+                }
+                (Transport::Live { req_rx, reply_tx }, handles)
+            }
+            Mode::Source { source, .. } => (Transport::Source(source), Vec::new()),
+        };
+        for tid in 0..n {
             shared.queue.push_at(0, Ev::Start(tid));
         }
 
@@ -424,12 +599,13 @@ impl Machine {
         let mut exit_ops = vec![0u64; n];
         let mut panicked: Vec<usize> = Vec::new();
 
-        // Any panic inside the event loop — watchdog trip, protocol
-        // assertion, invariant violation, deadlock at drain — is caught
-        // and re-raised as one coherent report: the failure reason, the
+        // Any failure inside the event loop — watchdog trip, protocol
+        // assertion (panic), divergence or deadlock (Err) — is caught
+        // and rendered as one coherent report: the failure reason, the
         // trace window, the in-flight protocol state, and every core's
-        // lease table.
-        let loop_result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        // lease table. Live runs re-raise the report as a panic; source
+        // runs hand it back as a structured `SourceAbort`.
+        let loop_result = std::panic::catch_unwind(AssertUnwindSafe(|| -> Result<(), String> {
             while let Some((t, ev)) = shared.queue.pop() {
                 assert!(
                     t <= cfg.watchdog_max_cycles,
@@ -444,7 +620,7 @@ impl Machine {
                     Ev::Start(tid) => {
                         Self::await_request(
                             tid,
-                            &mut req_rx,
+                            &mut transport,
                             &mut shared,
                             &mut pending,
                             &mut live,
@@ -452,14 +628,16 @@ impl Machine {
                             &mut exit_inst,
                             &mut exit_ops,
                             &mut panicked,
-                        );
+                        )?;
                     }
                     Ev::OpStart(tid) => {
                         if shared.trace.enabled() {
                             shared.trace.record(t, TraceEvent::OpStart { tid });
                         }
                         let Some(Pending::Incoming(op)) = pending[tid].take() else {
-                            panic!("OpStart without incoming op for thread {tid}")
+                            return Err(format!(
+                                "OpStart without incoming op for core {tid} at cycle {t}"
+                            ));
                         };
                         Self::start_op(
                             tid,
@@ -485,14 +663,13 @@ impl Machine {
                             &mut scratch,
                             &mut mem,
                             &mut pending,
-                            &reply_tx,
-                            &mut req_rx,
+                            &mut transport,
                             &mut live,
                             &mut finish_time,
                             &mut exit_inst,
                             &mut exit_ops,
                             &mut panicked,
-                        );
+                        )?;
                     }
                     Ev::Coh(e) => {
                         shared.base = t;
@@ -525,20 +702,28 @@ impl Machine {
                 }
             }
 
-            assert_eq!(
-                live, 0,
-                "simulation deadlock: event queue drained with {live} threads blocked"
-            );
+            if live != 0 {
+                return Err(format!(
+                    "simulation deadlock: event queue drained with {live} threads blocked"
+                ));
+            }
             assert_eq!(engine.in_flight(), 0);
             engine.check_invariants();
+            Ok(())
         }));
-        if let Err(payload) = loop_result {
-            let reason = panic_payload_msg(payload.as_ref());
-            panic!(
-                "{}",
-                render_failure_report(&reason, &shared, &engine, &pending)
-            );
+        let failure = match loop_result {
+            Ok(Ok(())) => None,
+            Ok(Err(reason)) => Some(reason),
+            Err(payload) => Some(panic_payload_msg(payload.as_ref())),
+        };
+        if let Some(reason) = failure {
+            let report = render_failure_report(&reason, &shared, &engine, &pending);
+            if is_live {
+                panic!("{report}");
+            }
+            return Err(Box::new(SourceAbort { reason, report }));
         }
+        drop(transport);
 
         for h in handles {
             let _ = h.join();
@@ -567,7 +752,31 @@ impl Machine {
             c.leases_broken_by_priority += lc.broken;
             c.multileases += lc.multileases;
         }
-        (stats, mem, events)
+
+        let trace = match sink {
+            Some(sink) => {
+                // Workers deposited their streams before sending Exit,
+                // and every Exit has been received, so the sink is full.
+                let mut slots = sink.lock().unwrap_or_else(|e| e.into_inner());
+                let cores: Vec<Vec<OpRecord>> = slots
+                    .iter_mut()
+                    .map(|s| s.take().unwrap_or_default())
+                    .collect();
+                let trace = MachineTrace {
+                    config: cfg.clone(),
+                    mem: pre_image.expect("snapshot taken when recording"),
+                    cores,
+                    stats_json: stats.to_json(),
+                    live_events: events,
+                };
+                if let Some(dir) = &trace_dir {
+                    write_trace_file(dir, &trace);
+                }
+                Some(trace)
+            }
+            None => None,
+        };
+        Ok((stats, mem, events, trace))
     }
 
     /// Drain effects deferred by the `CohContext` during engine calls.
@@ -602,11 +811,12 @@ impl Machine {
     }
 
     /// Block until worker `tid` sends its next instruction (lockstep:
-    /// `tid` is the only runnable entity right now).
+    /// `tid` is the only runnable entity right now). In source mode this
+    /// is a plain function call into the [`OpSource`].
     #[allow(clippy::too_many_arguments)]
     fn await_request(
         tid: usize,
-        req_rx: &mut [SlotReceiver<Request>],
+        transport: &mut Transport<'_>,
         shared: &mut Shared,
         pending: &mut [Option<Pending>],
         live: &mut usize,
@@ -614,8 +824,8 @@ impl Machine {
         exit_inst: &mut [u64],
         exit_ops: &mut [u64],
         panicked: &mut Vec<usize>,
-    ) {
-        let r = req_rx[tid].recv().expect("worker hung up");
+    ) -> Result<(), String> {
+        let r = transport.recv(tid)?;
         debug_assert_eq!(r.tid, tid);
         match r.op {
             Op::Exit {
@@ -638,6 +848,7 @@ impl Machine {
                 shared.queue.push_at(r.at, Ev::OpStart(tid));
             }
         }
+        Ok(())
     }
 
     /// Begin executing one instruction at its issue time `t`.
@@ -833,15 +1044,16 @@ impl Machine {
         scratch: &mut Scratch,
         mem: &mut SimMemory,
         pending: &mut [Option<Pending>],
-        reply_tx: &[SlotSender<Reply>],
-        req_rx: &mut [SlotReceiver<Request>],
+        transport: &mut Transport<'_>,
         live: &mut usize,
         finish_time: &mut Cycle,
         exit_inst: &mut [u64],
         exit_ops: &mut [u64],
         panicked: &mut Vec<usize>,
-    ) {
-        let p = pending[tid].take().expect("completion without pending op");
+    ) -> Result<(), String> {
+        let p = pending[tid].take().ok_or_else(|| {
+            format!("OpComplete for core {tid} at cycle {t} without a pending op")
+        })?;
         let (value, flag, issued) = match p {
             Pending::Data { op, issued } => {
                 let cs = &mut engine.stats_mut().cores[tid];
@@ -911,7 +1123,7 @@ impl Machine {
                         issued,
                     });
                     Self::drain(t, engine, shared, scratch);
-                    return;
+                    return Ok(());
                 }
                 (0, true, issued)
             }
@@ -923,16 +1135,17 @@ impl Machine {
             Pending::Incoming(_) => unreachable!("completion before start"),
         };
         engine.stats_mut().cores[tid].mem_stall_cycles += t - issued;
-        reply_tx[tid]
-            .send(Reply {
+        transport.reply(
+            tid,
+            Reply {
                 time: t,
                 value,
                 flag,
-            })
-            .expect("worker hung up");
+            },
+        )?;
         Self::await_request(
             tid,
-            req_rx,
+            transport,
             shared,
             pending,
             live,
@@ -940,7 +1153,7 @@ impl Machine {
             exit_inst,
             exit_ops,
             panicked,
-        );
+        )
     }
 }
 

@@ -1,5 +1,6 @@
 //! Worker ⇄ engine lockstep protocol types.
 
+use lr_sim_core::tracefmt::TraceOp;
 use lr_sim_core::{Addr, Cycle};
 
 /// Inline capacity of [`AddrVec`]: covers the default
@@ -93,6 +94,78 @@ pub enum Op {
         /// True if the closure panicked.
         panicked: bool,
     },
+}
+
+impl Op {
+    /// Trace-format mirror of this op. Every variant has one;
+    /// `Exit` carries its counters, `Barrier` markers are injected by
+    /// [`SimBarrier`](crate::SimBarrier) rather than converted from an op.
+    pub fn to_trace(&self) -> TraceOp {
+        match *self {
+            Op::Read(a) => TraceOp::Read(a),
+            Op::Write(a, v) => TraceOp::Write(a, v),
+            Op::Cas {
+                addr,
+                expected,
+                new,
+            } => TraceOp::Cas {
+                addr,
+                expected,
+                new,
+            },
+            Op::Faa { addr, delta } => TraceOp::Faa { addr, delta },
+            Op::Xchg { addr, value } => TraceOp::Xchg { addr, value },
+            Op::Lease { addr, time } => TraceOp::Lease { addr, time },
+            Op::Release { addr } => TraceOp::Release { addr },
+            Op::MultiLease { ref addrs, time } => TraceOp::MultiLease {
+                addrs: addrs.as_slice().to_vec(),
+                time,
+            },
+            Op::ReleaseAll => TraceOp::ReleaseAll,
+            Op::Malloc { size, align } => TraceOp::Malloc { size, align },
+            Op::Free(a) => TraceOp::Free(a),
+            Op::Exit {
+                instructions, ops, ..
+            } => TraceOp::Exit { instructions, ops },
+        }
+    }
+
+    /// Reconstruct a protocol op from its trace form, for the replayer.
+    /// `at` becomes the exit timestamp for `Exit` records. Returns `None`
+    /// for `Barrier`, which is an annotation with no engine-visible op.
+    pub fn from_trace(t: &TraceOp, at: Cycle) -> Option<Op> {
+        Some(match *t {
+            TraceOp::Read(a) => Op::Read(a),
+            TraceOp::Write(a, v) => Op::Write(a, v),
+            TraceOp::Cas {
+                addr,
+                expected,
+                new,
+            } => Op::Cas {
+                addr,
+                expected,
+                new,
+            },
+            TraceOp::Faa { addr, delta } => Op::Faa { addr, delta },
+            TraceOp::Xchg { addr, value } => Op::Xchg { addr, value },
+            TraceOp::Lease { addr, time } => Op::Lease { addr, time },
+            TraceOp::Release { addr } => Op::Release { addr },
+            TraceOp::MultiLease { ref addrs, time } => Op::MultiLease {
+                addrs: AddrVec::from_slice(addrs),
+                time,
+            },
+            TraceOp::ReleaseAll => Op::ReleaseAll,
+            TraceOp::Malloc { size, align } => Op::Malloc { size, align },
+            TraceOp::Free(a) => Op::Free(a),
+            TraceOp::Exit { instructions, ops } => Op::Exit {
+                instructions,
+                ops,
+                at,
+                panicked: false,
+            },
+            TraceOp::Barrier => return None,
+        })
+    }
 }
 
 /// Worker → engine message.

@@ -68,7 +68,28 @@ const YIELD_INIT: u32 = 64;
 /// is pointless on a single hardware thread, so `recv` skips it there.
 static HOST_CORES: std::sync::atomic::AtomicU32 = std::sync::atomic::AtomicU32::new(0);
 
+/// Cached `LR_FORCE_SPIN` probe: 0 = not yet read, 1 = forced on,
+/// 2 = off. `LR_FORCE_SPIN=1` makes `recv` run the pure-spin phase even
+/// on a single hardware thread, so the spin path is exercisable (and
+/// unit-testable) on single-core CI containers.
+static FORCE_SPIN: AtomicU8 = AtomicU8::new(0);
+
+fn force_spin() -> bool {
+    match FORCE_SPIN.load(Ordering::Relaxed) {
+        1 => true,
+        2 => false,
+        _ => {
+            let on = std::env::var_os("LR_FORCE_SPIN").is_some_and(|v| v == "1");
+            FORCE_SPIN.store(if on { 1 } else { 2 }, Ordering::Relaxed);
+            on
+        }
+    }
+}
+
 fn spin_rounds() -> u32 {
+    if force_spin() {
+        return SPIN_ROUNDS;
+    }
     let mut n = HOST_CORES.load(Ordering::Relaxed);
     if n == 0 {
         n = std::thread::available_parallelism()
@@ -382,5 +403,47 @@ mod tests {
         drop(tx);
         drop(rx);
         assert_eq!(std::sync::Arc::strong_count(&v), 1, "value leaked");
+    }
+
+    #[test]
+    fn force_spin_overrides_single_core_probe() {
+        // With the override armed, the pure-spin phase must run at full
+        // strength regardless of what available_parallelism reports.
+        FORCE_SPIN.store(1, Ordering::Relaxed);
+        assert_eq!(spin_rounds(), SPIN_ROUNDS);
+
+        // Drive real cross-thread handoffs through the forced spin path
+        // (on a single-core container this otherwise never executes).
+        let (req_tx, mut req_rx) = slot::<u64>();
+        let (rep_tx, mut rep_rx) = slot::<u64>();
+        let n = 2_000u64;
+        let worker = std::thread::spawn(move || {
+            let mut acc = 0;
+            for i in 0..n {
+                req_tx.send(i).unwrap();
+                acc += rep_rx.recv().unwrap();
+            }
+            acc
+        });
+        for _ in 0..n {
+            let v = req_rx.recv().unwrap();
+            rep_tx.send(v + 1).unwrap();
+        }
+        assert_eq!(worker.join().unwrap(), (0..n).map(|i| i + 1).sum());
+
+        // Re-probe from the environment for any later test.
+        FORCE_SPIN.store(0, Ordering::Relaxed);
+    }
+
+    #[test]
+    fn force_spin_off_defers_to_core_count() {
+        FORCE_SPIN.store(2, Ordering::Relaxed);
+        let expected = if std::thread::available_parallelism().map_or(1, |p| p.get()) > 1 {
+            SPIN_ROUNDS
+        } else {
+            0
+        };
+        assert_eq!(spin_rounds(), expected);
+        FORCE_SPIN.store(0, Ordering::Relaxed);
     }
 }

@@ -1,0 +1,85 @@
+//! Verify or inspect recorded simulation traces.
+//!
+//! ```text
+//! lr-replay FILE...          replay each trace and require byte-identical stats
+//! lr-replay --dump FILE...   print a summary of each trace without replaying
+//! ```
+//!
+//! Exits non-zero if any file fails to decode or verify.
+
+use lr_replay::{read_trace, verify};
+use lr_sim_core::tracefmt::config_fingerprint;
+use std::path::PathBuf;
+
+const USAGE: &str = "usage: lr-replay [--dump] FILE...\n\
+  (no flag)  replay each trace engine-only and require byte-identical MachineStats\n\
+  --dump     print a summary of each trace without replaying";
+
+fn main() {
+    let mut dump = false;
+    let mut files: Vec<PathBuf> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--dump" => dump = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag {other}\n{USAGE}");
+                std::process::exit(2);
+            }
+            _ => files.push(PathBuf::from(arg)),
+        }
+    }
+    if files.is_empty() {
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    }
+
+    let mut failures = 0usize;
+    for path in &files {
+        let trace = match read_trace(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("FAIL {}: {e}", path.display());
+                failures += 1;
+                continue;
+            }
+        };
+        if dump {
+            println!(
+                "{}: cores={} ops={} events={} fingerprint={:016x} seed={:#x}",
+                path.display(),
+                trace.cores.len(),
+                trace.total_ops(),
+                trace.live_events,
+                config_fingerprint(&trace.config),
+                trace.config.seed,
+            );
+            continue;
+        }
+        match verify(&trace) {
+            Ok(stats) => {
+                println!(
+                    "PASS {}: {} ops over {} cores replayed byte-identical ({} cycles)",
+                    path.display(),
+                    trace.total_ops(),
+                    trace.cores.len(),
+                    stats.total_cycles,
+                );
+            }
+            Err(d) => {
+                eprintln!("FAIL {}: {d}", path.display());
+                if !d.report.is_empty() {
+                    eprintln!("{}", d.report);
+                }
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        eprintln!("{failures} of {} trace(s) failed", files.len());
+        std::process::exit(1);
+    }
+}

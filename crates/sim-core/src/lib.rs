@@ -12,6 +12,7 @@ pub mod event;
 pub mod rng;
 pub mod stats;
 pub mod trace;
+pub mod tracefmt;
 mod wheel;
 
 pub use config::{CoherenceProtocol, EnergyModel, LeaseConfig, SystemConfig};
@@ -19,6 +20,7 @@ pub use event::{EventQueue, EventQueueKind};
 pub use rng::SplitMix64;
 pub use stats::{CoreStats, MachineStats};
 pub use trace::{TraceAccess, TraceEvent, TraceRecord, TraceRing, TraceSink};
+pub use tracefmt::{config_fingerprint, MachineTrace, MemImage, OpRecord, TraceError, TraceOp};
 
 /// Simulated time, in core cycles (1 GHz ⇒ 1 cycle = 1 ns).
 pub type Cycle = u64;

@@ -6,6 +6,7 @@
 //! distinct allocations on distinct lines — the property the paper relies
 //! on to avoid false sharing among leased variables.
 
+use lr_sim_core::tracefmt::MemImage;
 use lr_sim_core::{Addr, LINE_SIZE};
 use std::collections::HashMap;
 
@@ -112,6 +113,47 @@ impl Allocator {
     /// Bytes currently allocated.
     pub fn live_bytes(&self) -> u64 {
         self.live_bytes
+    }
+
+    /// Capture allocator state as plain data (page contents are filled
+    /// in by [`SimMemory::snapshot`](crate::SimMemory::snapshot)).
+    /// Deterministic: maps are emitted in sorted key order; free-list
+    /// *stack order* is preserved exactly, because the allocator pops
+    /// from the end and replay must see identical future addresses.
+    pub(crate) fn snapshot(&self) -> MemImage {
+        let mut live: Vec<(u64, u64)> = self.live.iter().map(|(a, s)| (a.0, *s)).collect();
+        live.sort_unstable();
+        let mut free: Vec<(u64, Vec<u64>)> = self
+            .free
+            .iter()
+            .filter(|(_, list)| !list.is_empty())
+            .map(|(c, list)| (*c, list.iter().map(|a| a.0).collect()))
+            .collect();
+        free.sort_unstable_by_key(|(c, _)| *c);
+        MemImage {
+            pages: Vec::new(),
+            brk: self.brk,
+            live,
+            free,
+            live_bytes: self.live_bytes,
+        }
+    }
+
+    /// Reconstruct an allocator from a snapshot image.
+    pub(crate) fn restore(base: u64, image: &MemImage) -> Self {
+        let mut a = Allocator::new(base);
+        a.brk = image.brk.max(base);
+        a.live = image
+            .live
+            .iter()
+            .map(|&(addr, size)| (Addr(addr), size))
+            .collect();
+        for (class, addrs) in &image.free {
+            a.free
+                .insert(*class, addrs.iter().map(|&x| Addr(x)).collect());
+        }
+        a.live_bytes = image.live_bytes;
+        a
     }
 
     /// Highest address handed out so far.

@@ -10,22 +10,72 @@
 //! store plus a size-class allocator with cache-line-aligned allocation
 //! (the paper's §7 notes that leased variables must be allocated
 //! cache-aligned to avoid false sharing).
+//!
+//! ## Paged storage and the per-thread page pool
+//!
+//! The word store is paged ([`PAGE_WORDS`] words per page) rather than one
+//! flat `Vec`: absent pages read as zero, and resident pages are plain
+//! boxed slices. Pages released by a dropped `SimMemory` park in a
+//! per-host-thread pool and are handed (re-zeroed) to the next `SimMemory`
+//! built on that thread — so a bench sweep running thousands of grid cells
+//! on a pool of worker threads stops paying one heap allocation per page
+//! per cell. The pool is bounded ([`POOL_MAX_PAGES`]); overflow pages are
+//! simply freed.
+//!
+//! ## Snapshot/restore
+//!
+//! [`SimMemory::snapshot`] captures the heap contents *and* the exact
+//! allocator state into a plain-data [`MemImage`] (the record/replay trace
+//! format of `lr-sim-core`); [`SimMemory::restore`] reconstructs a memory
+//! that behaves identically — including the addresses future `malloc`
+//! calls return, because free-list stack order is preserved.
 
 mod alloc;
 
 pub use alloc::Allocator;
 
+use lr_sim_core::tracefmt::MemImage;
 use lr_sim_core::{Addr, LINE_SIZE};
+use std::cell::RefCell;
 
 /// Base of the simulated heap. Address 0 stays unmapped so that `Addr(0)`
 /// can serve as the null pointer.
 pub const HEAP_BASE: u64 = 0x1000;
 
-/// Authoritative simulated memory: a flat, zero-initialized word store
+/// Words per storage page (4 KiB pages).
+pub const PAGE_WORDS: usize = 512;
+
+/// Upper bound on pooled pages per host thread (4 MiB of parked pages).
+const POOL_MAX_PAGES: usize = 1024;
+
+type Page = Box<[u64]>;
+
+thread_local! {
+    /// Per-host-thread free list of released pages (see module docs).
+    static PAGE_POOL: RefCell<Vec<Page>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Take a zeroed page, preferring the calling thread's pool.
+fn take_page() -> Page {
+    PAGE_POOL.with(|p| match p.borrow_mut().pop() {
+        Some(mut page) => {
+            page.fill(0);
+            page
+        }
+        None => vec![0u64; PAGE_WORDS].into_boxed_slice(),
+    })
+}
+
+/// Number of pages parked in the calling thread's pool (test hook).
+pub fn pooled_pages() -> usize {
+    PAGE_POOL.with(|p| p.borrow().len())
+}
+
+/// Authoritative simulated memory: a paged, zero-initialized word store
 /// plus the heap allocator.
 #[derive(Debug)]
 pub struct SimMemory {
-    words: Vec<u64>,
+    pages: Vec<Option<Page>>,
     alloc: Allocator,
 }
 
@@ -35,11 +85,28 @@ impl Default for SimMemory {
     }
 }
 
+impl Drop for SimMemory {
+    fn drop(&mut self) {
+        // Park this memory's pages for the next simulation on this host
+        // thread (a sweep cell's drop site and its successor's build
+        // site share the worker thread).
+        PAGE_POOL.with(|p| {
+            let mut pool = p.borrow_mut();
+            for page in self.pages.iter_mut().filter_map(Option::take) {
+                if pool.len() >= POOL_MAX_PAGES {
+                    break;
+                }
+                pool.push(page);
+            }
+        });
+    }
+}
+
 impl SimMemory {
     /// An empty memory with an empty heap.
     pub fn new() -> Self {
         SimMemory {
-            words: Vec::new(),
+            pages: Vec::new(),
             alloc: Allocator::new(HEAP_BASE),
         }
     }
@@ -58,16 +125,37 @@ impl SimMemory {
     /// reads as zero.
     pub fn read_word(&self, addr: Addr) -> u64 {
         let i = Self::word_index(addr);
-        self.words.get(i).copied().unwrap_or(0)
+        match self.pages.get(i / PAGE_WORDS) {
+            Some(Some(page)) => page[i % PAGE_WORDS],
+            _ => 0,
+        }
     }
 
     /// Write the 64-bit word at `addr` (8-byte aligned).
     pub fn write_word(&mut self, addr: Addr, value: u64) {
         let i = Self::word_index(addr);
-        if i >= self.words.len() {
-            self.words.resize(i + 1, 0);
+        let pi = i / PAGE_WORDS;
+        if pi >= self.pages.len() {
+            self.pages.resize_with(pi + 1, || None);
         }
-        self.words[i] = value;
+        let page = self.pages[pi].get_or_insert_with(take_page);
+        page[i % PAGE_WORDS] = value;
+    }
+
+    /// Zero `[start, start + words)`; only touches resident pages
+    /// (absent pages already read as zero).
+    fn zero_words(&mut self, start: usize, words: usize) {
+        let mut i = start;
+        let end = start + words;
+        while i < end {
+            let pi = i / PAGE_WORDS;
+            let off = i % PAGE_WORDS;
+            let run = (PAGE_WORDS - off).min(end - i);
+            if let Some(Some(page)) = self.pages.get_mut(pi) {
+                page[off..off + run].fill(0);
+            }
+            i += run;
+        }
     }
 
     /// Allocate `size` bytes with the given power-of-two alignment
@@ -76,14 +164,7 @@ impl SimMemory {
         let a = self.alloc.alloc(size, align);
         // Freshly allocated memory must read as zero even if the block is
         // being reused.
-        let start = Self::word_index(a);
-        let words = size.div_ceil(8) as usize;
-        if start + words > self.words.len() {
-            self.words.resize(start + words, 0);
-        }
-        for w in &mut self.words[start..start + words] {
-            *w = 0;
-        }
+        self.zero_words(Self::word_index(a), size.div_ceil(8) as usize);
         a
     }
 
@@ -107,6 +188,41 @@ impl SimMemory {
     pub fn high_water(&self) -> u64 {
         self.alloc.high_water()
     }
+
+    /// Capture heap contents and allocator state as plain data (the
+    /// record/replay [`MemImage`]). Deterministic: pages ascend by
+    /// index with trailing zeros trimmed, allocator maps are emitted in
+    /// sorted order with free-list stack order preserved.
+    pub fn snapshot(&self) -> MemImage {
+        let mut image = self.alloc.snapshot();
+        for (idx, page) in self.pages.iter().enumerate() {
+            let Some(page) = page else { continue };
+            let used = page.len() - page.iter().rev().take_while(|&&w| w == 0).count();
+            if used > 0 {
+                image.pages.push((idx as u64, page[..used].to_vec()));
+            }
+        }
+        image
+    }
+
+    /// Reconstruct a memory from a [`snapshot`](SimMemory::snapshot)
+    /// image. The result is behaviorally identical to the snapshotted
+    /// memory: same reads everywhere, same future allocation addresses.
+    pub fn restore(image: &MemImage) -> Self {
+        let mut mem = SimMemory {
+            pages: Vec::new(),
+            alloc: Allocator::restore(HEAP_BASE, image),
+        };
+        for (idx, words) in &image.pages {
+            let pi = *idx as usize;
+            if pi >= mem.pages.len() {
+                mem.pages.resize_with(pi + 1, || None);
+            }
+            let page = mem.pages[pi].get_or_insert_with(take_page);
+            page[..words.len()].copy_from_slice(words);
+        }
+        mem
+    }
 }
 
 #[cfg(test)]
@@ -127,6 +243,21 @@ mod tests {
         m.write_word(a, 0xdead_beef);
         assert_eq!(m.read_word(a), 0xdead_beef);
         assert_eq!(m.read_word(Addr(HEAP_BASE + 8)), 0);
+    }
+
+    #[test]
+    fn writes_across_page_boundaries() {
+        let mut m = SimMemory::new();
+        let stride = (PAGE_WORDS as u64) * 8;
+        for p in 0..5u64 {
+            // Last word of page p and first word of page p+1.
+            m.write_word(Addr(HEAP_BASE + (p + 1) * stride - 8), p + 1);
+            m.write_word(Addr(HEAP_BASE + (p + 1) * stride), 100 + p);
+        }
+        for p in 0..5u64 {
+            assert_eq!(m.read_word(Addr(HEAP_BASE + (p + 1) * stride - 8)), p + 1);
+            assert_eq!(m.read_word(Addr(HEAP_BASE + (p + 1) * stride)), 100 + p);
+        }
     }
 
     #[test]
@@ -163,5 +294,59 @@ mod tests {
         assert_ne!(a.line(), b.line());
         assert_eq!(a.line_offset(), 0);
         assert_eq!(b.line_offset(), 0);
+    }
+
+    #[test]
+    fn dropped_memory_parks_pages_for_reuse() {
+        // Drain whatever earlier tests parked so counts are exact.
+        PAGE_POOL.with(|p| p.borrow_mut().clear());
+        let mut m = SimMemory::new();
+        for i in 0..4u64 {
+            m.write_word(Addr(HEAP_BASE + i * (PAGE_WORDS as u64) * 8), i + 1);
+        }
+        drop(m);
+        assert_eq!(pooled_pages(), 4, "dropped pages were not pooled");
+        let mut m2 = SimMemory::new();
+        m2.write_word(Addr(HEAP_BASE), 9);
+        assert_eq!(pooled_pages(), 3, "new page did not come from the pool");
+        // A pooled page must arrive zeroed, not with stale contents.
+        assert_eq!(m2.read_word(Addr(HEAP_BASE + 8)), 0);
+    }
+
+    #[test]
+    fn snapshot_restore_preserves_contents_and_allocator() {
+        let mut m = SimMemory::new();
+        let a = m.alloc_line_aligned(64);
+        let b = m.alloc(16, 8);
+        let c = m.alloc(16, 8);
+        m.write_word(a, 11);
+        m.write_word(a.offset(56), 12);
+        m.write_word(b, 13);
+        m.free(c);
+        m.free(b);
+        let image = m.snapshot();
+
+        let mut r = SimMemory::restore(&image);
+        assert_eq!(r.read_word(a), 11);
+        assert_eq!(r.read_word(a.offset(56)), 12);
+        assert_eq!(r.read_word(b), 13);
+        assert_eq!(r.live_bytes(), m.live_bytes());
+        assert_eq!(r.high_water(), m.high_water());
+        // Future allocations must come out in the same (LIFO) order.
+        assert_eq!(r.alloc(16, 8), m.alloc(16, 8));
+        assert_eq!(r.alloc(16, 8), m.alloc(16, 8));
+        assert_eq!(r.alloc(8, 8), m.alloc(8, 8));
+    }
+
+    #[test]
+    fn snapshot_is_deterministic_and_trims_zeros() {
+        let mut m = SimMemory::new();
+        m.write_word(Addr(HEAP_BASE), 5);
+        m.write_word(Addr(HEAP_BASE + 8), 0); // explicit zero: trimmed
+        let s1 = m.snapshot();
+        let s2 = m.snapshot();
+        assert_eq!(s1, s2);
+        assert_eq!(s1.pages.len(), 1);
+        assert_eq!(s1.pages[0].1, vec![5]);
     }
 }
