@@ -54,4 +54,33 @@ cargo run -q --release --offline -p lr-bench --bin lr-bench -- \
 tail -n 1 "$TR_DIR/replay.txt"
 rm -rf "$TR_DIR"
 
+echo "== fuzz farm: seeded differential campaign, twice, diffed =="
+# Replay-driven differential fuzzing over a fixed seed range: each seed
+# records live under msi/mesi/lease-tight, replays every trace under
+# both event-queue stores, and checks the workload's built-in FAA-ledger
+# and app-ops invariants. The campaign runs twice and the outputs are
+# diffed: the farm itself must be byte-deterministic. LR_FUZZ_SEEDS
+# opts in to a longer run (default 64 seeds, sub-second).
+FZ_DIR=$(mktemp -d)
+cargo run -q --release --offline -p lr-fuzz --bin lr-fuzz -- \
+    --seeds "${LR_FUZZ_SEEDS:-64}" --repro-dir "$FZ_DIR/repro" > "$FZ_DIR/run1.txt"
+cargo run -q --release --offline -p lr-fuzz --bin lr-fuzz -- \
+    --seeds "${LR_FUZZ_SEEDS:-64}" --repro-dir "$FZ_DIR/repro" > "$FZ_DIR/run2.txt"
+diff -u "$FZ_DIR/run1.txt" "$FZ_DIR/run2.txt"
+tail -n 1 "$FZ_DIR/run1.txt"
+
+echo "== fuzz farm: injected-mutation detection drill =="
+# Flip one reply flag in a real recording: the farm must catch it at its
+# exact coordinates, shrink the workload to a single op, and persist a
+# reproducer that still fails verification after a disk round-trip.
+cargo run -q --release --offline -p lr-fuzz --bin lr-fuzz -- \
+    --self-test --repro-dir "$FZ_DIR/drill"
+rm -rf "$FZ_DIR"
+
+echo "== fuzz farm: checked-in regression corpus =="
+# Every committed trace must replay byte-identical under both event
+# queues. Regenerate with: lr-fuzz --regen-corpus corpus --seeds 4
+cargo run -q --release --offline -p lr-fuzz --bin lr-fuzz -- \
+    --check-corpus corpus
+
 echo "CI OK"

@@ -9,8 +9,8 @@
 //! ```
 
 use lr_bench::{
-    build_plan, default_jobs, max_threads_from_env, registry, run, JsonPolicy, PlanOpts, Scenario,
-    ScenarioKind,
+    build_plan, default_jobs, max_threads_from_env, record_dir_from_env, registry, run, JsonPolicy,
+    PlanOpts, Scenario, ScenarioKind,
 };
 
 const USAGE: &str = "\
@@ -38,7 +38,7 @@ OPTIONS:
                          reproducible; what the event-queue A/B gate
                          diffs), host/wall = wall-clock benches
     --record DIR         Record every simulation of this run as a trace
-                         file in DIR (sets LR_TRACE_DIR)
+                         file in DIR (one collision-free file per cell)
     --replay DIR         Do not run the grid; replay every *.lrt trace
                          in DIR engine-only and require byte-identical
                          MachineStats (exit non-zero on any divergence)
@@ -50,7 +50,8 @@ ENVIRONMENT:
     LR_NATIVE_OPS   ops for the host-native validation scenario
     LR_JSON_DIR     directory for BENCH_*.json (default: workspace root)
     LR_NO_JSON=1    disable the JSON export
-    LR_TRACE_DIR    record every simulation as a trace file (= --record)
+    LR_TRACE_DIR    entry-point alias for --record (read once at startup,
+                    never consulted by sweep workers)
 ";
 
 /// Per-thread ops for `--smoke`: small enough that all 17 scenarios
@@ -98,34 +99,23 @@ fn list_scenarios() {
 /// `--replay DIR`: verify every `*.lrt` trace in `DIR` (sorted by file
 /// name) by engine-only replay, requiring byte-identical `MachineStats`.
 fn replay_directory(dir: &std::path::Path) -> ! {
-    let mut paths: Vec<std::path::PathBuf> = std::fs::read_dir(dir)
-        .unwrap_or_else(|e| fail(&format!("cannot read --replay dir {}: {e}", dir.display())))
-        .filter_map(|e| e.ok().map(|e| e.path()))
-        .filter(|p| {
-            p.extension()
-                .is_some_and(|x| x == lr_sim_core::tracefmt::TRACE_EXT)
-        })
-        .collect();
-    paths.sort();
+    let paths = lr_replay::trace_files(dir)
+        .unwrap_or_else(|e| fail(&format!("cannot read --replay dir {}: {e}", dir.display())));
     if paths.is_empty() {
         fail(&format!("no .lrt traces in {}", dir.display()));
     }
     let mut failures = 0usize;
     let mut total_ops = 0u64;
     for path in &paths {
-        match lr_replay::read_trace(path)
-            .map_err(|e| e.to_string())
-            .and_then(|t| {
-                lr_replay::verify(&t)
-                    .map(|stats| (t.total_ops(), t.cores.len(), stats))
-                    .map_err(|d| d.to_string())
-            }) {
-            Ok((ops, cores, stats)) => {
-                total_ops += ops;
+        match lr_replay::verify_file(path, None) {
+            Ok(v) => {
+                total_ops += v.ops;
                 println!(
-                    "PASS {}: {ops} ops over {cores} cores replayed byte-identical ({} cycles)",
+                    "PASS {}: {} ops over {} cores replayed byte-identical ({} cycles)",
                     path.display(),
-                    stats.total_cycles
+                    v.ops,
+                    v.cores,
+                    v.stats.total_cycles
                 );
             }
             Err(e) => {
@@ -212,12 +202,19 @@ fn main() {
     if let Some(dir) = &replay_dir {
         replay_directory(std::path::Path::new(dir));
     }
+    // --record beats the LR_TRACE_DIR alias; both are resolved exactly
+    // once, here, and flow to workers through the plan — never through
+    // mutable process-global env state.
+    let record_dir: Option<std::path::PathBuf> = record_dir
+        .map(std::path::PathBuf::from)
+        .or_else(record_dir_from_env);
     if let Some(dir) = &record_dir {
-        std::fs::create_dir_all(dir)
-            .unwrap_or_else(|e| fail(&format!("cannot create --record dir {dir:?}: {e}")));
-        // The machine layer reads this knob at every run start; sweep
-        // worker threads inherit it from the process environment.
-        std::env::set_var("LR_TRACE_DIR", dir);
+        std::fs::create_dir_all(dir).unwrap_or_else(|e| {
+            fail(&format!(
+                "cannot create --record dir {}: {e}",
+                dir.display()
+            ))
+        });
     }
 
     let mut selected: Vec<&'static Scenario> = match &scenario_filter {
@@ -259,6 +256,7 @@ fn main() {
         ops,
         jobs: jobs.unwrap_or_else(default_jobs),
         json: JsonPolicy::from_env(),
+        record_dir,
     };
     let plan = build_plan(&opts);
     if plan.cells.is_empty() {

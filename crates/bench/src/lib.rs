@@ -21,8 +21,9 @@ pub mod sweep;
 
 pub use harness::{threads_sweep, BenchRow};
 pub use report::{JsonPolicy, Report};
-pub use scenario::{CellOut, Scenario, ScenarioKind};
+pub use scenario::{CellCtx, CellOut, RecordTo, Scenario, ScenarioKind};
 pub use scenarios::{find, registry};
 pub use sweep::{
-    build_plan, default_jobs, max_threads_from_env, run, run_scenario, Plan, PlanOpts,
+    build_plan, default_jobs, max_threads_from_env, record_dir_from_env, run, run_scenario, Plan,
+    PlanOpts,
 };

@@ -12,6 +12,8 @@
 //! workload is a ~30-line registry entry there, not a new binary.
 
 use crate::harness::BenchRow;
+use lr_machine::Machine;
+use std::path::PathBuf;
 
 /// How a scenario's cells measure.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -32,6 +34,43 @@ pub enum ScenarioKind {
     /// thread counts never oversubscribe the host; they are precisely
     /// the interesting regime for handoff overhead.
     HostLockstep,
+}
+
+/// Where a cell's simulations dump their traces: a directory plus the
+/// cell's canonical label (`scenario.series.tN`), which the machine
+/// layer turns into a collision-free filename.
+#[derive(Debug, Clone)]
+pub struct RecordTo {
+    pub dir: PathBuf,
+    pub label: String,
+}
+
+/// Inputs to one grid cell. The sweep driver threads the record
+/// directory through here explicitly — a recording sweep never mutates
+/// process-global state (`std::env::set_var`) that parallel workers
+/// would race on.
+#[derive(Debug, Clone)]
+pub struct CellCtx {
+    /// Index into the scenario's `series` array.
+    pub series: usize,
+    /// Simulated thread count for this cell.
+    pub threads: usize,
+    /// Per-thread operation count.
+    pub ops: u64,
+    /// Trace destination when the sweep records (`--record DIR`).
+    pub record: Option<RecordTo>,
+}
+
+impl CellCtx {
+    /// Apply this cell's recording destination (if any) to a machine.
+    /// Scenario `run_cell` implementations route every `Machine` they
+    /// construct through here.
+    pub fn prepare(&self, m: Machine) -> Machine {
+        match &self.record {
+            Some(r) => m.with_trace_output(r.dir.clone(), r.label.clone()),
+            None => m,
+        }
+    }
 }
 
 /// The output of one grid cell: the measured row plus any auxiliary
@@ -78,9 +117,10 @@ pub struct Scenario {
     pub ops_env: Option<&'static str>,
     /// Sim (parallelizable, deterministic) or Host (wall-clock).
     pub kind: ScenarioKind,
-    /// Run one grid cell: `(series index, threads, ops) -> row`.
-    /// Must be pure up to the deterministic simulator seed.
-    pub run_cell: fn(series: usize, threads: usize, ops: u64) -> CellOut,
+    /// Run one grid cell. Must be pure up to the deterministic
+    /// simulator seed (recording, when requested via the context, only
+    /// adds trace files — never changes the measured row).
+    pub run_cell: fn(ctx: &CellCtx) -> CellOut,
     /// Optional pre-row annotation hook (see [`AnnotateFn`]).
     pub annotate: Option<AnnotateFn>,
     /// Optional trailer printed after the scenario's last row.

@@ -4,6 +4,7 @@
 //! figures share the 2-of-10-objects transaction loop).
 
 use crate::harness::BenchRow;
+use crate::scenario::CellCtx;
 use lr_ds::{MsQueue, QueueVariant, StackVariant, TreiberStack};
 use lr_machine::{Machine, SystemConfig, ThreadCtx, ThreadFn};
 use lr_stm::{Tl2, Tl2Variant};
@@ -11,15 +12,15 @@ use lr_stm::{Tl2, Tl2Variant};
 /// Alternating push/pop pairs on a shared Treiber stack; `tweak`
 /// adjusts the configuration (lease bounds, protocol, prioritization).
 pub(crate) fn stack_cell(
+    ctx: &CellCtx,
     name: &str,
     variant: StackVariant,
-    threads: usize,
-    ops: u64,
     tweak: impl FnOnce(&mut SystemConfig),
 ) -> BenchRow {
+    let (threads, ops) = (ctx.threads, ctx.ops);
     let mut cfg = SystemConfig::with_cores(threads.max(2));
     tweak(&mut cfg);
-    let mut m = Machine::new(cfg.clone());
+    let mut m = ctx.prepare(Machine::new(cfg.clone()));
     let s = m.setup(|mem| TreiberStack::init(mem, variant));
     let progs: Vec<ThreadFn> = (0..threads)
         .map(|_| {
@@ -39,15 +40,15 @@ pub(crate) fn stack_cell(
 
 /// Alternating enqueue/dequeue pairs on a shared Michael–Scott queue.
 pub(crate) fn queue_cell(
+    ctx: &CellCtx,
     name: &str,
     variant: QueueVariant,
-    threads: usize,
-    ops: u64,
     tweak: impl FnOnce(&mut SystemConfig),
 ) -> BenchRow {
+    let (threads, ops) = (ctx.threads, ctx.ops);
     let mut cfg = SystemConfig::with_cores(threads.max(2));
     tweak(&mut cfg);
-    let mut m = Machine::new(cfg.clone());
+    let mut m = ctx.prepare(Machine::new(cfg.clone()));
     let q = m.setup(|mem| MsQueue::init(mem, variant));
     let progs: Vec<ThreadFn> = (0..threads)
         .map(|_| {
@@ -68,15 +69,11 @@ pub(crate) fn queue_cell(
 /// The paper's TL2 benchmark: transactions modify two randomly chosen
 /// objects out of a fixed set of ten. Returns the measured row plus the
 /// abort rate (aborts / (aborts + committed ops)).
-pub(crate) fn tl2_cell(
-    name: &str,
-    variant: Tl2Variant,
-    threads: usize,
-    ops: u64,
-) -> (BenchRow, f64) {
+pub(crate) fn tl2_cell(ctx: &CellCtx, name: &str, variant: Tl2Variant) -> (BenchRow, f64) {
     const NUM_OBJECTS: usize = 10;
+    let (threads, ops) = (ctx.threads, ctx.ops);
     let cfg = SystemConfig::with_cores(threads.max(2));
-    let mut m = Machine::new(cfg.clone());
+    let mut m = ctx.prepare(Machine::new(cfg.clone()));
     let tl2 = m.setup(|mem| Tl2::init(mem, NUM_OBJECTS, variant));
     let aborts = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
     let progs: Vec<ThreadFn> = (0..threads)

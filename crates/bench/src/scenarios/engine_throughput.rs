@@ -26,7 +26,7 @@
 //! validation scenario).
 
 use crate::harness::BenchRow;
-use crate::scenario::{CellOut, Scenario, ScenarioKind};
+use crate::scenario::{CellCtx, CellOut, Scenario, ScenarioKind};
 use lr_machine::{Machine, SystemConfig, ThreadCtx, ThreadFn};
 use std::time::Instant;
 
@@ -50,9 +50,10 @@ pub static SCENARIO: Scenario = Scenario {
     ),
 };
 
-fn run_cell(series: usize, threads: usize, ops: u64) -> CellOut {
+fn run_cell(ctx: &CellCtx) -> CellOut {
+    let (series, threads, ops) = (ctx.series, ctx.threads, ctx.ops);
     let cfg = SystemConfig::with_cores(threads.max(2));
-    let mut m = Machine::new(cfg.clone());
+    let mut m = ctx.prepare(Machine::new(cfg.clone()));
     let lines = m.setup(|mem| {
         (0..threads.max(1))
             .map(|_| mem.alloc_line_aligned(8))

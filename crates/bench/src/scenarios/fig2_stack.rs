@@ -6,7 +6,7 @@
 //! threads grow while the base variant collapses (up to ~5–7x gap).
 
 use super::common::stack_cell;
-use crate::scenario::{CellOut, Scenario, ScenarioKind};
+use crate::scenario::{CellCtx, CellOut, Scenario, ScenarioKind};
 use lr_ds::StackVariant;
 
 pub static SCENARIO: Scenario = Scenario {
@@ -22,16 +22,11 @@ pub static SCENARIO: Scenario = Scenario {
     footer: None,
 };
 
-fn run_cell(series: usize, threads: usize, ops: u64) -> CellOut {
+fn run_cell(ctx: &CellCtx) -> CellOut {
+    let series = ctx.series;
     let variant = match series {
         0 => StackVariant::Base,
         _ => StackVariant::Leased,
     };
-    CellOut::row(stack_cell(
-        SCENARIO.series[series],
-        variant,
-        threads,
-        ops,
-        |_| {},
-    ))
+    CellOut::row(stack_cell(ctx, SCENARIO.series[series], variant, |_| {}))
 }

@@ -6,7 +6,7 @@
 //! the leased lock at 64 threads.
 
 use crate::harness::BenchRow;
-use crate::scenario::{CellOut, Scenario, ScenarioKind};
+use crate::scenario::{CellCtx, CellOut, Scenario, ScenarioKind};
 use lr_apps::{CounterBench, CounterLockKind};
 use lr_machine::{Machine, SystemConfig, ThreadCtx, ThreadFn};
 
@@ -28,7 +28,8 @@ pub static SCENARIO: Scenario = Scenario {
     footer: None,
 };
 
-fn run_cell(series: usize, threads: usize, ops: u64) -> CellOut {
+fn run_cell(ctx: &CellCtx) -> CellOut {
+    let (series, threads, ops) = (ctx.series, ctx.threads, ctx.ops);
     let kind = match series {
         0 => CounterLockKind::Tts,
         1 => CounterLockKind::TtsLeased,
@@ -36,7 +37,7 @@ fn run_cell(series: usize, threads: usize, ops: u64) -> CellOut {
         _ => CounterLockKind::Clh,
     };
     let cfg = SystemConfig::with_cores(threads.max(2));
-    let mut m = Machine::new(cfg.clone());
+    let mut m = ctx.prepare(Machine::new(cfg.clone()));
     let bench = m.setup(|mem| CounterBench::init(mem, kind));
     let progs: Vec<ThreadFn> = (0..threads)
         .map(|_| {

@@ -8,7 +8,7 @@
 //! after pre-filling the queue.
 
 use crate::harness::BenchRow;
-use crate::scenario::{CellOut, Scenario, ScenarioKind};
+use crate::scenario::{CellCtx, CellOut, Scenario, ScenarioKind};
 use lr_ds::PriorityQueue;
 use lr_machine::{Machine, SystemConfig, ThreadCtx, ThreadFn};
 use lr_sim_mem::SimMemory;
@@ -35,14 +35,15 @@ pub static SCENARIO: Scenario = Scenario {
     footer: None,
 };
 
-fn run_cell(series: usize, threads: usize, ops: u64) -> CellOut {
+fn run_cell(ctx: &CellCtx) -> CellOut {
+    let (series, threads, ops) = (ctx.series, ctx.threads, ctx.ops);
     let init: PqInit = match series {
         0 => PriorityQueue::init_lotan_shavit,
         1 => PriorityQueue::init_global_lock,
         _ => PriorityQueue::init_global_leased,
     };
     let cfg = SystemConfig::with_cores(threads.max(2));
-    let mut m = Machine::new(cfg.clone());
+    let mut m = ctx.prepare(Machine::new(cfg.clone()));
     let pq = m.setup(init);
     let progs: Vec<ThreadFn> = (0..threads)
         .map(|tid| {

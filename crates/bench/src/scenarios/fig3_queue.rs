@@ -5,7 +5,7 @@
 //! predecessor lease.
 
 use super::common::queue_cell;
-use crate::scenario::{CellOut, Scenario, ScenarioKind};
+use crate::scenario::{CellCtx, CellOut, Scenario, ScenarioKind};
 use lr_ds::QueueVariant;
 
 pub static SCENARIO: Scenario = Scenario {
@@ -21,17 +21,12 @@ pub static SCENARIO: Scenario = Scenario {
     footer: None,
 };
 
-fn run_cell(series: usize, threads: usize, ops: u64) -> CellOut {
+fn run_cell(ctx: &CellCtx) -> CellOut {
+    let series = ctx.series;
     let variant = match series {
         0 => QueueVariant::Base,
         1 => QueueVariant::Leased,
         _ => QueueVariant::MultiLeased,
     };
-    CellOut::row(queue_cell(
-        SCENARIO.series[series],
-        variant,
-        threads,
-        ops,
-        |_| {},
-    ))
+    CellOut::row(queue_cell(ctx, SCENARIO.series[series], variant, |_| {}))
 }

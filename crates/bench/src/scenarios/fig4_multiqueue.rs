@@ -4,7 +4,7 @@
 //! critical sections).
 
 use crate::harness::BenchRow;
-use crate::scenario::{CellOut, Scenario, ScenarioKind};
+use crate::scenario::{CellCtx, CellOut, Scenario, ScenarioKind};
 use lr_ds::{MqVariant, MultiQueue};
 use lr_machine::{Machine, SystemConfig, ThreadCtx, ThreadFn};
 
@@ -24,13 +24,14 @@ pub static SCENARIO: Scenario = Scenario {
     footer: None,
 };
 
-fn run_cell(series: usize, threads: usize, ops: u64) -> CellOut {
+fn run_cell(ctx: &CellCtx) -> CellOut {
+    let (series, threads, ops) = (ctx.series, ctx.threads, ctx.ops);
     let variant = match series {
         0 => MqVariant::Base,
         _ => MqVariant::Leased,
     };
     let cfg = SystemConfig::with_cores(threads.max(2));
-    let mut m = Machine::new(cfg.clone());
+    let mut m = ctx.prepare(Machine::new(cfg.clone()));
     let mq = m.setup(|mem| MultiQueue::init(mem, NUM_QUEUES, variant));
     let progs: Vec<ThreadFn> = (0..threads)
         .map(|tid| {

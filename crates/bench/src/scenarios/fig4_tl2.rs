@@ -5,7 +5,7 @@
 //! collapses) and a moderate gain from leasing only the first lock.
 
 use super::common::tl2_cell;
-use crate::scenario::{CellOut, Scenario, ScenarioKind};
+use crate::scenario::{CellCtx, CellOut, Scenario, ScenarioKind};
 use lr_stm::Tl2Variant;
 
 pub static SCENARIO: Scenario = Scenario {
@@ -21,13 +21,14 @@ pub static SCENARIO: Scenario = Scenario {
     footer: None,
 };
 
-fn run_cell(series: usize, threads: usize, ops: u64) -> CellOut {
+fn run_cell(ctx: &CellCtx) -> CellOut {
+    let series = ctx.series;
     let variant = match series {
         0 => Tl2Variant::Base,
         1 => Tl2Variant::SingleLease,
         _ => Tl2Variant::HwMultiLease,
     };
-    let (row, abort_rate) = tl2_cell(SCENARIO.series[series], variant, threads, ops);
+    let (row, abort_rate) = tl2_cell(ctx, SCENARIO.series[series], variant);
     let post = vec![format!(
         "CSVX,{},{},abort_rate,{:.4}",
         row.series, row.threads, abort_rate

@@ -5,7 +5,7 @@
 //! application scale.
 
 use crate::harness::BenchRow;
-use crate::scenario::{CellOut, Scenario, ScenarioKind};
+use crate::scenario::{CellCtx, CellOut, Scenario, ScenarioKind};
 use lr_apps::{Graph, Pagerank, PagerankVariant, SCALE};
 use lr_machine::{Machine, SystemConfig, ThreadCtx, ThreadFn};
 use std::sync::Arc;
@@ -24,7 +24,8 @@ pub static SCENARIO: Scenario = Scenario {
     footer: None,
 };
 
-fn run_cell(series: usize, threads: usize, ops: u64) -> CellOut {
+fn run_cell(ctx: &CellCtx) -> CellOut {
+    let (series, threads, ops) = (ctx.series, ctx.threads, ctx.ops);
     let variant = match series {
         0 => PagerankVariant::Base,
         _ => PagerankVariant::Leased,
@@ -35,7 +36,7 @@ fn run_cell(series: usize, threads: usize, ops: u64) -> CellOut {
     let graph = Arc::new(Graph::synthesize(nodes, 0.25, 97));
     let iterations = 3;
     let cfg = SystemConfig::with_cores(threads.max(2));
-    let mut m = Machine::new(cfg.clone());
+    let mut m = ctx.prepare(Machine::new(cfg.clone()));
     let pr = m.setup(|mem| Pagerank::init(mem, &graph, threads, variant));
     let pr2 = pr.clone();
     let progs: Vec<ThreadFn> = (0..threads)

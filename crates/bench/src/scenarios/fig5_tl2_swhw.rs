@@ -4,7 +4,7 @@
 //! joint holding not guaranteed).
 
 use super::common::tl2_cell;
-use crate::scenario::{CellOut, Scenario, ScenarioKind};
+use crate::scenario::{CellCtx, CellOut, Scenario, ScenarioKind};
 use lr_stm::Tl2Variant;
 
 pub static SCENARIO: Scenario = Scenario {
@@ -20,11 +20,12 @@ pub static SCENARIO: Scenario = Scenario {
     footer: None,
 };
 
-fn run_cell(series: usize, threads: usize, ops: u64) -> CellOut {
+fn run_cell(ctx: &CellCtx) -> CellOut {
+    let series = ctx.series;
     let variant = match series {
         0 => Tl2Variant::HwMultiLease,
         _ => Tl2Variant::SwMultiLease,
     };
-    let (row, _abort_rate) = tl2_cell(SCENARIO.series[series], variant, threads, ops);
+    let (row, _abort_rate) = tl2_cell(ctx, SCENARIO.series[series], variant);
     CellOut::row(row)
 }

@@ -9,7 +9,7 @@
 //! suppresses it, recovering baseline behaviour.
 
 use crate::harness::BenchRow;
-use crate::scenario::{CellOut, Scenario, ScenarioKind};
+use crate::scenario::{CellCtx, CellOut, Scenario, ScenarioKind};
 use lr_lease::AdaptiveLease;
 use lr_machine::{Machine, SystemConfig, ThreadCtx, ThreadFn};
 use lr_sim_core::Cycle;
@@ -44,7 +44,8 @@ pub static SCENARIO: Scenario = Scenario {
     footer: None,
 };
 
-fn run_cell(series: usize, threads: usize, ops: u64) -> CellOut {
+fn run_cell(ctx: &CellCtx) -> CellOut {
+    let (series, threads, ops) = (ctx.series, ctx.threads, ctx.ops);
     let mode = match series % 3 {
         0 => Mode::Base,
         1 => Mode::StaticLease,
@@ -53,7 +54,7 @@ fn run_cell(series: usize, threads: usize, ops: u64) -> CellOut {
     let lease_time: Cycle = if series < 3 { 20_000 } else { 60 };
     let mut cfg = SystemConfig::with_cores(threads.max(2));
     cfg.lease.max_lease_time = lease_time;
-    let mut m = Machine::new(cfg.clone());
+    let mut m = ctx.prepare(Machine::new(cfg.clone()));
     let cell = m.setup(|mem| mem.alloc_line_aligned(8));
     let progs: Vec<ThreadFn> = (0..threads)
         .map(|_| {

@@ -6,7 +6,7 @@
 //! requests allowed to break them.
 
 use super::common::stack_cell;
-use crate::scenario::{CellOut, Scenario, ScenarioKind};
+use crate::scenario::{CellCtx, CellOut, Scenario, ScenarioKind};
 use lr_ds::StackVariant;
 
 pub static SCENARIO: Scenario = Scenario {
@@ -27,18 +27,15 @@ pub static SCENARIO: Scenario = Scenario {
     footer: None,
 };
 
-fn run_cell(series: usize, threads: usize, ops: u64) -> CellOut {
+fn run_cell(ctx: &CellCtx) -> CellOut {
+    let series = ctx.series;
     let (variant, prioritization) = match series {
         0 => (StackVariant::Base, false),
         1 => (StackVariant::Backoff, false),
         2 => (StackVariant::Leased, false),
         _ => (StackVariant::Leased, true),
     };
-    CellOut::row(stack_cell(
-        SCENARIO.series[series],
-        variant,
-        threads,
-        ops,
-        |cfg| cfg.lease.prioritization = prioritization,
-    ))
+    CellOut::row(stack_cell(ctx, SCENARIO.series[series], variant, |cfg| {
+        cfg.lease.prioritization = prioritization
+    }))
 }

@@ -7,7 +7,7 @@
 //!   single-lease workloads.
 
 use super::common::{queue_cell, stack_cell};
-use crate::scenario::{CellOut, Scenario, ScenarioKind};
+use crate::scenario::{CellCtx, CellOut, Scenario, ScenarioKind};
 use lr_ds::{QueueVariant, StackVariant};
 use lr_sim_core::Cycle;
 
@@ -31,7 +31,8 @@ pub static SCENARIO: Scenario = Scenario {
     footer: None,
 };
 
-fn run_cell(series: usize, threads: usize, ops: u64) -> CellOut {
+fn run_cell(ctx: &CellCtx) -> CellOut {
+    let series = ctx.series;
     let (lease_time, max_leases): (Cycle, usize) = match series % 3 {
         0 => (20_000, 8),
         1 => (1_000, 8),
@@ -43,9 +44,9 @@ fn run_cell(series: usize, threads: usize, ops: u64) -> CellOut {
         cfg.lease.max_num_leases = max_leases;
     };
     let row = if series < 3 {
-        stack_cell(name, StackVariant::Leased, threads, ops, tweak)
+        stack_cell(ctx, name, StackVariant::Leased, tweak)
     } else {
-        queue_cell(name, QueueVariant::Leased, threads, ops, tweak)
+        queue_cell(ctx, name, QueueVariant::Leased, tweak)
     };
     CellOut::row(row)
 }

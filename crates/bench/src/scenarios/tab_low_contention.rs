@@ -4,7 +4,7 @@
 //! ≤ 5% at ≥ 32 threads.
 
 use crate::harness::BenchRow;
-use crate::scenario::{CellOut, Scenario, ScenarioKind};
+use crate::scenario::{CellCtx, CellOut, Scenario, ScenarioKind};
 use lr_ds::{Bst, HarrisList, HashTable, LockingSkipList};
 use lr_machine::{Machine, SystemConfig, ThreadCtx, ThreadFn};
 
@@ -40,12 +40,13 @@ fn mixed_op(ctx: &mut ThreadCtx, op: &impl Fn(&mut ThreadCtx, u8, u64)) {
     ctx.count_op();
 }
 
-fn sweep<F>(name: &str, threads: usize, ops: u64, build: F) -> BenchRow
+fn sweep<F>(ctx: &CellCtx, name: &str, build: F) -> BenchRow
 where
     F: Fn(&mut Machine) -> Box<dyn Fn(&mut ThreadCtx, u8, u64) + Send + Sync>,
 {
+    let (threads, ops) = (ctx.threads, ctx.ops);
     let cfg = SystemConfig::with_cores(threads.max(2));
-    let mut m = Machine::new(cfg.clone());
+    let mut m = ctx.prepare(Machine::new(cfg.clone()));
     let op = std::sync::Arc::new(build(&mut m));
     let stripe = PREFILL / threads as u64 + 1;
     let progs: Vec<ThreadFn> = (0..threads)
@@ -67,11 +68,12 @@ where
     BenchRow::from_stats(name, threads, &cfg, &stats)
 }
 
-fn run_cell(series: usize, threads: usize, ops: u64) -> CellOut {
+fn run_cell(ctx: &CellCtx) -> CellOut {
+    let series = ctx.series;
     let name = SCENARIO.series[series];
     let leased = (3..6).contains(&series);
     let row = match series {
-        0 | 3 => sweep(name, threads, ops, |m| {
+        0 | 3 => sweep(ctx, name, |m| {
             let l = m.setup(|mem| HarrisList::init(mem, leased));
             Box::new(move |ctx, dice, k| {
                 match dice {
@@ -87,7 +89,7 @@ fn run_cell(series: usize, threads: usize, ops: u64) -> CellOut {
                 };
             })
         }),
-        1 | 4 => sweep(name, threads, ops, |m| {
+        1 | 4 => sweep(ctx, name, |m| {
             let h = m.setup(|mem| HashTable::init(mem, 256, leased));
             Box::new(move |ctx, dice, k| {
                 match dice {
@@ -103,7 +105,7 @@ fn run_cell(series: usize, threads: usize, ops: u64) -> CellOut {
                 };
             })
         }),
-        2 | 5 => sweep(name, threads, ops, |m| {
+        2 | 5 => sweep(ctx, name, |m| {
             let b = m.setup(|mem| Bst::init(mem, leased));
             Box::new(move |ctx, dice, k| {
                 match dice {
@@ -122,7 +124,7 @@ fn run_cell(series: usize, threads: usize, ops: u64) -> CellOut {
         // Locking skiplist set (lease variant not applicable: its locks
         // are per-node and short; the paper's skiplist-set numbers are
         // base-only here).
-        _ => sweep(name, threads, ops, |m| {
+        _ => sweep(ctx, name, |m| {
             let sl = m.setup(LockingSkipList::init);
             Box::new(move |ctx, dice, k| {
                 match dice {

@@ -5,7 +5,7 @@
 //! MESI saves the upgrade transaction in read-then-write patterns.
 
 use super::common::stack_cell;
-use crate::scenario::{CellOut, Scenario, ScenarioKind};
+use crate::scenario::{CellCtx, CellOut, Scenario, ScenarioKind};
 use lr_ds::StackVariant;
 use lr_sim_core::CoherenceProtocol;
 
@@ -27,18 +27,15 @@ pub static SCENARIO: Scenario = Scenario {
     footer: None,
 };
 
-fn run_cell(series: usize, threads: usize, ops: u64) -> CellOut {
+fn run_cell(ctx: &CellCtx) -> CellOut {
+    let series = ctx.series;
     let (variant, protocol) = match series {
         0 => (StackVariant::Base, CoherenceProtocol::Msi),
         1 => (StackVariant::Base, CoherenceProtocol::Mesi),
         2 => (StackVariant::Leased, CoherenceProtocol::Msi),
         _ => (StackVariant::Leased, CoherenceProtocol::Mesi),
     };
-    CellOut::row(stack_cell(
-        SCENARIO.series[series],
-        variant,
-        threads,
-        ops,
-        |cfg| cfg.protocol = protocol,
-    ))
+    CellOut::row(stack_cell(ctx, SCENARIO.series[series], variant, |cfg| {
+        cfg.protocol = protocol
+    }))
 }

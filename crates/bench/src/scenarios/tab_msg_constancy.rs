@@ -11,7 +11,7 @@
 
 use super::common::stack_cell;
 use crate::harness::BenchRow;
-use crate::scenario::{CellOut, Scenario, ScenarioKind};
+use crate::scenario::{CellCtx, CellOut, Scenario, ScenarioKind};
 use lr_ds::StackVariant;
 use lr_sim_core::Cycle;
 
@@ -28,19 +28,16 @@ pub static SCENARIO: Scenario = Scenario {
     footer: None,
 };
 
-fn run_cell(series: usize, threads: usize, ops: u64) -> CellOut {
+fn run_cell(ctx: &CellCtx) -> CellOut {
+    let series = ctx.series;
     let (variant, lease_time): (StackVariant, Cycle) = match series {
         0 => (StackVariant::Base, 20_000),
         1 => (StackVariant::Leased, 20_000),
         _ => (StackVariant::Leased, 1_000),
     };
-    CellOut::row(stack_cell(
-        SCENARIO.series[series],
-        variant,
-        threads,
-        ops,
-        |cfg| cfg.lease.max_lease_time = lease_time,
-    ))
+    CellOut::row(stack_cell(ctx, SCENARIO.series[series], variant, |cfg| {
+        cfg.lease.max_lease_time = lease_time
+    }))
 }
 
 /// Misses/op and msgs/op growth relative to the series' first ≥4-thread

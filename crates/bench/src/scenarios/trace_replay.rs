@@ -18,7 +18,7 @@
 //!   handoff cost live, so replay's advantage is largest.
 
 use crate::harness::BenchRow;
-use crate::scenario::{CellOut, Scenario, ScenarioKind};
+use crate::scenario::{CellCtx, CellOut, Scenario, ScenarioKind};
 use lr_machine::{Machine, SystemConfig, ThreadCtx, ThreadFn};
 use lr_replay::{replay, ReplayOutcome};
 use std::time::Instant;
@@ -78,9 +78,11 @@ fn programs(series: usize, threads: usize, ops: u64, lines: &[lr_machine::Addr])
         .collect()
 }
 
-fn run_cell(series: usize, threads: usize, ops: u64) -> CellOut {
+fn run_cell(ctx: &CellCtx) -> CellOut {
+    let (series, threads, ops) = (ctx.series, ctx.threads, ctx.ops);
     // Live recorded run.
     let (m, lines) = build_machine(threads);
+    let m = ctx.prepare(m);
     let t0 = Instant::now();
     let recorded = m.run_recorded(programs(series, threads, ops, &lines));
     let live_wall = t0.elapsed().as_secs_f64().max(1e-9);

@@ -12,7 +12,7 @@
 //! concurrent workers don't perturb the timing.
 
 use crate::harness::BenchRow;
-use crate::scenario::{CellOut, Scenario, ScenarioKind};
+use crate::scenario::{CellCtx, CellOut, Scenario, ScenarioKind};
 use lr_ds::{NativeQueue, NativeStack};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -37,7 +37,8 @@ pub static SCENARIO: Scenario = Scenario {
     ),
 };
 
-fn run_cell(series: usize, threads: usize, ops: u64) -> CellOut {
+fn run_cell(ctx: &CellCtx) -> CellOut {
+    let (series, threads, ops) = (ctx.series, ctx.threads, ctx.ops);
     let mops = if series == 0 {
         bench_stack(threads, ops)
     } else {

@@ -11,10 +11,11 @@
 
 use crate::harness::{threads_sweep, BenchRow};
 use crate::report::{JsonPolicy, Report};
-use crate::scenario::{CellOut, Scenario, ScenarioKind};
+use crate::scenario::{CellCtx, CellOut, RecordTo, Scenario, ScenarioKind};
 use crate::scenarios;
 use lr_sim_core::SystemConfig;
 use std::io::Write;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -32,6 +33,9 @@ pub struct Plan {
     pub cells: Vec<CellSpec>,
     pub jobs: usize,
     pub json: JsonPolicy,
+    /// When set, every cell's simulations dump traces into this
+    /// directory (the `--record` flag), labelled per cell.
+    pub record_dir: Option<PathBuf>,
 }
 
 /// Everything that selects and scales a sweep. `Default` gives the full
@@ -52,6 +56,10 @@ pub struct PlanOpts {
     /// Worker thread count for sim cells.
     pub jobs: usize,
     pub json: JsonPolicy,
+    /// Trace-record directory (`--record DIR` / the `LR_TRACE_DIR`
+    /// entry-point alias). Threaded through the plan to each cell
+    /// explicitly; workers never consult the environment.
+    pub record_dir: Option<PathBuf>,
 }
 
 impl Default for PlanOpts {
@@ -64,8 +72,22 @@ impl Default for PlanOpts {
             ops: None,
             jobs: default_jobs(),
             json: JsonPolicy::disabled(),
+            record_dir: None,
         }
     }
+}
+
+/// Read the `LR_TRACE_DIR` alias for `--record` once, at an entry
+/// point. This is the only place the knob is consulted: the value flows
+/// into [`PlanOpts::record_dir`] and from there through the plan, so
+/// concurrently-running sweep workers never touch process-global env
+/// state.
+pub fn record_dir_from_env() -> Option<PathBuf> {
+    let v = std::env::var_os("LR_TRACE_DIR")?;
+    if v.is_empty() {
+        return None;
+    }
+    Some(PathBuf::from(v))
 }
 
 /// Host parallelism, the default `--jobs`.
@@ -146,6 +168,26 @@ pub fn build_plan(opts: &PlanOpts) -> Plan {
         cells,
         jobs: opts.jobs.max(1),
         json: opts.json.clone(),
+        record_dir: opts.record_dir.clone(),
+    }
+}
+
+/// The full per-cell context handed to `run_cell`: the grid coordinates
+/// plus this cell's trace destination, labelled
+/// `scenario.series-name.tN` so concurrent cells recording into one
+/// directory produce distinct, meaningful filenames.
+fn cell_ctx(plan: &Plan, c: &CellSpec) -> CellCtx {
+    CellCtx {
+        series: c.series,
+        threads: c.threads,
+        ops: c.ops,
+        record: plan.record_dir.as_ref().map(|dir| RecordTo {
+            dir: dir.clone(),
+            label: format!(
+                "{}.{}.t{}",
+                c.scenario.name, c.scenario.series[c.series], c.threads
+            ),
+        }),
     }
 }
 
@@ -264,7 +306,7 @@ pub fn run(plan: &Plan, out: &mut (dyn Write + Send)) {
                         break;
                     }
                     let c = &plan.cells[i];
-                    let co = (c.scenario.run_cell)(c.series, c.threads, c.ops);
+                    let co = (c.scenario.run_cell)(&cell_ctx(plan, c));
                     emit.lock().unwrap().complete(i, co);
                 });
             }
@@ -272,14 +314,14 @@ pub fn run(plan: &Plan, out: &mut (dyn Write + Send)) {
     } else {
         for i in 0..sim_cells {
             let c = &plan.cells[i];
-            let co = (c.scenario.run_cell)(c.series, c.threads, c.ops);
+            let co = (c.scenario.run_cell)(&cell_ctx(plan, c));
             emit.lock().unwrap().complete(i, co);
         }
     }
     let mut em = emit.into_inner().unwrap();
     for i in sim_cells..plan.cells.len() {
         let c = &plan.cells[i];
-        let co = (c.scenario.run_cell)(c.series, c.threads, c.ops);
+        let co = (c.scenario.run_cell)(&cell_ctx(plan, c));
         em.complete(i, co);
     }
     em.assert_drained();
@@ -300,6 +342,7 @@ pub fn run_scenario(name: &str) {
             .and_then(|v| v.parse().ok())
             .unwrap_or_else(default_jobs),
         json: JsonPolicy::from_env(),
+        record_dir: record_dir_from_env(),
         ..PlanOpts::default()
     };
     let plan = build_plan(&opts);

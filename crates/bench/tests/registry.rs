@@ -143,6 +143,70 @@ fn msg_constancy_growth_lines_are_deterministic() {
     );
 }
 
+/// A `--record` sweep under `--jobs 4` writes exactly one trace file
+/// per sim cell — identical cells racing into one directory must never
+/// silently overwrite each other — and a rerun adds files instead of
+/// replacing them. Every file must decode and carry the cell's label.
+#[test]
+fn recorded_parallel_sweep_keeps_every_trace() {
+    let dir = std::env::temp_dir().join(format!("lr_registry_record_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let opts = PlanOpts {
+        scenarios: vec![find("fig2_stack").unwrap(), find("fig3_queue").unwrap()],
+        threads: Some(vec![2]),
+        ops: Some(TINY_OPS),
+        jobs: 4,
+        json: JsonPolicy::disabled(),
+        record_dir: Some(dir.clone()),
+        ..PlanOpts::default()
+    };
+    let plan = build_plan(&opts);
+    let cells = plan.cells.len();
+    assert_eq!(
+        cells, 5,
+        "2 stack series + 3 queue series at one thread count"
+    );
+    let mut out: Vec<u8> = Vec::new();
+    run(&plan, &mut out);
+    let traces = || -> Vec<std::path::PathBuf> {
+        let mut v: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .filter(|p| {
+                p.extension()
+                    .is_some_and(|x| x == lr_sim_core::tracefmt::TRACE_EXT)
+            })
+            .collect();
+        v.sort();
+        v
+    };
+    let first = traces();
+    assert_eq!(first.len(), cells, "one trace per sim cell: {first:?}");
+    for p in &first {
+        let name = p.file_name().unwrap().to_string_lossy().into_owned();
+        assert!(
+            name.starts_with("fig2_stack.") || name.starts_with("fig3_queue."),
+            "trace not labelled by its cell: {name}"
+        );
+        let t = lr_sim_core::tracefmt::decode(&std::fs::read(p).unwrap())
+            .unwrap_or_else(|e| panic!("{}: {e}", p.display()));
+        assert_eq!(t.cores.len(), 2);
+    }
+    // Rerun: every original file must survive, byte-for-byte.
+    let before: Vec<Vec<u8>> = first.iter().map(|p| std::fs::read(p).unwrap()).collect();
+    run(&plan, &mut Vec::new());
+    assert_eq!(traces().len(), 2 * cells, "rerun must add, not overwrite");
+    for (p, b) in first.iter().zip(&before) {
+        assert_eq!(
+            &std::fs::read(p).unwrap(),
+            b,
+            "{} was clobbered",
+            p.display()
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// `BENCH_*.json` files written by the driver are complete, valid and
 /// named after the scenario title slug.
 #[test]

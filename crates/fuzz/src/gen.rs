@@ -1,0 +1,268 @@
+//! Seeded workload generation.
+//!
+//! A [`Workload`] is pure data: per-thread straight-line programs of
+//! [`GenOp`]s drawn from a [`SplitMix64`] stream seeded by the campaign
+//! seed. Nothing in a program depends on simulated replies, so the same
+//! seed produces byte-identical programs on every host, every run, and
+//! under every machine configuration — which is what lets the farm run
+//! one workload under many configs and compare invariants.
+//!
+//! Two invariants are generated *into* every workload:
+//!
+//! * **counter ledger** — counter cells are touched only by FAA ops, so
+//!   each one's final value must equal the (wrapping) sum of the deltas
+//!   addressed to it, under every protocol/lease/queue configuration;
+//! * **op count** — workers call `count_op` exactly once per [`GenOp`],
+//!   so the machine's `app_ops` must equal [`Workload::total_ops`].
+//!
+//! Address selection over the scratch cells follows a Zipfian hot-set
+//! (exponent drawn from `[0.5, 1.5]`) so generated runs exercise the
+//! contended regimes the paper's mechanism exists for.
+
+use lr_sim_core::SplitMix64;
+
+/// Thread-count range of a generated workload.
+pub const MIN_THREADS: usize = 2;
+pub const MAX_THREADS: usize = 4;
+/// Per-thread program length range.
+pub const MIN_OPS: usize = 8;
+pub const MAX_OPS: usize = 40;
+/// Counter (FAA-only, ledger-checked) cell count range.
+pub const MIN_COUNTERS: usize = 1;
+pub const MAX_COUNTERS: usize = 3;
+/// Scratch (mixed-op) cell count range. At least 2 so `MultiTouch`
+/// always has a distinct pair.
+pub const MIN_SCRATCH: usize = 2;
+pub const MAX_SCRATCH: usize = 6;
+
+/// One generated instruction. `cell` indices name counter or scratch
+/// cells (the executor maps them to simulated line-aligned addresses).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GenOp {
+    /// Plain fetch-and-add on a counter cell (ledger-tracked).
+    Faa { cell: usize, delta: u64 },
+    /// lease → FAA → release on a counter cell (ledger-tracked).
+    LeasedFaa { cell: usize, delta: u64 },
+    /// Load from a scratch cell.
+    Read { cell: usize },
+    /// Store to a scratch cell.
+    Write { cell: usize, value: u64 },
+    /// CAS on a scratch cell; success is config-dependent and ignored.
+    Cas {
+        cell: usize,
+        expected: u64,
+        new: u64,
+    },
+    /// Exchange on a scratch cell.
+    Xchg { cell: usize, value: u64 },
+    /// multi-lease a distinct scratch pair, write both if admitted,
+    /// release-all. Group size 2 fits the tightest lease-table config.
+    MultiTouch { a: usize, b: usize, value: u64 },
+    /// malloc → write → xchg → free of a fresh block (allocator and
+    /// trace-format churn; exercises `Malloc`/`Free` records).
+    AllocChurn { words: u64, value: u64 },
+    /// Local compute: advances worker-local time only.
+    Work { cycles: u64 },
+}
+
+/// A complete generated workload: the unit the farm records, replays,
+/// shrinks, and persists.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Workload {
+    /// The generating seed (reproducer metadata).
+    pub seed: u64,
+    /// Number of counter cells.
+    pub counters: usize,
+    /// Number of scratch cells.
+    pub scratch: usize,
+    /// One straight-line program per simulated thread.
+    pub programs: Vec<Vec<GenOp>>,
+}
+
+/// Zipfian sampler over `n` ranks via inverse-CDF lookup.
+struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    fn new(n: usize, s: f64) -> Self {
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += 1.0 / ((i + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    fn sample(&self, rng: &mut SplitMix64) -> usize {
+        let x = rng.next_f64();
+        self.cdf.partition_point(|&c| c < x).min(self.cdf.len() - 1)
+    }
+}
+
+impl Workload {
+    /// Generate the workload for `seed`. Deterministic: same seed, same
+    /// workload, forever.
+    pub fn generate(seed: u64) -> Workload {
+        let mut rng = SplitMix64::new(seed);
+        let threads = rng.gen_range(MIN_THREADS..=MAX_THREADS);
+        let counters = rng.gen_range(MIN_COUNTERS..=MAX_COUNTERS);
+        let scratch = rng.gen_range(MIN_SCRATCH..=MAX_SCRATCH);
+        // Zipf exponent in [0.5, 1.5]: mild to strong hot-set skew.
+        let s = 0.5 + rng.next_f64();
+        let hot = Zipf::new(scratch, s);
+        let counter_pick = Zipf::new(counters, s);
+
+        let programs = (0..threads)
+            .map(|_| {
+                let len = rng.gen_range(MIN_OPS..=MAX_OPS);
+                (0..len)
+                    .map(|_| Self::gen_op(&mut rng, &hot, &counter_pick, scratch))
+                    .collect()
+            })
+            .collect();
+        Workload {
+            seed,
+            counters,
+            scratch,
+            programs,
+        }
+    }
+
+    fn gen_op(rng: &mut SplitMix64, hot: &Zipf, counter_pick: &Zipf, scratch: usize) -> GenOp {
+        match rng.gen_range(0u64..100) {
+            0..=21 => GenOp::Faa {
+                cell: counter_pick.sample(rng),
+                delta: rng.gen_range(1u64..=1 << 20),
+            },
+            22..=31 => GenOp::LeasedFaa {
+                cell: counter_pick.sample(rng),
+                delta: rng.gen_range(1u64..=1 << 20),
+            },
+            32..=46 => GenOp::Read {
+                cell: hot.sample(rng),
+            },
+            47..=59 => GenOp::Write {
+                cell: hot.sample(rng),
+                value: rng.next_u64(),
+            },
+            60..=69 => GenOp::Cas {
+                cell: hot.sample(rng),
+                expected: rng.gen_range(0u64..4),
+                new: rng.gen_range(0u64..=u16::MAX as u64),
+            },
+            70..=77 => GenOp::Xchg {
+                cell: hot.sample(rng),
+                value: rng.next_u64(),
+            },
+            78..=83 => {
+                let a = hot.sample(rng);
+                let b = (a + rng.gen_range(1usize..scratch.max(2))) % scratch;
+                GenOp::MultiTouch {
+                    a,
+                    b,
+                    value: rng.next_u64(),
+                }
+            }
+            84..=89 => GenOp::AllocChurn {
+                words: rng.gen_range(1u64..=4),
+                value: rng.next_u64(),
+            },
+            _ => GenOp::Work {
+                cycles: rng.gen_range(1u64..=200),
+            },
+        }
+    }
+
+    pub fn threads(&self) -> usize {
+        self.programs.len()
+    }
+
+    /// Total generated ops — the expected final `app_ops` stat.
+    pub fn total_ops(&self) -> u64 {
+        self.programs.iter().map(|p| p.len() as u64).sum()
+    }
+
+    /// Expected final value of every counter cell: the wrapping sum of
+    /// all FAA deltas addressed to it, across all threads. Holds under
+    /// every machine configuration.
+    pub fn counter_ledger(&self) -> Vec<u64> {
+        let mut ledger = vec![0u64; self.counters];
+        for prog in &self.programs {
+            for op in prog {
+                if let GenOp::Faa { cell, delta } | GenOp::LeasedFaa { cell, delta } = op {
+                    ledger[*cell] = ledger[*cell].wrapping_add(*delta);
+                }
+            }
+        }
+        ledger
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(Workload::generate(7), Workload::generate(7));
+        assert_ne!(Workload::generate(7), Workload::generate(8));
+    }
+
+    #[test]
+    fn generated_shape_respects_bounds() {
+        for seed in 0..64 {
+            let w = Workload::generate(seed);
+            assert!((MIN_THREADS..=MAX_THREADS).contains(&w.threads()));
+            assert!((MIN_COUNTERS..=MAX_COUNTERS).contains(&w.counters));
+            assert!((MIN_SCRATCH..=MAX_SCRATCH).contains(&w.scratch));
+            for prog in &w.programs {
+                assert!((MIN_OPS..=MAX_OPS).contains(&prog.len()));
+                for op in prog {
+                    match *op {
+                        GenOp::Faa { cell, delta } | GenOp::LeasedFaa { cell, delta } => {
+                            assert!(cell < w.counters);
+                            assert!(delta >= 1);
+                        }
+                        GenOp::Read { cell }
+                        | GenOp::Write { cell, .. }
+                        | GenOp::Cas { cell, .. }
+                        | GenOp::Xchg { cell, .. } => assert!(cell < w.scratch),
+                        GenOp::MultiTouch { a, b, .. } => {
+                            assert!(a < w.scratch && b < w.scratch && a != b);
+                        }
+                        GenOp::AllocChurn { words, .. } => assert!((1..=4).contains(&words)),
+                        GenOp::Work { cycles } => assert!((1..=200).contains(&cycles)),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ledger_sums_faa_deltas_only() {
+        let w = Workload {
+            seed: 0,
+            counters: 2,
+            scratch: 2,
+            programs: vec![
+                vec![
+                    GenOp::Faa { cell: 0, delta: 5 },
+                    GenOp::Write { cell: 1, value: 99 },
+                    GenOp::LeasedFaa {
+                        cell: 1,
+                        delta: u64::MAX,
+                    },
+                ],
+                vec![GenOp::LeasedFaa { cell: 1, delta: 2 }],
+            ],
+        };
+        assert_eq!(w.counter_ledger(), vec![5, 1]); // MAX + 2 wraps to 1
+        assert_eq!(w.total_ops(), 4);
+    }
+}

@@ -1,0 +1,158 @@
+//! Delta-debugging shrinker: reduce a failing [`Workload`] to a
+//! locally-minimal reproducer while preserving the failure.
+//!
+//! Two reduction moves, applied to fixpoint:
+//!
+//! 1. **thread removal** — drop a whole per-thread program;
+//! 2. **chunk halving** — per thread, remove op chunks of size n/2,
+//!    n/4, …, 1 (classic ddmin over the straight-line program).
+//!
+//! The predicate is arbitrary (`fails(&Workload) -> bool`): the farm
+//! passes "re-run the check matrix and the same failure class occurs",
+//! the self-test passes "tampering the recorded trace is still caught".
+//! Every candidate evaluation costs one full record(+replay), so the
+//! search is capped by an evaluation budget; on exhaustion the best
+//! reduction so far is returned — still a valid reproducer, just not
+//! provably minimal.
+
+use crate::gen::Workload;
+
+/// Outcome of a shrink run.
+pub struct Shrunk {
+    pub workload: Workload,
+    /// Predicate evaluations spent.
+    pub evals: usize,
+    /// Whether the search reached a fixpoint (vs. ran out of budget).
+    pub minimal: bool,
+}
+
+/// Shrink `w` under `fails` (which must hold for `w` itself) spending
+/// at most `budget` predicate evaluations.
+pub fn shrink(w: &Workload, budget: usize, mut fails: impl FnMut(&Workload) -> bool) -> Shrunk {
+    let mut cur = w.clone();
+    let mut evals = 0usize;
+    let mut check = |cand: &Workload, evals: &mut usize| -> Option<bool> {
+        if *evals >= budget {
+            return None;
+        }
+        *evals += 1;
+        Some(fails(cand))
+    };
+
+    loop {
+        let mut reduced = false;
+
+        // Move 1: drop whole threads (front to back, restart on hit so
+        // indices stay valid).
+        let mut t = 0;
+        while cur.programs.len() > 1 && t < cur.programs.len() {
+            let mut cand = cur.clone();
+            cand.programs.remove(t);
+            match check(&cand, &mut evals) {
+                None => {
+                    return Shrunk {
+                        workload: cur,
+                        evals,
+                        minimal: false,
+                    }
+                }
+                Some(true) => {
+                    cur = cand;
+                    reduced = true;
+                }
+                Some(false) => t += 1,
+            }
+        }
+
+        // Move 2: ddmin chunks within each surviving thread.
+        for t in 0..cur.programs.len() {
+            let mut chunk = (cur.programs[t].len() / 2).max(1);
+            loop {
+                let mut start = 0;
+                while start < cur.programs[t].len() {
+                    // Never empty the entire workload: a zero-op
+                    // reproducer reproduces nothing.
+                    let removing = chunk.min(cur.programs[t].len() - start);
+                    if cur.total_ops() <= removing as u64 {
+                        start += chunk;
+                        continue;
+                    }
+                    let mut cand = cur.clone();
+                    cand.programs[t].drain(start..start + removing);
+                    match check(&cand, &mut evals) {
+                        None => {
+                            return Shrunk {
+                                workload: cur,
+                                evals,
+                                minimal: false,
+                            }
+                        }
+                        Some(true) => {
+                            cur = cand;
+                            reduced = true;
+                            // Same start now names the next chunk.
+                        }
+                        Some(false) => start += chunk,
+                    }
+                }
+                if chunk == 1 {
+                    break;
+                }
+                chunk /= 2;
+            }
+        }
+
+        if !reduced {
+            return Shrunk {
+                workload: cur,
+                evals,
+                minimal: true,
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::GenOp;
+
+    fn faa_count(w: &Workload) -> usize {
+        w.programs
+            .iter()
+            .flatten()
+            .filter(|op| matches!(op, GenOp::Faa { .. } | GenOp::LeasedFaa { .. }))
+            .count()
+    }
+
+    #[test]
+    fn shrinks_to_single_relevant_op() {
+        let w = Workload::generate(3);
+        assert!(faa_count(&w) >= 1, "seed 3 must contain an FAA");
+        let s = shrink(&w, 10_000, |cand| faa_count(cand) >= 1);
+        assert!(s.minimal);
+        assert_eq!(s.workload.total_ops(), 1, "one FAA op must survive");
+        assert_eq!(faa_count(&s.workload), 1);
+        assert_eq!(s.workload.programs.len(), 1, "only one thread must survive");
+    }
+
+    #[test]
+    fn budget_exhaustion_returns_partial_reduction() {
+        let w = Workload::generate(3);
+        let s = shrink(&w, 2, |cand| faa_count(cand) >= 1);
+        assert!(!s.minimal);
+        assert!(s.evals <= 2);
+        assert!(faa_count(&s.workload) >= 1, "failure must be preserved");
+    }
+
+    #[test]
+    fn preserves_multi_op_failures() {
+        // A failure needing two FAAs cannot shrink below two ops.
+        let w = Workload::generate(11);
+        assert!(faa_count(&w) >= 2);
+        let s = shrink(&w, 10_000, |cand| faa_count(cand) >= 2);
+        assert!(s.minimal);
+        assert_eq!(s.workload.total_ops(), 2);
+        assert_eq!(faa_count(&s.workload), 2);
+    }
+}

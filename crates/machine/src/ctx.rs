@@ -12,8 +12,9 @@ use std::sync::{Arc, Mutex};
 pub(crate) type RecordSink = Arc<Mutex<Vec<Option<Vec<OpRecord>>>>>;
 
 /// Per-worker trace capture state. Lives inside [`ThreadCtx`] only when
-/// the run records (`Machine::run_recorded` or the `LR_TRACE_DIR` knob);
-/// otherwise issue() pays a single branch and no allocation.
+/// the run records (`Machine::run_recorded` or
+/// `Machine::with_trace_output`); otherwise issue() pays a single branch
+/// and no allocation.
 pub(crate) struct Recorder {
     sink: RecordSink,
     records: Vec<OpRecord>,
@@ -26,16 +27,6 @@ impl Recorder {
             records: Vec::new(),
         }
     }
-}
-
-/// Read the `LR_TRACE_DIR` knob: when set (non-empty), every live run
-/// writes its captured trace into this directory.
-pub(crate) fn trace_dir_from_env() -> Option<std::path::PathBuf> {
-    let v = std::env::var_os("LR_TRACE_DIR")?;
-    if v.is_empty() {
-        return None;
-    }
-    Some(std::path::PathBuf::from(v))
 }
 
 /// Per-thread handle to the simulated machine.

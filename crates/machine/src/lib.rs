@@ -35,7 +35,8 @@ pub mod rendezvous;
 
 pub use barrier::SimBarrier;
 pub use ctx::ThreadCtx;
-pub use machine::{Machine, OpSource, RecordedRun, SourceAbort, ThreadFn};
+pub use machine::{Machine, OpSource, RecordedRun, SourceAbort, ThreadFn, TraceOutput};
 pub use proto::{AddrVec, Op, Reply, Request};
+pub use rendezvous::configured_spin_rounds;
 
 pub use lr_sim_core::{Addr, CoreId, Cycle, EventQueueKind, LineAddr, MachineStats, SystemConfig};

@@ -8,7 +8,7 @@
 //! Graphite's loose synchronization — one source of constant-factor
 //! differences from the paper's absolute numbers).
 
-use crate::ctx::{trace_dir_from_env, RecordSink, Recorder, ThreadCtx};
+use crate::ctx::{RecordSink, Recorder, ThreadCtx};
 use crate::proto::{Op, Reply, Request, ALLOC_COST};
 use crate::rendezvous::{slot, SlotReceiver, SlotSender};
 use lr_coherence::{AccessKind, CohContext, CohEvent, CoherenceEngine, ProbeAction};
@@ -20,7 +20,7 @@ use lr_sim_core::{
 };
 use lr_sim_mem::SimMemory;
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 
 /// A workload thread: a closure over the simulated-instruction API.
@@ -104,24 +104,83 @@ impl Transport<'_> {
     }
 }
 
-/// Monotonic per-process trace file sequence (files from concurrent
-/// sweep cells land in the same `LR_TRACE_DIR`).
-static TRACE_SEQ: AtomicU64 = AtomicU64::new(0);
+/// Where a live run dumps its captured trace: a directory plus a
+/// caller-chosen label naming the run (e.g. `fig3_counter.lr.t8` for one
+/// sweep cell). The label keeps filenames meaningful and collision-free
+/// across concurrent sweep workers writing into one directory.
+#[derive(Debug, Clone)]
+pub struct TraceOutput {
+    pub dir: PathBuf,
+    pub label: String,
+}
 
-/// Best-effort trace write for the `LR_TRACE_DIR` knob: IO failure warns
-/// on stderr rather than failing an otherwise-successful simulation.
-fn write_trace_file(dir: &std::path::Path, trace: &MachineTrace) {
-    let seq = TRACE_SEQ.fetch_add(1, Ordering::Relaxed);
-    let name = format!(
-        "trace_{:016x}_{}_{seq:05}.{}",
-        tracefmt::config_fingerprint(&trace.config),
-        std::process::id(),
-        tracefmt::TRACE_EXT
+/// Keep labels filesystem-safe: anything outside `[A-Za-z0-9._-]`
+/// becomes `-`, and an empty label falls back to `trace`.
+fn sanitize_label(label: &str) -> String {
+    let s: String = label
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') {
+                c
+            } else {
+                '-'
+            }
+        })
+        .collect();
+    if s.is_empty() {
+        "trace".to_string()
+    } else {
+        s
+    }
+}
+
+/// Create the first free `{label}_{fingerprint}[-k].lrt` name in `dir`,
+/// atomically (`create_new`): two runs racing on the same label each get
+/// their own file, never a silent overwrite.
+fn create_trace_file(
+    dir: &Path,
+    label: &str,
+    trace: &MachineTrace,
+) -> std::io::Result<(std::fs::File, PathBuf)> {
+    std::fs::create_dir_all(dir)?;
+    let stem = format!(
+        "{}_{:016x}",
+        sanitize_label(label),
+        tracefmt::config_fingerprint(&trace.config)
     );
-    let path = dir.join(name);
+    for k in 1u64.. {
+        let name = if k == 1 {
+            format!("{stem}.{}", tracefmt::TRACE_EXT)
+        } else {
+            format!("{stem}-{k}.{}", tracefmt::TRACE_EXT)
+        };
+        let path = dir.join(name);
+        match std::fs::OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(&path)
+        {
+            Ok(f) => return Ok((f, path)),
+            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    unreachable!("u64 sequence space exhausted")
+}
+
+/// Best-effort trace write for [`Machine::with_trace_output`]: IO failure
+/// warns on stderr rather than failing an otherwise-successful simulation.
+fn write_trace_file(out: &TraceOutput, trace: &MachineTrace) {
+    use std::io::Write;
     let bytes = tracefmt::encode(trace);
-    if let Err(e) = std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, &bytes)) {
-        eprintln!("lr-machine: cannot write trace {}: {e}", path.display());
+    let res = create_trace_file(&out.dir, &out.label, trace)
+        .and_then(|(mut f, path)| f.write_all(&bytes).map(|()| path));
+    if let Err(e) = res {
+        eprintln!(
+            "lr-machine: cannot write trace {:?} into {}: {e}",
+            out.label,
+            out.dir.display()
+        );
     }
 }
 
@@ -380,6 +439,8 @@ pub struct Machine {
     /// Explicit event-queue store override; `None` follows the
     /// process-wide `LR_EVENTQ` default.
     eventq: Option<EventQueueKind>,
+    /// When set, a live run records itself and writes the trace here.
+    trace_out: Option<TraceOutput>,
 }
 
 // The `lr-bench` sweep driver constructs and runs one `Machine` per
@@ -402,6 +463,7 @@ impl Machine {
             mem: SimMemory::new(),
             trace_depth: 0,
             eventq: None,
+            trace_out: None,
         }
     }
 
@@ -421,6 +483,22 @@ impl Machine {
     /// nothing is formatted unless a report is actually printed.
     pub fn with_trace(mut self, depth: usize) -> Self {
         self.trace_depth = depth;
+        self
+    }
+
+    /// Record this machine's live run and write the captured trace into
+    /// `dir` as `{label}_{config-fingerprint}.lrt` (a `-2`, `-3`, …
+    /// suffix is appended if the name is taken — creation is atomic, so
+    /// concurrent runs sharing a directory never overwrite each other).
+    /// The explicit (dir, label) pair replaces the old process-global
+    /// `LR_TRACE_DIR` env probe: drivers thread their record directory
+    /// through here, and any env knob is resolved once at the entry
+    /// point, never per-`Machine`.
+    pub fn with_trace_output(mut self, dir: impl Into<PathBuf>, label: impl Into<String>) -> Self {
+        self.trace_out = Some(TraceOutput {
+            dir: dir.into(),
+            label: label.into(),
+        });
         self
     }
 
@@ -508,6 +586,7 @@ impl Machine {
         mode: Mode<'_>,
     ) -> Result<(MachineStats, SimMemory, u64, Option<MachineTrace>), Box<SourceAbort>> {
         let trace_depth = self.trace_depth;
+        let trace_out = self.trace_out;
         let cfg = self.cfg;
         let (n, is_live) = match &mode {
             Mode::Live { programs, .. } => (programs.len(), true),
@@ -521,9 +600,9 @@ impl Machine {
         );
 
         // Recording is on when explicitly requested (run_recorded) or
-        // when the LR_TRACE_DIR knob asks every live run to dump traces.
-        let trace_dir = if is_live { trace_dir_from_env() } else { None };
-        let record = trace_dir.is_some() || matches!(mode, Mode::Live { record: true, .. });
+        // when a trace output destination was configured.
+        let trace_out = if is_live { trace_out } else { None };
+        let record = trace_out.is_some() || matches!(mode, Mode::Live { record: true, .. });
 
         let mut engine = CoherenceEngine::new(&cfg);
         let mut mem = self.mem;
@@ -769,8 +848,8 @@ impl Machine {
                     stats_json: stats.to_json(),
                     live_events: events,
                 };
-                if let Some(dir) = &trace_dir {
-                    write_trace_file(dir, &trace);
+                if let Some(out) = &trace_out {
+                    write_trace_file(out, &trace);
                 }
                 Some(trace)
             }

@@ -3,8 +3,9 @@
 //! Deterministic replay of recorded simulations, engine-only.
 //!
 //! A live run captures every simulated instruction at the
-//! worker⇄engine rendezvous boundary ([`Machine::run_recorded`] or the
-//! `LR_TRACE_DIR` knob). Because the lockstep runtime's only inputs are
+//! worker⇄engine rendezvous boundary ([`Machine::run_recorded`] or
+//! `Machine::with_trace_output`). Because the lockstep runtime's only
+//! inputs are
 //! each core's issue times and operands — all recorded — feeding the
 //! streams back into the engine from a single thread reproduces the
 //! *exact* event sequence of the live run: no worker OS threads, no
@@ -23,11 +24,12 @@
 //! traces compact cross-version regression oracles.
 
 use lr_machine::{
-    Cycle, LineAddr, Machine, MachineStats, Op, OpSource, Reply, Request, SystemConfig,
+    Cycle, EventQueueKind, LineAddr, Machine, MachineStats, Op, OpSource, Reply, Request,
+    SystemConfig,
 };
 use lr_sim_core::tracefmt::{self, MachineTrace, TraceError, TraceOp};
 use lr_sim_mem::SimMemory;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 /// Protocol-trace ring depth for replay runs: enough context around a
 /// divergence to see the competing transactions on the affected line.
@@ -185,13 +187,29 @@ impl OpSource for ReplaySource<'_> {
 /// tampered with or the protocol stack's behaviour changed since the
 /// recording.
 pub fn replay(trace: &MachineTrace) -> ReplayOutcome {
-    replay_with_config(trace, trace.config.clone())
+    replay_inner(trace, trace.config.clone(), None)
+}
+
+/// Like [`replay`] but pinned to a specific event-queue store. The two
+/// stores are required to produce byte-identical simulations, so a
+/// divergence here is an event-queue bug — this is the fuzz farm's
+/// heap-vs-wheel axis.
+pub fn replay_with_queue(trace: &MachineTrace, queue: EventQueueKind) -> ReplayOutcome {
+    replay_inner(trace, trace.config.clone(), Some(queue))
 }
 
 /// Like [`replay`] but under an explicit configuration — deliberately
 /// divergent configs (say, a different `dram_latency`) are how the
 /// divergence detector itself is exercised.
 pub fn replay_with_config(trace: &MachineTrace, cfg: SystemConfig) -> ReplayOutcome {
+    replay_inner(trace, cfg, None)
+}
+
+fn replay_inner(
+    trace: &MachineTrace,
+    cfg: SystemConfig,
+    queue: Option<EventQueueKind>,
+) -> ReplayOutcome {
     if trace.cores.is_empty()
         || cfg.num_cores < 1
         || cfg.num_cores > 64
@@ -211,6 +229,9 @@ pub fn replay_with_config(trace: &MachineTrace, cfg: SystemConfig) -> ReplayOutc
         }));
     }
     let mut machine = Machine::new(cfg).with_trace(REPLAY_TRACE_DEPTH);
+    if let Some(kind) = queue {
+        machine = machine.with_event_queue(kind);
+    }
     machine.setup(|m| *m = SimMemory::restore(&trace.mem));
     let mut source = ReplaySource::new(trace);
     match machine.run_source(trace.cores.len(), &mut source) {
@@ -262,7 +283,19 @@ fn first_diff(a: &str, b: &str) -> String {
 /// identical to the recording: every per-op reply (checked in flight),
 /// the final `MachineStats` JSON, and the engine event count.
 pub fn verify(trace: &MachineTrace) -> Result<MachineStats, Box<Divergence>> {
-    match replay(trace) {
+    verify_with_queue(trace, None)
+}
+
+/// [`verify`] pinned to an event-queue store (`None` = process default).
+pub fn verify_with_queue(
+    trace: &MachineTrace,
+    queue: Option<EventQueueKind>,
+) -> Result<MachineStats, Box<Divergence>> {
+    let outcome = match queue {
+        Some(k) => replay_with_queue(trace, k),
+        None => replay(trace),
+    };
+    match outcome {
         ReplayOutcome::Matched { stats, events, .. } => {
             let json = stats.to_json();
             if json != trace.stats_json {
@@ -324,6 +357,41 @@ pub fn read_trace(path: &Path) -> Result<MachineTrace, TraceReadError> {
 /// Encode and write a trace file.
 pub fn write_trace(path: &Path, trace: &MachineTrace) -> std::io::Result<()> {
     std::fs::write(path, tracefmt::encode(trace))
+}
+
+/// Every `*.lrt` trace file in `dir`, sorted by file name — the
+/// canonical iteration order for corpus replays and `--replay DIR`.
+pub fn trace_files(dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == tracefmt::TRACE_EXT))
+        .collect();
+    paths.sort();
+    Ok(paths)
+}
+
+/// Outcome of a successful [`verify_file`] call.
+pub struct VerifiedTrace {
+    /// Recorded engine-visible ops in the trace.
+    pub ops: u64,
+    /// Simulated core count.
+    pub cores: usize,
+    /// The reproduced (and byte-verified) statistics.
+    pub stats: MachineStats,
+}
+
+/// Load one trace file and [`verify`] it under the given event-queue
+/// store, folding IO, decode, and divergence failures into one
+/// printable error — the shared engine behind `lr-bench --replay`,
+/// `lr-replay`, and the fuzz farm's corpus gate.
+pub fn verify_file(path: &Path, queue: Option<EventQueueKind>) -> Result<VerifiedTrace, String> {
+    let trace = read_trace(path).map_err(|e| e.to_string())?;
+    let stats = verify_with_queue(&trace, queue).map_err(|d| d.to_string())?;
+    Ok(VerifiedTrace {
+        ops: trace.total_ops(),
+        cores: trace.cores.len(),
+        stats,
+    })
 }
 
 #[cfg(test)]

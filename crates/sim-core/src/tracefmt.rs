@@ -37,7 +37,7 @@ use crate::{Addr, Cycle};
 pub const TRACE_MAGIC: [u8; 8] = *b"LRTRACE\0";
 /// Current format version; bumped on any incompatible layout change.
 pub const TRACE_VERSION: u32 = 1;
-/// Conventional file extension for traces (`LR_TRACE_DIR` output).
+/// Conventional file extension for trace files on disk.
 pub const TRACE_EXT: &str = "lrt";
 
 /// Why a trace failed to decode.
@@ -304,6 +304,20 @@ impl<'a> Cursor<'a> {
         }
     }
 
+    /// A varint that must fit a `u32` field. A wider value is a
+    /// [`TraceError::Malformed`], never a silent truncating cast —
+    /// crafted trace bytes (the differential fuzzer mutates exactly
+    /// these) must not wrap into a plausible-looking config.
+    fn varint_u32(&mut self, what: &'static str) -> Result<u32, TraceError> {
+        u32::try_from(self.varint(what)?).map_err(|_| TraceError::Malformed(what))
+    }
+
+    /// A varint that must fit a `usize` field (checked even on 32-bit
+    /// hosts, where `as usize` would truncate).
+    fn varint_usize(&mut self, what: &'static str) -> Result<usize, TraceError> {
+        usize::try_from(self.varint(what)?).map_err(|_| TraceError::Malformed(what))
+    }
+
     fn len(&mut self, what: &'static str) -> Result<usize, TraceError> {
         let v = self.varint(what)?;
         // No legitimate count exceeds the remaining buffer size (every
@@ -372,14 +386,14 @@ fn encode_config(out: &mut Vec<u8>, c: &SystemConfig) {
 }
 
 fn decode_config(cur: &mut Cursor<'_>) -> Result<SystemConfig, TraceError> {
-    Ok(SystemConfig {
-        num_cores: cur.varint("num_cores")? as usize,
+    let cfg = SystemConfig {
+        num_cores: cur.varint_usize("num_cores")?,
         freq_ghz: cur.f64("freq_ghz")?,
-        l1_kib: cur.varint("l1_kib")? as usize,
-        l1_ways: cur.varint("l1_ways")? as usize,
+        l1_kib: cur.varint_usize("l1_kib")?,
+        l1_ways: cur.varint_usize("l1_ways")?,
         l1_latency: cur.varint("l1_latency")?,
-        l2_slice_kib: cur.varint("l2_slice_kib")? as usize,
-        l2_ways: cur.varint("l2_ways")? as usize,
+        l2_slice_kib: cur.varint_usize("l2_slice_kib")?,
+        l2_ways: cur.varint_usize("l2_ways")?,
         l2_tag_latency: cur.varint("l2_tag_latency")?,
         l2_data_latency: cur.varint("l2_data_latency")?,
         dram_latency: cur.varint("dram_latency")?,
@@ -389,12 +403,12 @@ fn decode_config(cur: &mut Cursor<'_>) -> Result<SystemConfig, TraceError> {
             _ => return Err(TraceError::Malformed("protocol")),
         },
         mesh_hop_latency: cur.varint("mesh_hop_latency")?,
-        control_flits: cur.varint("control_flits")? as u32,
-        data_flits: cur.varint("data_flits")? as u32,
+        control_flits: cur.varint_u32("control_flits")?,
+        data_flits: cur.varint_u32("data_flits")?,
         instruction_cost: cur.varint("instruction_cost")?,
         lease: LeaseConfig {
             max_lease_time: cur.varint("max_lease_time")?,
-            max_num_leases: cur.varint("max_num_leases")? as usize,
+            max_num_leases: cur.varint_usize("max_num_leases")?,
             prioritization: cur.bool("prioritization")?,
             software_multilease_x: cur.varint("software_multilease_x")?,
         },
@@ -409,7 +423,28 @@ fn decode_config(cur: &mut Cursor<'_>) -> Result<SystemConfig, TraceError> {
         seed: cur.u64_le("seed")?,
         watchdog_max_cycles: cur.varint("watchdog_max_cycles")?,
         watchdog_max_events: cur.varint("watchdog_max_events")?,
-    })
+    };
+    // Semantic bounds a decoded config must satisfy before any consumer
+    // does arithmetic with it: the machine layer supports 1–64 cores,
+    // and the cache geometry must yield at least one set per level
+    // (zero ways or a sub-line capacity would divide by zero in the
+    // set-index math; an absurd capacity would overflow it). The
+    // checksum only guards against *corruption*; these guard against
+    // *crafted* inputs.
+    if cfg.num_cores < 1 || cfg.num_cores > 64 {
+        return Err(TraceError::Malformed("num_cores"));
+    }
+    let sets = |kib: usize, ways: usize| -> Option<usize> {
+        let lines = kib.checked_mul(1024)? / crate::LINE_SIZE as usize;
+        lines.checked_div(ways).filter(|&s| s >= 1)
+    };
+    if sets(cfg.l1_kib, cfg.l1_ways).is_none() {
+        return Err(TraceError::Malformed("l1 geometry"));
+    }
+    if sets(cfg.l2_slice_kib, cfg.l2_ways).is_none() {
+        return Err(TraceError::Malformed("l2 geometry"));
+    }
+    Ok(cfg)
 }
 
 /// Stable 64-bit fingerprint of a configuration (FNV-1a over its exact
@@ -913,5 +948,177 @@ mod tests {
     #[test]
     fn total_ops_skips_sentinels() {
         assert_eq!(sample_trace().total_ops(), 2);
+    }
+
+    /// Encode a config with raw (possibly out-of-range) values for the
+    /// fields the decoder must range-check — the byte layout mirrors
+    /// `encode_config` exactly, so a well-formed call round-trips.
+    struct RawConfig {
+        num_cores: u64,
+        l1_kib: u64,
+        l1_ways: u64,
+        l2_ways: u64,
+        control_flits: u64,
+        data_flits: u64,
+        max_num_leases: u64,
+    }
+
+    impl Default for RawConfig {
+        fn default() -> Self {
+            let c = SystemConfig::default();
+            RawConfig {
+                num_cores: c.num_cores as u64,
+                l1_kib: c.l1_kib as u64,
+                l1_ways: c.l1_ways as u64,
+                l2_ways: c.l2_ways as u64,
+                control_flits: u64::from(c.control_flits),
+                data_flits: u64::from(c.data_flits),
+                max_num_leases: c.lease.max_num_leases as u64,
+            }
+        }
+    }
+
+    fn raw_config_bytes(raw: &RawConfig) -> Vec<u8> {
+        let c = SystemConfig::default();
+        let mut out = Vec::new();
+        put_varint(&mut out, raw.num_cores);
+        put_f64(&mut out, c.freq_ghz);
+        put_varint(&mut out, raw.l1_kib);
+        put_varint(&mut out, raw.l1_ways);
+        put_varint(&mut out, c.l1_latency);
+        put_varint(&mut out, c.l2_slice_kib as u64);
+        put_varint(&mut out, raw.l2_ways);
+        put_varint(&mut out, c.l2_tag_latency);
+        put_varint(&mut out, c.l2_data_latency);
+        put_varint(&mut out, c.dram_latency);
+        out.push(0);
+        put_varint(&mut out, c.mesh_hop_latency);
+        put_varint(&mut out, raw.control_flits);
+        put_varint(&mut out, raw.data_flits);
+        put_varint(&mut out, c.instruction_cost);
+        put_varint(&mut out, c.lease.max_lease_time);
+        put_varint(&mut out, raw.max_num_leases);
+        put_bool(&mut out, c.lease.prioritization);
+        put_varint(&mut out, c.lease.software_multilease_x);
+        put_f64(&mut out, c.energy.l1_access_nj);
+        put_f64(&mut out, c.energy.l2_access_nj);
+        put_f64(&mut out, c.energy.dram_access_nj);
+        put_f64(&mut out, c.energy.flit_hop_nj);
+        put_f64(&mut out, c.energy.instruction_nj);
+        put_f64(&mut out, c.energy.static_core_nj_per_cycle);
+        put_u64_le(&mut out, c.seed);
+        put_varint(&mut out, c.watchdog_max_cycles);
+        put_varint(&mut out, c.watchdog_max_events);
+        out
+    }
+
+    fn decode_raw_config(raw: &RawConfig) -> Result<SystemConfig, TraceError> {
+        let bytes = raw_config_bytes(raw);
+        let mut cur = Cursor::new(&bytes);
+        let cfg = decode_config(&mut cur)?;
+        assert_eq!(cur.pos, bytes.len(), "decoder consumed the whole config");
+        Ok(cfg)
+    }
+
+    #[test]
+    fn raw_config_layout_matches_encoder() {
+        // Self-check of the test rig: default raw values reproduce the
+        // production encoding byte for byte and decode cleanly.
+        let mut expect = Vec::new();
+        encode_config(&mut expect, &SystemConfig::default());
+        assert_eq!(raw_config_bytes(&RawConfig::default()), expect);
+        let cfg = decode_raw_config(&RawConfig::default()).expect("decodes");
+        assert_eq!(cfg, SystemConfig::default());
+    }
+
+    #[test]
+    fn oversized_u32_fields_are_malformed_not_wrapped() {
+        // 2^32 wraps to 0 under `as u32`; the decoder must reject it.
+        for (field, raw) in [
+            (
+                "control_flits",
+                RawConfig {
+                    control_flits: 1 << 32,
+                    ..RawConfig::default()
+                },
+            ),
+            (
+                "data_flits",
+                RawConfig {
+                    data_flits: (1 << 32) + 9,
+                    ..RawConfig::default()
+                },
+            ),
+        ] {
+            assert_eq!(
+                decode_raw_config(&raw),
+                Err(TraceError::Malformed(field)),
+                "{field} must fail closed"
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_range_core_count_is_malformed() {
+        for num_cores in [0, 65, 1 << 33] {
+            assert_eq!(
+                decode_raw_config(&RawConfig {
+                    num_cores,
+                    ..RawConfig::default()
+                }),
+                Err(TraceError::Malformed("num_cores"))
+            );
+        }
+        assert!(decode_raw_config(&RawConfig {
+            num_cores: 64,
+            ..RawConfig::default()
+        })
+        .is_ok());
+    }
+
+    #[test]
+    fn degenerate_cache_geometry_is_malformed() {
+        // Zero ways would divide by zero in the set-index math; a
+        // sub-line capacity yields zero sets; an absurd capacity would
+        // overflow `kib * 1024`. All must fail closed.
+        let l1 = |l1_kib, l1_ways| RawConfig {
+            l1_kib,
+            l1_ways,
+            ..RawConfig::default()
+        };
+        for raw in [l1(32, 0), l1(0, 4), l1(u64::MAX / 4, 4)] {
+            assert_eq!(
+                decode_raw_config(&raw),
+                Err(TraceError::Malformed("l1 geometry"))
+            );
+        }
+        assert_eq!(
+            decode_raw_config(&RawConfig {
+                l2_ways: 0,
+                ..RawConfig::default()
+            }),
+            Err(TraceError::Malformed("l2 geometry"))
+        );
+    }
+
+    #[test]
+    fn malformed_config_surfaces_through_full_decode() {
+        // End to end: a fully framed trace whose (checksum-valid) body
+        // carries an out-of-range field decodes to a structured error,
+        // never a panic or a wrapped value.
+        let mut body = raw_config_bytes(&RawConfig {
+            control_flits: 1 << 40,
+            ..RawConfig::default()
+        });
+        put_varint(&mut body, 0); // no cores
+        encode_mem(&mut body, &MemImage::default());
+        put_str(&mut body, "{}");
+        put_varint(&mut body, 0); // live events
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&TRACE_MAGIC);
+        bytes.extend_from_slice(&TRACE_VERSION.to_le_bytes());
+        put_u64_le(&mut bytes, fnv1a(&body));
+        bytes.extend_from_slice(&body);
+        assert_eq!(decode(&bytes), Err(TraceError::Malformed("control_flits")));
     }
 }
