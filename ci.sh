@@ -38,8 +38,28 @@ diff -u "$AB_DIR/rows_heap.txt" "$AB_DIR/rows_wheel.txt"
 diff -ru "$AB_DIR/json_heap" "$AB_DIR/json_wheel"
 rm -rf "$AB_DIR"
 
+echo "== engine-shards A/B: 1 vs 4 partitions must be byte-identical =="
+# The PDES executor axis: every deterministic (sim) scenario, run once
+# single-partition and once with 4 conservatively-synchronized engine
+# partitions. Rows and every BENCH_*.json must not differ by one byte —
+# the partitioned executor must be invisible in simulated results.
+SH_DIR=$(mktemp -d)
+mkdir -p "$SH_DIR/json_s1" "$SH_DIR/json_s4"
+LR_ENGINE_SHARDS=1 LR_JSON_DIR="$SH_DIR/json_s1" \
+    cargo run -q --release --offline -p lr-bench --bin lr-bench -- \
+    --smoke --jobs 2 --kind sim | grep -v "^JSON -> " > "$SH_DIR/rows_s1.txt"
+LR_ENGINE_SHARDS=4 LR_JSON_DIR="$SH_DIR/json_s4" \
+    cargo run -q --release --offline -p lr-bench --bin lr-bench -- \
+    --smoke --jobs 2 --kind sim | grep -v "^JSON -> " > "$SH_DIR/rows_s4.txt"
+diff -u "$SH_DIR/rows_s1.txt" "$SH_DIR/rows_s4.txt"
+diff -ru "$SH_DIR/json_s1" "$SH_DIR/json_s4"
+rm -rf "$SH_DIR"
+
 echo "== engine throughput smoke (gates on completion, not numbers) =="
 LR_NO_JSON=1 cargo run -q --release --offline -p lr-bench --bin lr-bench -- --scenario engine_throughput --smoke > /dev/null
+
+echo "== PDES scaling smoke (asserts identical stats across shard counts) =="
+LR_NO_JSON=1 cargo run -q --release --offline -p lr-bench --bin lr-bench -- --scenario pdes_scaling --smoke > /dev/null
 
 echo "== record/replay: every sim scenario must replay byte-identical =="
 # Record every deterministic simulation of a smoke sweep as a trace,
@@ -57,8 +77,8 @@ rm -rf "$TR_DIR"
 echo "== fuzz farm: seeded differential campaign, twice, diffed =="
 # Replay-driven differential fuzzing over a fixed seed range: each seed
 # records live under msi/mesi/lease-tight, replays every trace under
-# both event-queue stores, and checks the workload's built-in FAA-ledger
-# and app-ops invariants. The campaign runs twice and the outputs are
+# both event-queue stores crossed with engine partition counts 1 and 2,
+# and checks the workload's built-in FAA-ledger and app-ops invariants. The campaign runs twice and the outputs are
 # diffed: the farm itself must be byte-deterministic. LR_FUZZ_SEEDS
 # opts in to a longer run (default 64 seeds, sub-second).
 FZ_DIR=$(mktemp -d)
@@ -79,7 +99,8 @@ rm -rf "$FZ_DIR"
 
 echo "== fuzz farm: checked-in regression corpus =="
 # Every committed trace must replay byte-identical under both event
-# queues. Regenerate with: lr-fuzz --regen-corpus corpus --seeds 4
+# queues crossed with engine partition counts 1, 2, and 4.
+# Regenerate with: lr-fuzz --regen-corpus corpus --seeds 4
 cargo run -q --release --offline -p lr-fuzz --bin lr-fuzz -- \
     --check-corpus corpus
 

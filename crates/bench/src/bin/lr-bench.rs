@@ -29,7 +29,8 @@ OPTIONS:
                          (default: per-scenario, scaled by LR_OPS)
     --jobs N             Parallel worker threads for sim cells
                          (default: host cores; output is byte-identical
-                         for any N)
+                         for any N; clamped so jobs x LR_ENGINE_SHARDS
+                         never oversubscribes the host)
     --smoke              Tiny ops + 2-thread cells across all selected
                          scenarios: fast offline coverage of the whole
                          experiment surface (used by ci.sh)
@@ -52,9 +53,11 @@ ENVIRONMENT:
     LR_NO_JSON=1    disable the JSON export
     LR_TRACE_DIR    entry-point alias for --record (read once at startup,
                     never consulted by sweep workers)
+    LR_ENGINE_SHARDS engine partitions per simulation (PDES executor;
+                    simulated output is byte-identical for any value)
 ";
 
-/// Per-thread ops for `--smoke`: small enough that all 17 scenarios
+/// Per-thread ops for `--smoke`: small enough that all 18 scenarios
 /// finish in seconds, large enough that every metric is exercised.
 const SMOKE_OPS: u64 = 8;
 

@@ -1,0 +1,150 @@
+//! Host throughput of the partitioned (PDES) engine executor: how many
+//! discrete events per wall-clock second the simulator retires when the
+//! event core is split into 1, 2, or 4 conservatively-synchronized
+//! partitions. Not a paper figure — this guards the sharded executor's
+//! constant factor (turn-protocol handoff, cross-partition mailbox
+//! traffic, safe-time epochs) and its headroom counters.
+//!
+//! Each series pins one partition count via
+//! [`Machine::with_engine_shards`]; the workload (a contended FAA line
+//! plus per-thread private traffic) is identical across series, so the
+//! simulated results must be too. Every cell for a sharded series
+//! re-runs the same workload single-partition and asserts the
+//! `MachineStats` JSON and final memory are byte-identical — the
+//! determinism contract is checked inside the bench itself, not just by
+//! CI diffing.
+//!
+//! Rows report wall-clock *engine events/s* (in Mops units) — the PDES
+//! scaling metric — and the `CSVX` extras carry the executor's shape:
+//! cross-partition events, concurrently-safe events (the conservative
+//! parallelism headroom), epoch count, and the NoC-derived lookahead.
+//! Numbers are host-dependent by nature; sim results are not.
+
+use crate::harness::BenchRow;
+use crate::scenario::{CellCtx, CellOut, Scenario, ScenarioKind};
+use lr_machine::{EngineInfo, Machine, MachineStats, SystemConfig, ThreadCtx, ThreadFn};
+use std::time::Instant;
+
+pub static SCENARIO: Scenario = Scenario {
+    name: "pdes_scaling",
+    title: "PDES engine scaling",
+    paper_ref: "infrastructure",
+    series: &["shards-1", "shards-2", "shards-4"],
+    default_ops: 4_000,
+    ops_env: Some("LR_PDES_OPS"),
+    kind: ScenarioKind::HostLockstep,
+    run_cell,
+    annotate: None,
+    footer: Some(
+        "Wall-clock event throughput of the conservatively-synchronized\n\
+         partitioned executor (host-dependent, not byte-reproducible).\n\
+         Simulated stats are asserted byte-identical across partition\n\
+         counts inside every sharded cell; concurrent_events is the\n\
+         fraction of pops the lookahead proves safe to commit in\n\
+         parallel (the headroom a relaxed executor could exploit).",
+    ),
+};
+
+/// Partition count for each series index.
+const SHARDS: [usize; 3] = [1, 2, 4];
+
+/// One deterministic run of the scenario workload under `shards`
+/// engine partitions.
+fn simulate(
+    ctx: &CellCtx,
+    threads: usize,
+    ops: u64,
+    shards: usize,
+    record: bool,
+) -> (MachineStats, u64, EngineInfo) {
+    // At least 4 tiles so the shards-4 series genuinely partitions.
+    let cfg = SystemConfig::with_cores(threads.max(4));
+    let mut m = Machine::new(cfg).with_engine_shards(shards);
+    if record {
+        // Only the measured run records; the in-cell shards-1 reference
+        // run would otherwise write a second trace under the same label.
+        m = ctx.prepare(m);
+    }
+    let lines = m.setup(|mem| {
+        (0..threads.max(1) + 1)
+            .map(|_| mem.alloc_line_aligned(8))
+            .collect::<Vec<_>>()
+    });
+    let shared = lines[0];
+    let progs: Vec<ThreadFn> = (0..threads)
+        .map(|tid| {
+            let own = lines[tid + 1];
+            Box::new(move |ctx: &mut ThreadCtx| {
+                // 3:1 contended-to-private mix: plenty of cross-tile
+                // directory traffic (the mailbox-heavy regime) with
+                // enough local work that partitions have independent
+                // event streams.
+                for i in 0..ops {
+                    if i % 4 == 3 {
+                        ctx.write(own, i);
+                    } else {
+                        ctx.faa(shared, 1);
+                    }
+                    ctx.count_op();
+                }
+            }) as ThreadFn
+        })
+        .collect();
+    let (stats, mem, info) = m.run_counted_info(progs);
+    (stats, mem.read_word(shared), info)
+}
+
+/// FNV-1a 64 over the stats JSON: a short row-embeddable fingerprint
+/// that any two shard counts must agree on.
+fn fingerprint(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn run_cell(ctx: &CellCtx) -> CellOut {
+    let (series, threads, ops) = (ctx.series, ctx.threads, ctx.ops);
+    let shards = SHARDS[series];
+    let t0 = Instant::now();
+    let (stats, counter, info) = simulate(ctx, threads, ops, shards, true);
+    let wall = t0.elapsed().as_secs_f64().max(1e-9);
+    let json = stats.to_json();
+    if shards > 1 {
+        // The determinism contract, checked in-cell: the partitioned
+        // executor must be invisible in every simulated observable.
+        let (ref_stats, ref_counter, ref_info) = simulate(ctx, threads, ops, 1, false);
+        assert_eq!(
+            json,
+            ref_stats.to_json(),
+            "stats diverged between shards-{shards} and shards-1"
+        );
+        assert_eq!(counter, ref_counter, "memory diverged at shards-{shards}");
+        assert_eq!(info.events, ref_info.events, "event count diverged");
+    }
+    let events_per_sec = info.events as f64 / wall;
+    let mut cell = CellOut::row(BenchRow::host_only(
+        SCENARIO.series[series],
+        threads,
+        events_per_sec / 1e6,
+    ));
+    cell.post.push(format!(
+        "CSVX,pdes_scaling,{},{},sim_events_per_sec,{:.0},events,{},shards,{},\
+         cross_events,{},concurrent_events,{},epochs,{},lookahead,{},\
+         stats_fp,{:016x},wall_secs,{:.4}",
+        SCENARIO.series[series],
+        threads,
+        events_per_sec,
+        info.events,
+        info.shards,
+        info.cross_events,
+        info.concurrent_events,
+        info.epochs,
+        info.lookahead,
+        fingerprint(&json),
+        wall
+    ));
+    cell
+}

@@ -130,6 +130,16 @@ impl CoherenceEngine {
 
     /// Home tile (L2 slice / directory) of a line: stride interleaving.
     #[inline]
+    /// Conservative-PDES lookahead of the coherence protocol: the minimum
+    /// latency of any cross-tile NoC message. Every event this engine
+    /// schedules for a tile other than the one currently executing rides
+    /// at least one such message, so a partitioned event loop may run
+    /// each partition this many cycles ahead of the others' clocks
+    /// without risking a causality violation.
+    pub fn noc_min_lookahead(&self) -> Cycle {
+        self.mesh.min_cross_latency()
+    }
+
     pub fn home_of(&self, line: LineAddr) -> CoreId {
         CoreId((line.0 % self.cfg.num_cores as u64) as u16)
     }
@@ -283,7 +293,7 @@ impl CoherenceEngine {
         }
         let home = self.home_of(line);
         let lat = self.msg(core, home, MsgClass::Control);
-        ctx.schedule(lat, CohEvent::DirArrive(id));
+        ctx.schedule(lat, home, CohEvent::DirArrive(id));
         None
     }
 
@@ -433,18 +443,22 @@ impl CoherenceEngine {
                         self.cfg.l2_data_latency + self.msg(home, core, MsgClass::Data)
                     };
                     *self.l2[home.idx()].peek_mut(line).unwrap() = DirState::Modified(core);
-                    ctx.schedule(t - now + data_lat.max(inv_lat), CohEvent::GrantArrive(x));
+                    ctx.schedule(
+                        t - now + data_lat.max(inv_lat),
+                        core,
+                        CohEvent::GrantArrive(x),
+                    );
                 }
             }
             DirState::Modified(o) if o == core => {
                 // The requester still owns the line (e.g. a redundant
                 // upgrade after a race); confirm ownership.
                 let lat = self.msg(home, core, MsgClass::Control);
-                ctx.schedule(t - now + lat, CohEvent::GrantArrive(x));
+                ctx.schedule(t - now + lat, core, CohEvent::GrantArrive(x));
             }
             DirState::Modified(o) => {
                 let lat = self.msg(home, o, MsgClass::Control);
-                ctx.schedule(t - now + lat, CohEvent::ProbeArrive(x));
+                ctx.schedule(t - now + lat, o, CohEvent::ProbeArrive(x));
             }
         }
     }
@@ -479,7 +493,7 @@ impl CoherenceEngine {
             }
         };
         let lat = self.cfg.l2_data_latency + self.msg(home, core, MsgClass::Data);
-        ctx.schedule(t_ready - now + lat, CohEvent::GrantArrive(x));
+        ctx.schedule(t_ready - now + lat, core, CohEvent::GrantArrive(x));
     }
 
     fn probe_arrive(&mut self, now: Cycle, x: XactId, ctx: &mut dyn CohContext) {
@@ -588,7 +602,7 @@ impl CoherenceEngine {
         // Off-critical-path directory update / writeback.
         let _ = self.msg(o, home, MsgClass::Control);
         let data = self.msg(o, req, MsgClass::Data);
-        ctx.schedule(t - now + data, CohEvent::GrantArrive(x));
+        ctx.schedule(t - now + data, req, CohEvent::GrantArrive(x));
     }
 
     fn grant_arrive(&mut self, now: Cycle, x: XactId, ctx: &mut dyn CohContext) {
@@ -670,8 +684,9 @@ impl CoherenceEngine {
         if lease_intent {
             ctx.exclusive_granted(core, line, done);
         }
-        let ack = self.msg(core, self.home_of(line), MsgClass::Control);
-        ctx.schedule(ack, CohEvent::DirUnlock(line));
+        let home = self.home_of(line);
+        let ack = self.msg(core, home, MsgClass::Control);
+        ctx.schedule(ack, home, CohEvent::DirUnlock(line));
         ctx.xact_completed(token, done);
     }
 

@@ -114,7 +114,13 @@ pub enum ProbeAction {
 /// Callbacks the engine needs from its embedder (the machine crate).
 pub trait CohContext {
     /// Schedule `ev` to be handed back to the engine after `delay` cycles.
-    fn schedule(&mut self, delay: Cycle, ev: CohEvent);
+    ///
+    /// `dest` is the tile where the event is *delivered*: the home tile
+    /// for directory events (`DirArrive`/`DirUnlock`), the owning core
+    /// for probes, the requesting core for grants. A partitioned engine
+    /// uses it to route the event to the partition owning that tile;
+    /// a single-queue engine may ignore it.
+    fn schedule(&mut self, delay: Cycle, dest: CoreId, ev: CohEvent);
 
     /// A memory transaction issued with token `token` finished at `now`.
     fn xact_completed(&mut self, token: u64, now: Cycle);

@@ -16,7 +16,7 @@ struct FuzzCtx {
 }
 
 impl CohContext for FuzzCtx {
-    fn schedule(&mut self, delay: Cycle, ev: CohEvent) {
+    fn schedule(&mut self, delay: Cycle, _dest: CoreId, ev: CohEvent) {
         self.queue.push_after(delay, ev);
     }
     fn xact_completed(&mut self, token: u64, now: Cycle) {

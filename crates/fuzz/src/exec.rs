@@ -5,9 +5,10 @@
 //! * **machine variant** ([`Variant`]): MSI baseline, MESI, and a
 //!   deliberately hostile lease configuration (tight expiry, tiny
 //!   lease table, prioritization on);
-//! * **event-queue store**: every recorded trace is re-verified under
-//!   both the binary-heap and the timing-wheel queue
-//!   ([`lr_replay::verify_with_queue`]) — the two must be
+//! * **engine variant**: every recorded trace is re-verified under
+//!   both event-queue stores (binary heap and timing wheel) crossed
+//!   with engine partition counts 1 and 2
+//!   ([`lr_replay::verify_with_variant`]) — all must be
 //!   byte-identical;
 //! * **record/replay**: the engine-only replay must reproduce every
 //!   per-op reply, the final `MachineStats` JSON, and the event count.
@@ -220,9 +221,12 @@ pub fn check_variant(w: &Workload, variant: Variant) -> Result<usize, Finding> {
     }
     let mut verified = 0;
     for queue in [EventQueueKind::Heap, EventQueueKind::Wheel] {
-        lr_replay::verify_with_queue(&out.trace, Some(queue))
-            .map_err(|d| finding("divergence", format!("[{queue:?} queue] {d}")))?;
-        verified += 1;
+        for shards in [1usize, 2] {
+            let variant = lr_replay::EngineVariant::queue(queue).with_shards(shards);
+            lr_replay::verify_with_variant(&out.trace, variant)
+                .map_err(|d| finding("divergence", format!("[{variant}] {d}")))?;
+            verified += 1;
+        }
     }
     Ok(verified)
 }
@@ -293,7 +297,8 @@ pub struct SeedReport {
     pub seed: u64,
     pub threads: usize,
     pub ops: u64,
-    /// Replay verifications performed (variants × queue stores).
+    /// Replay verifications performed (variants × queue stores ×
+    /// engine shard counts).
     pub verified: usize,
 }
 

@@ -14,12 +14,13 @@ fn scratch(tag: &str) -> std::path::PathBuf {
 }
 
 /// The first campaign seeds pass the whole check matrix (3 variants ×
-/// 2 queue stores + invariants + decode robustness).
+/// 2 queue stores × 2 engine shard counts + invariants + decode
+/// robustness).
 #[test]
 fn first_seeds_are_clean() {
     for seed in 0..6 {
         let r = check_seed(seed).unwrap_or_else(|f| panic!("{f}"));
-        assert_eq!(r.verified, 6, "3 variants x 2 queues");
+        assert_eq!(r.verified, 12, "3 variants x 2 queues x 2 shard counts");
         assert!(r.ops > 0);
     }
 }
@@ -78,7 +79,8 @@ fn tamper_coordinates_match_divergence_report() {
 }
 
 /// Corpus regeneration is deterministic (two regens are byte-identical)
-/// and the result passes the corpus gate under both queue stores.
+/// and the result passes the corpus gate under both queue stores and
+/// every engine shard count.
 #[test]
 fn corpus_regen_is_deterministic_and_checkable() {
     let (a, b) = (scratch("corpus_a"), scratch("corpus_b"));

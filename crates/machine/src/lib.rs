@@ -35,7 +35,10 @@ pub mod rendezvous;
 
 pub use barrier::SimBarrier;
 pub use ctx::ThreadCtx;
-pub use machine::{Machine, OpSource, RecordedRun, SourceAbort, ThreadFn, TraceOutput};
+pub use machine::{
+    engine_shards_from_env, EngineInfo, Machine, OpSource, RecordedRun, SourceAbort, ThreadFn,
+    TraceOutput,
+};
 pub use proto::{AddrVec, Op, Reply, Request};
 pub use rendezvous::configured_spin_rounds;
 

@@ -16,12 +16,30 @@ use lr_lease::{ArmedCounter, BeginLease, LeaseTable, MultiLeaseBegin};
 use lr_sim_core::trace::{TraceEvent, TraceRing, TraceSink};
 use lr_sim_core::tracefmt::{self, MachineTrace, OpRecord};
 use lr_sim_core::{
-    CoreId, Cycle, EventQueue, EventQueueKind, LineAddr, MachineStats, SystemConfig,
+    CoreId, Cycle, EventQueue, EventQueueKind, LineAddr, MachineStats, ShardedQueue, SystemConfig,
 };
 use lr_sim_mem::SimMemory;
 use std::panic::AssertUnwindSafe;
 use std::path::{Path, PathBuf};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+static SHARDS_FROM_ENV: OnceLock<usize> = OnceLock::new();
+
+/// The process-wide default engine-partition count, from
+/// `LR_ENGINE_SHARDS` (default 1 = the classic single event loop).
+/// Parsed once; a bad value aborts rather than silently running the
+/// wrong engine. Each machine clamps the count to its simulated core
+/// count — partitions are slices of tiles, so there can never be more
+/// partitions than tiles.
+pub fn engine_shards_from_env() -> usize {
+    *SHARDS_FROM_ENV.get_or_init(|| match std::env::var("LR_ENGINE_SHARDS") {
+        Err(_) => 1,
+        Ok(v) => match v.parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => panic!("LR_ENGINE_SHARDS={v:?} is not a positive shard count"),
+        },
+    })
+}
 
 /// A workload thread: a closure over the simulated-instruction API.
 pub type ThreadFn = Box<dyn FnOnce(&mut ThreadCtx) + Send + 'static>;
@@ -34,7 +52,11 @@ pub type ThreadFn = Box<dyn FnOnce(&mut ThreadCtx) + Send + 'static>;
 /// `next(tid)`. Returning `Err` from either aborts the run with a
 /// structured failure report — this is how `lr-replay` surfaces
 /// divergence between a recorded trace and the engine's behaviour.
-pub trait OpSource {
+///
+/// `Send` because the engine core that drives a source is shared with
+/// the partitioned executor's host threads (sources themselves are only
+/// ever *called* from one thread at a time — the engine is lockstep).
+pub trait OpSource: Send {
     /// The next request core `tid` issues (or its `Op::Exit`).
     fn next(&mut self, tid: usize) -> Result<Request, String>;
     /// The engine's reply to core `tid`'s in-flight request.
@@ -191,6 +213,99 @@ fn write_trace_file(out: &TraceOutput, trace: &MachineTrace) {
 /// [`Machine::run_with_memory`]).
 const WORKER_YIELD_CAP: u32 = 16;
 
+/// Host-level observability for one run: how the execution engine (not
+/// the simulated machine) behaved. Kept out of [`MachineStats`] so the
+/// published simulated metrics stay exactly the paper's — and so the
+/// simulated results provably cannot depend on the executor shape.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineInfo {
+    /// Discrete events the engine processed.
+    pub events: u64,
+    /// Partition count the run actually used (after clamping).
+    pub shards: usize,
+    /// Events delivered across a partition boundary (mailbox traffic).
+    pub cross_events: u64,
+    /// Events whose timestamp preceded every other partition's safe
+    /// horizon (head + lookahead): the events a conservative PDES
+    /// executor may commit concurrently without risking causality.
+    pub concurrent_events: u64,
+    /// Safe-time epochs the partitioned clocks advanced through.
+    pub epochs: u64,
+    /// Conservative lookahead (cycles) stamped on cross-partition sends.
+    pub lookahead: Cycle,
+}
+
+/// The engine's event store: one global queue (shards = 1, the classic
+/// engine) or per-tile-slice partitions merged conservatively through
+/// [`ShardedQueue`]. Both yield the same `(time, seq)` pop order, so a
+/// run's simulated results are independent of the variant — the A/B
+/// tests and the CI shard gate hold us to that, byte for byte.
+enum Queues {
+    Single(EventQueue<Ev>),
+    Sharded(ShardedQueue<Ev>),
+}
+
+impl Queues {
+    /// Schedule `ev` at `time`, delivered at tile `dest` (which selects
+    /// the owning partition in sharded mode; ignored in single mode).
+    #[inline]
+    fn push(&mut self, dest: CoreId, time: Cycle, ev: Ev) {
+        match self {
+            Queues::Single(q) => q.push_at(time, ev),
+            Queues::Sharded(q) => q.push(dest.idx(), time, ev),
+        }
+    }
+
+    /// Pop the globally next event. In sharded mode this merges the
+    /// partition heads (and drains mailboxes) — identical order.
+    #[inline]
+    fn pop(&mut self) -> Option<(Cycle, Ev)> {
+        match self {
+            Queues::Single(q) => q.pop(),
+            Queues::Sharded(q) => q.pop_global().map(|(t, _, e)| (t, e)),
+        }
+    }
+
+    /// Events popped so far.
+    fn processed(&self) -> u64 {
+        match self {
+            Queues::Single(q) => q.processed(),
+            Queues::Sharded(q) => q.processed(),
+        }
+    }
+
+    /// Partition owning the globally next event (`None` when drained).
+    /// The threaded executor's turn test; single mode is partition 0.
+    fn head_partition(&mut self) -> Option<usize> {
+        match self {
+            Queues::Single(q) => (!q.is_empty()).then_some(0),
+            Queues::Sharded(q) => q.head_partition(),
+        }
+    }
+
+    /// Executor observability counters (zero for the single store).
+    fn info(&self) -> EngineInfo {
+        match self {
+            Queues::Single(q) => EngineInfo {
+                events: q.processed(),
+                shards: 1,
+                cross_events: 0,
+                concurrent_events: 0,
+                epochs: 0,
+                lookahead: 0,
+            },
+            Queues::Sharded(q) => EngineInfo {
+                events: q.processed(),
+                shards: q.map().partitions(),
+                cross_events: q.cross_events(),
+                concurrent_events: q.concurrent_events(),
+                epochs: q.epochs(),
+                lookahead: q.lookahead(),
+            },
+        }
+    }
+}
+
 /// Engine events.
 #[derive(Debug)]
 enum Ev {
@@ -259,7 +374,7 @@ struct Scratch {
 
 /// State shared with the coherence engine through [`CohContext`].
 struct Shared {
-    queue: EventQueue<Ev>,
+    queue: Queues,
     tables: Vec<LeaseTable>,
     lc: Vec<LeaseCounters>,
     /// Base time of the engine call in progress (schedule() is relative).
@@ -283,8 +398,8 @@ struct Shared {
 }
 
 impl CohContext for Shared {
-    fn schedule(&mut self, delay: Cycle, ev: CohEvent) {
-        self.queue.push_at(self.base + delay, Ev::Coh(ev));
+    fn schedule(&mut self, delay: Cycle, dest: CoreId, ev: CohEvent) {
+        self.queue.push(dest, self.base + delay, Ev::Coh(ev));
     }
 
     fn tracing(&self) -> bool {
@@ -353,7 +468,8 @@ impl CohContext for Shared {
             self.to_pin.push((core, line));
         }
         for a in &self.armed_scratch {
-            self.queue.push_at(
+            self.queue.push(
+                core,
                 a.expires,
                 Ev::Expiry {
                     core,
@@ -439,6 +555,9 @@ pub struct Machine {
     /// Explicit event-queue store override; `None` follows the
     /// process-wide `LR_EVENTQ` default.
     eventq: Option<EventQueueKind>,
+    /// Explicit engine-partition override; `None` follows the
+    /// process-wide `LR_ENGINE_SHARDS` default.
+    engine_shards: Option<usize>,
     /// When set, a live run records itself and writes the trace here.
     trace_out: Option<TraceOutput>,
 }
@@ -463,6 +582,7 @@ impl Machine {
             mem: SimMemory::new(),
             trace_depth: 0,
             eventq: None,
+            engine_shards: None,
             trace_out: None,
         }
     }
@@ -473,6 +593,17 @@ impl Machine {
     /// prove it (heap/wheel A/B) — production callers keep the default.
     pub fn with_event_queue(mut self, kind: EventQueueKind) -> Self {
         self.eventq = Some(kind);
+        self
+    }
+
+    /// Partition the engine into `n` conservatively-synchronized PDES
+    /// partitions (tile slices), bypassing the `LR_ENGINE_SHARDS`
+    /// process default. `n` is clamped to `[1, num_cores]`; 1 is the
+    /// classic single event loop. Simulated results are required to be
+    /// byte-identical for every shard count — the shard A/B tests and
+    /// the CI gate prove it; production callers keep the default.
+    pub fn with_engine_shards(mut self, n: usize) -> Self {
+        self.engine_shards = Some(n.max(1));
         self
     }
 
@@ -535,11 +666,22 @@ impl Machine {
     /// Kept out of [`MachineStats`] so the published simulated metrics
     /// stay exactly the paper's.
     pub fn run_counted(self, programs: Vec<ThreadFn>) -> (MachineStats, SimMemory, u64) {
+        let (stats, mem, info) = self.run_counted_info(programs);
+        (stats, mem, info.events)
+    }
+
+    /// Like [`Machine::run_counted`], returning the full [`EngineInfo`]
+    /// (shard count, cross-partition traffic, concurrency headroom) for
+    /// the PDES-scaling measurements instead of the bare event count.
+    pub fn run_counted_info(
+        self,
+        programs: Vec<ThreadFn>,
+    ) -> (MachineStats, SimMemory, EngineInfo) {
         match self.run_inner(Mode::Live {
             programs,
             record: false,
         }) {
-            Ok((stats, mem, events, _)) => (stats, mem, events),
+            Ok((stats, mem, info, _)) => (stats, mem, info),
             // Live-mode failures panic inside run_inner; keep the
             // fallback for type completeness.
             Err(abort) => panic!("{}", abort.report),
@@ -555,10 +697,10 @@ impl Machine {
             programs,
             record: true,
         }) {
-            Ok((stats, mem, events, trace)) => RecordedRun {
+            Ok((stats, mem, info, trace)) => RecordedRun {
                 stats,
                 mem,
-                events,
+                events: info.events,
                 trace: trace.expect("recording run produces a trace"),
             },
             Err(abort) => panic!("{}", abort.report),
@@ -576,18 +718,23 @@ impl Machine {
         threads: usize,
         source: &mut dyn OpSource,
     ) -> Result<(MachineStats, SimMemory, u64), Box<SourceAbort>> {
-        let (stats, mem, events, _) = self.run_inner(Mode::Source { threads, source })?;
-        Ok((stats, mem, events))
+        let (stats, mem, info, _) = self.run_inner(Mode::Source { threads, source })?;
+        Ok((stats, mem, info.events))
     }
 
     #[allow(clippy::type_complexity)]
     fn run_inner(
         self,
         mode: Mode<'_>,
-    ) -> Result<(MachineStats, SimMemory, u64, Option<MachineTrace>), Box<SourceAbort>> {
+    ) -> Result<(MachineStats, SimMemory, EngineInfo, Option<MachineTrace>), Box<SourceAbort>> {
         let trace_depth = self.trace_depth;
         let trace_out = self.trace_out;
         let cfg = self.cfg;
+        let shards = self
+            .engine_shards
+            .unwrap_or_else(engine_shards_from_env)
+            .clamp(1, cfg.num_cores);
+        let kind = self.eventq.unwrap_or_else(EventQueueKind::from_env);
         let (n, is_live) = match &mode {
             Mode::Live { programs, .. } => (programs.len(), true),
             Mode::Source { threads, .. } => (*threads, false),
@@ -604,17 +751,32 @@ impl Machine {
         let trace_out = if is_live { trace_out } else { None };
         let record = trace_out.is_some() || matches!(mode, Mode::Live { record: true, .. });
 
-        let mut engine = CoherenceEngine::new(&cfg);
-        let mut mem = self.mem;
+        let engine = CoherenceEngine::new(&cfg);
+        let mem = self.mem;
+        // Conservative-PDES lookahead: every cross-partition event rides
+        // at least one cross-tile NoC message — except a probe that
+        // races an eviction, which is served from the requester's own
+        // home slice (L2 tag + data + local hop); the min() covers that
+        // degenerate path for configs with tiny L2 latencies.
+        let lookahead = engine
+            .noc_min_lookahead()
+            .min(cfg.l2_tag_latency + cfg.l2_data_latency + 1);
         // The replayer restores this exact image before re-driving ops,
         // so it must be taken before any simulated execution.
         let pre_image = record.then(|| mem.snapshot());
         let sink: Option<RecordSink> =
             record.then(|| Arc::new(Mutex::new((0..n).map(|_| None).collect())));
         let mut shared = Shared {
-            queue: self
-                .eventq
-                .map_or_else(EventQueue::new, EventQueue::with_kind),
+            queue: if shards == 1 {
+                Queues::Single(EventQueue::with_kind(kind))
+            } else {
+                Queues::Sharded(ShardedQueue::with_kind(
+                    kind,
+                    cfg.num_cores,
+                    shards,
+                    lookahead,
+                ))
+            },
             tables: (0..cfg.num_cores)
                 .map(|_| LeaseTable::new(cfg.lease.clone()))
                 .collect(),
@@ -629,9 +791,9 @@ impl Machine {
             pinned_scratch: Vec::new(),
             armed_scratch: Vec::new(),
         };
-        let mut scratch = Scratch::default();
+        let scratch = Scratch::default();
 
-        let (mut transport, handles) = match mode {
+        let (transport, handles) = match mode {
             Mode::Live { programs, .. } => {
                 let mut req_rx: Vec<SlotReceiver<Request>> = Vec::with_capacity(n);
                 let mut reply_tx: Vec<SlotSender<Reply>> = Vec::with_capacity(n);
@@ -667,16 +829,26 @@ impl Machine {
             }
             Mode::Source { source, .. } => (Transport::Source(source), Vec::new()),
         };
+        // Setup pushes: before the first pop there is no active
+        // partition, so these are exempt from the lookahead discipline.
         for tid in 0..n {
-            shared.queue.push_at(0, Ev::Start(tid));
+            shared.queue.push(CoreId(tid as u16), 0, Ev::Start(tid));
         }
 
-        let mut pending: Vec<Option<Pending>> = (0..n).map(|_| None).collect();
-        let mut live = n;
-        let mut finish_time: Cycle = 0;
-        let mut exit_inst = vec![0u64; n];
-        let mut exit_ops = vec![0u64; n];
-        let mut panicked: Vec<usize> = Vec::new();
+        let mut core = EngineCore {
+            cfg,
+            engine,
+            shared,
+            scratch,
+            mem,
+            transport,
+            pending: (0..n).map(|_| None).collect(),
+            live: n,
+            finish_time: 0,
+            exit_inst: vec![0u64; n],
+            exit_ops: vec![0u64; n],
+            panicked: Vec::new(),
+        };
 
         // Any failure inside the event loop — watchdog trip, protocol
         // assertion (panic), divergence or deadlock (Err) — is caught
@@ -684,124 +856,48 @@ impl Machine {
         // trace window, the in-flight protocol state, and every core's
         // lease table. Live runs re-raise the report as a panic; source
         // runs hand it back as a structured `SourceAbort`.
-        let loop_result = std::panic::catch_unwind(AssertUnwindSafe(|| -> Result<(), String> {
-            while let Some((t, ev)) = shared.queue.pop() {
-                assert!(
-                    t <= cfg.watchdog_max_cycles,
-                    "watchdog: simulated time exceeded {} cycles (livelock?)",
-                    cfg.watchdog_max_cycles
-                );
-                assert!(
-                    shared.queue.processed() <= cfg.watchdog_max_events,
-                    "watchdog: event budget exceeded"
-                );
-                match ev {
-                    Ev::Start(tid) => {
-                        Self::await_request(
-                            tid,
-                            &mut transport,
-                            &mut shared,
-                            &mut pending,
-                            &mut live,
-                            &mut finish_time,
-                            &mut exit_inst,
-                            &mut exit_ops,
-                            &mut panicked,
-                        )?;
-                    }
-                    Ev::OpStart(tid) => {
-                        if shared.trace.enabled() {
-                            shared.trace.record(t, TraceEvent::OpStart { tid });
-                        }
-                        let Some(Pending::Incoming(op)) = pending[tid].take() else {
-                            return Err(format!(
-                                "OpStart without incoming op for core {tid} at cycle {t}"
-                            ));
-                        };
-                        Self::start_op(
-                            tid,
-                            t,
-                            op,
-                            &cfg,
-                            &mut engine,
-                            &mut shared,
-                            &mut scratch,
-                            &mut mem,
-                            &mut pending,
-                        );
-                    }
-                    Ev::OpComplete(tid) => {
-                        if shared.trace.enabled() {
-                            shared.trace.record(t, TraceEvent::OpComplete { tid });
-                        }
-                        Self::complete_op(
-                            tid,
-                            t,
-                            &mut engine,
-                            &mut shared,
-                            &mut scratch,
-                            &mut mem,
-                            &mut pending,
-                            &mut transport,
-                            &mut live,
-                            &mut finish_time,
-                            &mut exit_inst,
-                            &mut exit_ops,
-                            &mut panicked,
-                        )?;
-                    }
-                    Ev::Coh(e) => {
-                        shared.base = t;
-                        engine.handle(t, e, &mut shared);
-                        Self::drain(t, &mut engine, &mut shared, &mut scratch);
-                    }
-                    Ev::Expiry {
-                        core,
-                        line,
-                        generation,
-                    } => {
-                        if shared.tables[core.idx()].on_expiry_into(
-                            line,
-                            generation,
-                            &mut scratch.lines,
-                        ) {
-                            shared.lc[core.idx()].involuntary += scratch.lines.len() as u64;
-                            for &l in &scratch.lines {
-                                if shared.trace.enabled() {
-                                    shared
-                                        .trace
-                                        .record(t, TraceEvent::LeaseExpired { core, line: l });
-                                }
-                                shared.base = t;
-                                engine.lease_released(t, core, l, &mut shared);
-                            }
-                            Self::drain(t, &mut engine, &mut shared, &mut scratch);
-                        }
-                    }
+        //
+        // Executor choice: live runs with N > 1 partitions drive them
+        // from N host threads (one per partition, conservative turn
+        // protocol); everything else runs the sequential loop — which,
+        // by the merge-order guarantee of [`Queues`], pops the exact
+        // same event sequence.
+        let loop_result = if is_live && shards > 1 {
+            run_threaded(&mut core, shards).and_then(|()| {
+                std::panic::catch_unwind(AssertUnwindSafe(|| core.finish_checks()))
+                    .unwrap_or_else(|p| Err(panic_payload_msg(p.as_ref())))
+            })
+        } else {
+            let c = &mut core;
+            std::panic::catch_unwind(AssertUnwindSafe(|| -> Result<(), String> {
+                while let Some((t, ev)) = c.shared.queue.pop() {
+                    c.apply(t, ev)?;
                 }
-            }
-
-            if live != 0 {
-                return Err(format!(
-                    "simulation deadlock: event queue drained with {live} threads blocked"
-                ));
-            }
-            assert_eq!(engine.in_flight(), 0);
-            engine.check_invariants();
-            Ok(())
-        }));
-        let failure = match loop_result {
-            Ok(Ok(())) => None,
-            Ok(Err(reason)) => Some(reason),
-            Err(payload) => Some(panic_payload_msg(payload.as_ref())),
+                c.finish_checks()
+            }))
+            .unwrap_or_else(|p| Err(panic_payload_msg(p.as_ref())))
         };
-        if let Some(reason) = failure {
-            let report = render_failure_report(&reason, &shared, &engine, &pending);
+        if let Err(reason) = loop_result {
+            let report = render_failure_report(&reason, &core.shared, &core.engine, &core.pending);
             if is_live {
                 panic!("{report}");
             }
             return Err(Box::new(SourceAbort { reason, report }));
         }
+        let EngineCore {
+            cfg,
+            engine,
+            shared,
+            scratch: _,
+            mem,
+            transport,
+            pending,
+            live: _,
+            finish_time,
+            exit_inst,
+            exit_ops,
+            panicked,
+        } = core;
         drop(transport);
 
         for h in handles {
@@ -817,7 +913,7 @@ impl Machine {
             );
         }
 
-        let events = shared.queue.processed();
+        let info = shared.queue.info();
         let mut stats = engine.stats().clone();
         stats.total_cycles = finish_time;
         stats.app_ops = exit_ops.iter().sum();
@@ -846,7 +942,7 @@ impl Machine {
                     mem: pre_image.expect("snapshot taken when recording"),
                     cores,
                     stats_json: stats.to_json(),
-                    live_events: events,
+                    live_events: info.events,
                 };
                 if let Some(out) = &trace_out {
                     write_trace_file(out, &trace);
@@ -855,7 +951,106 @@ impl Machine {
             }
             None => None,
         };
-        Ok((stats, mem, events, trace))
+        Ok((stats, mem, info, trace))
+    }
+}
+
+/// The sequential engine state: protocol, lease tables, event store,
+/// simulated memory, worker transport, and per-core completion
+/// bookkeeping. Exactly one event is applied at a time (whichever
+/// executor drives it), so all methods take `&mut self` — the executor
+/// shape can never change what a run computes.
+struct EngineCore<'a> {
+    cfg: SystemConfig,
+    engine: CoherenceEngine,
+    shared: Shared,
+    scratch: Scratch,
+    mem: SimMemory,
+    transport: Transport<'a>,
+    pending: Vec<Option<Pending>>,
+    live: usize,
+    finish_time: Cycle,
+    exit_inst: Vec<u64>,
+    exit_ops: Vec<u64>,
+    panicked: Vec<usize>,
+}
+
+impl EngineCore<'_> {
+    /// Apply one popped event at time `t`: the single step both the
+    /// sequential and the partitioned executors are built from.
+    fn apply(&mut self, t: Cycle, ev: Ev) -> Result<(), String> {
+        assert!(
+            t <= self.cfg.watchdog_max_cycles,
+            "watchdog: simulated time exceeded {} cycles (livelock?)",
+            self.cfg.watchdog_max_cycles
+        );
+        assert!(
+            self.shared.queue.processed() <= self.cfg.watchdog_max_events,
+            "watchdog: event budget exceeded"
+        );
+        match ev {
+            Ev::Start(tid) => self.await_request(tid)?,
+            Ev::OpStart(tid) => {
+                if self.shared.trace.enabled() {
+                    self.shared.trace.record(t, TraceEvent::OpStart { tid });
+                }
+                let Some(Pending::Incoming(op)) = self.pending[tid].take() else {
+                    return Err(format!(
+                        "OpStart without incoming op for core {tid} at cycle {t}"
+                    ));
+                };
+                self.start_op(tid, t, op);
+            }
+            Ev::OpComplete(tid) => {
+                if self.shared.trace.enabled() {
+                    self.shared.trace.record(t, TraceEvent::OpComplete { tid });
+                }
+                self.complete_op(tid, t)?;
+            }
+            Ev::Coh(e) => {
+                self.shared.base = t;
+                self.engine.handle(t, e, &mut self.shared);
+                self.drain(t);
+            }
+            Ev::Expiry {
+                core,
+                line,
+                generation,
+            } => {
+                if self.shared.tables[core.idx()].on_expiry_into(
+                    line,
+                    generation,
+                    &mut self.scratch.lines,
+                ) {
+                    self.shared.lc[core.idx()].involuntary += self.scratch.lines.len() as u64;
+                    for &l in &self.scratch.lines {
+                        if self.shared.trace.enabled() {
+                            self.shared
+                                .trace
+                                .record(t, TraceEvent::LeaseExpired { core, line: l });
+                        }
+                        self.shared.base = t;
+                        self.engine.lease_released(t, core, l, &mut self.shared);
+                    }
+                    self.drain(t);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// End-of-run validation, shared by both executors: no thread may
+    /// still be blocked, no transaction in flight, invariants hold.
+    fn finish_checks(&mut self) -> Result<(), String> {
+        if self.live != 0 {
+            return Err(format!(
+                "simulation deadlock: event queue drained with {} threads blocked",
+                self.live
+            ));
+        }
+        assert_eq!(self.engine.in_flight(), 0);
+        self.engine.check_invariants();
+        Ok(())
     }
 
     /// Drain effects deferred by the `CohContext` during engine calls.
@@ -863,48 +1058,45 @@ impl Machine {
     /// The deferred-effect vectors ping-pong with `scratch` via
     /// `mem::swap`, so at steady state this allocates nothing: both
     /// sides keep their high-water capacity.
-    fn drain(t: Cycle, engine: &mut CoherenceEngine, shared: &mut Shared, scratch: &mut Scratch) {
+    fn drain(&mut self, t: Cycle) {
         loop {
-            if shared.to_pin.is_empty() && shared.deferred_release.is_empty() {
+            if self.shared.to_pin.is_empty() && self.shared.deferred_release.is_empty() {
                 break;
             }
-            std::mem::swap(&mut shared.to_pin, &mut scratch.pins);
-            std::mem::swap(&mut shared.deferred_release, &mut scratch.rels);
-            for &(c, l) in &scratch.pins {
-                engine.pin(c, l, true);
+            std::mem::swap(&mut self.shared.to_pin, &mut self.scratch.pins);
+            std::mem::swap(&mut self.shared.deferred_release, &mut self.scratch.rels);
+            for &(c, l) in &self.scratch.pins {
+                self.engine.pin(c, l, true);
             }
-            for &(c, l) in &scratch.rels {
-                shared.base = t;
-                engine.lease_released(t, c, l, shared);
+            for &(c, l) in &self.scratch.rels {
+                self.shared.base = t;
+                self.engine.lease_released(t, c, l, &mut self.shared);
             }
-            scratch.pins.clear();
-            scratch.rels.clear();
+            self.scratch.pins.clear();
+            self.scratch.rels.clear();
         }
-        if !shared.completions.is_empty() {
-            std::mem::swap(&mut shared.completions, &mut scratch.completions);
-            for &(token, done) in &scratch.completions {
-                shared.queue.push_at(done, Ev::OpComplete(token as usize));
+        if !self.shared.completions.is_empty() {
+            std::mem::swap(&mut self.shared.completions, &mut self.scratch.completions);
+            for &(token, done) in &self.scratch.completions {
+                // Completions are delivered at the requesting core.
+                self.shared
+                    .queue
+                    .push(CoreId(token as u16), done, Ev::OpComplete(token as usize));
             }
-            scratch.completions.clear();
+            self.scratch.completions.clear();
         }
     }
 
     /// Block until worker `tid` sends its next instruction (lockstep:
     /// `tid` is the only runnable entity right now). In source mode this
     /// is a plain function call into the [`OpSource`].
-    #[allow(clippy::too_many_arguments)]
-    fn await_request(
-        tid: usize,
-        transport: &mut Transport<'_>,
-        shared: &mut Shared,
-        pending: &mut [Option<Pending>],
-        live: &mut usize,
-        finish_time: &mut Cycle,
-        exit_inst: &mut [u64],
-        exit_ops: &mut [u64],
-        panicked: &mut Vec<usize>,
-    ) -> Result<(), String> {
-        let r = transport.recv(tid)?;
+    ///
+    /// In the partitioned executor this always runs on the host thread
+    /// owning `tid`'s partition (`Start`/`OpComplete` events are routed
+    /// to `tid`'s tile), so each rendezvous slot keeps a stable receiver
+    /// thread for its whole life.
+    fn await_request(&mut self, tid: usize) -> Result<(), String> {
+        let r = self.transport.recv(tid)?;
         debug_assert_eq!(r.tid, tid);
         match r.op {
             Op::Exit {
@@ -913,50 +1105,41 @@ impl Machine {
                 at,
                 panicked: p,
             } => {
-                *live -= 1;
-                exit_inst[tid] = instructions;
-                exit_ops[tid] = ops;
-                *finish_time = (*finish_time).max(at);
+                self.live -= 1;
+                self.exit_inst[tid] = instructions;
+                self.exit_ops[tid] = ops;
+                self.finish_time = self.finish_time.max(at);
                 if p {
-                    panicked.push(tid);
+                    self.panicked.push(tid);
                 }
             }
             op => {
-                debug_assert!(pending[tid].is_none());
-                pending[tid] = Some(Pending::Incoming(op));
-                shared.queue.push_at(r.at, Ev::OpStart(tid));
+                debug_assert!(self.pending[tid].is_none());
+                self.pending[tid] = Some(Pending::Incoming(op));
+                self.shared
+                    .queue
+                    .push(CoreId(tid as u16), r.at, Ev::OpStart(tid));
             }
         }
         Ok(())
     }
 
+    /// Immediate completion with a precomputed result after `delay`.
+    fn imm(&mut self, tid: usize, t: Cycle, value: u64, flag: bool, delay: Cycle) {
+        self.pending[tid] = Some(Pending::Imm {
+            value,
+            flag,
+            issued: t,
+        });
+        self.shared
+            .queue
+            .push(CoreId(tid as u16), t + delay, Ev::OpComplete(tid));
+    }
+
     /// Begin executing one instruction at its issue time `t`.
-    #[allow(clippy::too_many_arguments)]
-    fn start_op(
-        tid: usize,
-        t: Cycle,
-        op: Op,
-        cfg: &SystemConfig,
-        engine: &mut CoherenceEngine,
-        shared: &mut Shared,
-        scratch: &mut Scratch,
-        mem: &mut SimMemory,
-        pending: &mut [Option<Pending>],
-    ) {
+    fn start_op(&mut self, tid: usize, t: Cycle, op: Op) {
         let core = CoreId(tid as u16);
         let token = tid as u64;
-        let imm = |shared: &mut Shared,
-                   pending: &mut [Option<Pending>],
-                   value: u64,
-                   flag: bool,
-                   delay: Cycle| {
-            pending[tid] = Some(Pending::Imm {
-                value,
-                flag,
-                issued: t,
-            });
-            shared.queue.push_at(t + delay, Ev::OpComplete(tid));
-        };
         match op {
             Op::Read(a)
             | Op::Write(a, _)
@@ -968,29 +1151,38 @@ impl Machine {
                     Op::Write(..) => AccessKind::Store,
                     _ => AccessKind::Rmw,
                 };
-                shared.base = t;
-                let hit = engine.access(t, token, core, a.line(), kind, false, true, shared);
+                self.shared.base = t;
+                let hit = self.engine.access(
+                    t,
+                    token,
+                    core,
+                    a.line(),
+                    kind,
+                    false,
+                    true,
+                    &mut self.shared,
+                );
                 if let Some(done) = hit {
-                    shared.queue.push_at(done, Ev::OpComplete(tid));
+                    self.shared.queue.push(core, done, Ev::OpComplete(tid));
                 }
-                pending[tid] = Some(Pending::Data { op, issued: t });
-                Self::drain(t, engine, shared, scratch);
+                self.pending[tid] = Some(Pending::Data { op, issued: t });
+                self.drain(t);
             }
             Op::Lease { addr, time } => {
                 let line = addr.line();
-                match shared.tables[tid].begin_lease(line, time) {
+                match self.shared.tables[tid].begin_lease(line, time) {
                     BeginLease::AlreadyLeased => {
-                        imm(shared, pending, 0, false, 1);
+                        self.imm(tid, t, 0, false, 1);
                     }
                     BeginLease::Inserted { displaced } => {
                         for d in displaced {
-                            shared.lc[tid].overflow += 1;
-                            shared.base = t;
-                            engine.lease_released(t, core, d, shared);
+                            self.shared.lc[tid].overflow += 1;
+                            self.shared.base = t;
+                            self.engine.lease_released(t, core, d, &mut self.shared);
                         }
-                        shared.lc[tid].taken += 1;
-                        shared.base = t;
-                        let hit = engine.access(
+                        self.shared.lc[tid].taken += 1;
+                        self.shared.base = t;
+                        let hit = self.engine.access(
                             t,
                             token,
                             core,
@@ -998,23 +1190,23 @@ impl Machine {
                             AccessKind::Rmw,
                             true,
                             false,
-                            shared,
+                            &mut self.shared,
                         );
                         if let Some(done) = hit {
-                            shared.queue.push_at(done, Ev::OpComplete(tid));
+                            self.shared.queue.push(core, done, Ev::OpComplete(tid));
                         }
-                        pending[tid] = Some(Pending::LeaseAcq { issued: t });
+                        self.pending[tid] = Some(Pending::LeaseAcq { issued: t });
                     }
                 }
-                Self::drain(t, engine, shared, scratch);
+                self.drain(t);
             }
             Op::Release { addr } => {
                 let line = addr.line();
-                let flag = shared.tables[tid].release_into(line, &mut scratch.lines);
-                shared.lc[tid].voluntary += scratch.lines.len() as u64;
-                for &l in &scratch.lines {
-                    if shared.trace.enabled() {
-                        shared.trace.record(
+                let flag = self.shared.tables[tid].release_into(line, &mut self.scratch.lines);
+                self.shared.lc[tid].voluntary += self.scratch.lines.len() as u64;
+                for &l in &self.scratch.lines {
+                    if self.shared.trace.enabled() {
+                        self.shared.trace.record(
                             t,
                             TraceEvent::LeaseReleased {
                                 core,
@@ -1023,40 +1215,40 @@ impl Machine {
                             },
                         );
                     }
-                    shared.base = t;
-                    engine.lease_released(t, core, l, shared);
+                    self.shared.base = t;
+                    self.engine.lease_released(t, core, l, &mut self.shared);
                 }
-                imm(shared, pending, 0, flag, 1);
-                Self::drain(t, engine, shared, scratch);
+                self.imm(tid, t, 0, flag, 1);
+                self.drain(t);
             }
             Op::MultiLease { addrs, time } => {
                 let lines: Vec<LineAddr> = addrs.iter().map(|a| a.line()).collect();
-                match shared.tables[tid].begin_multilease(&lines, time) {
+                match self.shared.tables[tid].begin_multilease(&lines, time) {
                     MultiLeaseBegin::Rejected { released } => {
-                        shared.lc[tid].voluntary += released.len() as u64;
+                        self.shared.lc[tid].voluntary += released.len() as u64;
                         for l in released {
-                            shared.base = t;
-                            engine.lease_released(t, core, l, shared);
+                            self.shared.base = t;
+                            self.engine.lease_released(t, core, l, &mut self.shared);
                         }
-                        imm(shared, pending, 0, false, 1);
+                        self.imm(tid, t, 0, false, 1);
                     }
                     MultiLeaseBegin::Admitted {
                         released,
                         sorted_lines,
                     } => {
-                        shared.lc[tid].voluntary += released.len() as u64;
+                        self.shared.lc[tid].voluntary += released.len() as u64;
                         for l in released {
-                            shared.base = t;
-                            engine.lease_released(t, core, l, shared);
+                            self.shared.base = t;
+                            self.engine.lease_released(t, core, l, &mut self.shared);
                         }
                         if sorted_lines.is_empty() {
-                            imm(shared, pending, 0, true, 1);
+                            self.imm(tid, t, 0, true, 1);
                         } else {
-                            shared.lc[tid].multileases += 1;
-                            shared.lc[tid].taken += sorted_lines.len() as u64;
-                            shared.base = t;
+                            self.shared.lc[tid].multileases += 1;
+                            self.shared.lc[tid].taken += sorted_lines.len() as u64;
+                            self.shared.base = t;
                             let first = sorted_lines[0];
-                            let hit = engine.access(
+                            let hit = self.engine.access(
                                 t,
                                 token,
                                 core,
@@ -1064,12 +1256,12 @@ impl Machine {
                                 AccessKind::Rmw,
                                 true,
                                 false,
-                                shared,
+                                &mut self.shared,
                             );
                             if let Some(done) = hit {
-                                shared.queue.push_at(done, Ev::OpComplete(tid));
+                                self.shared.queue.push(core, done, Ev::OpComplete(tid));
                             }
-                            pending[tid] = Some(Pending::Multi {
+                            self.pending[tid] = Some(Pending::Multi {
                                 lines: sorted_lines,
                                 idx: 0,
                                 issued: t,
@@ -1077,14 +1269,14 @@ impl Machine {
                         }
                     }
                 }
-                Self::drain(t, engine, shared, scratch);
+                self.drain(t);
             }
             Op::ReleaseAll => {
-                shared.tables[tid].release_all_into(&mut scratch.lines);
-                shared.lc[tid].voluntary += scratch.lines.len() as u64;
-                for &l in &scratch.lines {
-                    if shared.trace.enabled() {
-                        shared.trace.record(
+                self.shared.tables[tid].release_all_into(&mut self.scratch.lines);
+                self.shared.lc[tid].voluntary += self.scratch.lines.len() as u64;
+                for &l in &self.scratch.lines {
+                    if self.shared.trace.enabled() {
+                        self.shared.trace.record(
                             t,
                             TraceEvent::LeaseReleased {
                                 core,
@@ -1093,49 +1285,34 @@ impl Machine {
                             },
                         );
                     }
-                    shared.base = t;
-                    engine.lease_released(t, core, l, shared);
+                    self.shared.base = t;
+                    self.engine.lease_released(t, core, l, &mut self.shared);
                 }
-                imm(shared, pending, 0, true, 1);
-                Self::drain(t, engine, shared, scratch);
+                self.imm(tid, t, 0, true, 1);
+                self.drain(t);
             }
             Op::Malloc { size, align } => {
-                let a = mem.alloc(size, align);
-                imm(shared, pending, a.0, true, ALLOC_COST);
+                let a = self.mem.alloc(size, align);
+                self.imm(tid, t, a.0, true, ALLOC_COST);
             }
             Op::Free(a) => {
-                mem.free(a);
-                imm(shared, pending, 0, true, ALLOC_COST);
+                self.mem.free(a);
+                self.imm(tid, t, 0, true, ALLOC_COST);
             }
             Op::Exit { .. } => unreachable!("Exit handled in await_request"),
         }
-        let _ = cfg;
     }
 
     /// Finish one instruction at its completion time: move data, account
     /// statistics, wake the worker, and wait for its next instruction.
-    #[allow(clippy::too_many_arguments)]
-    fn complete_op(
-        tid: usize,
-        t: Cycle,
-        engine: &mut CoherenceEngine,
-        shared: &mut Shared,
-        scratch: &mut Scratch,
-        mem: &mut SimMemory,
-        pending: &mut [Option<Pending>],
-        transport: &mut Transport<'_>,
-        live: &mut usize,
-        finish_time: &mut Cycle,
-        exit_inst: &mut [u64],
-        exit_ops: &mut [u64],
-        panicked: &mut Vec<usize>,
-    ) -> Result<(), String> {
-        let p = pending[tid].take().ok_or_else(|| {
+    fn complete_op(&mut self, tid: usize, t: Cycle) -> Result<(), String> {
+        let p = self.pending[tid].take().ok_or_else(|| {
             format!("OpComplete for core {tid} at cycle {t} without a pending op")
         })?;
         let (value, flag, issued) = match p {
             Pending::Data { op, issued } => {
-                let cs = &mut engine.stats_mut().cores[tid];
+                let mem = &mut self.mem;
+                let cs = &mut self.engine.stats_mut().cores[tid];
                 let (value, flag) = match op {
                     Op::Read(a) => {
                         cs.loads += 1;
@@ -1182,8 +1359,8 @@ impl Machine {
                 if idx + 1 < lines.len() {
                     // Acquire the next line of the group, in order.
                     let core = CoreId(tid as u16);
-                    shared.base = t;
-                    let hit = engine.access(
+                    self.shared.base = t;
+                    let hit = self.engine.access(
                         t,
                         tid as u64,
                         core,
@@ -1191,17 +1368,17 @@ impl Machine {
                         AccessKind::Rmw,
                         true,
                         false,
-                        shared,
+                        &mut self.shared,
                     );
                     if let Some(done) = hit {
-                        shared.queue.push_at(done, Ev::OpComplete(tid));
+                        self.shared.queue.push(core, done, Ev::OpComplete(tid));
                     }
-                    pending[tid] = Some(Pending::Multi {
+                    self.pending[tid] = Some(Pending::Multi {
                         lines,
                         idx: idx + 1,
                         issued,
                     });
-                    Self::drain(t, engine, shared, scratch);
+                    self.drain(t);
                     return Ok(());
                 }
                 (0, true, issued)
@@ -1213,8 +1390,8 @@ impl Machine {
             } => (value, flag, issued),
             Pending::Incoming(_) => unreachable!("completion before start"),
         };
-        engine.stats_mut().cores[tid].mem_stall_cycles += t - issued;
-        transport.reply(
+        self.engine.stats_mut().cores[tid].mem_stall_cycles += t - issued;
+        self.transport.reply(
             tid,
             Reply {
                 time: t,
@@ -1222,17 +1399,93 @@ impl Machine {
                 flag,
             },
         )?;
-        Self::await_request(
-            tid,
-            transport,
-            shared,
-            pending,
-            live,
-            finish_time,
-            exit_inst,
-            exit_ops,
-            panicked,
-        )
+        self.await_request(tid)
+    }
+}
+
+/// Drive `core` with one host thread per partition, conservatively
+/// synchronized: the thread owning the partition of the globally next
+/// event applies it; everyone else waits on the turn condvar. This pops
+/// the exact `(time, seq)` sequence of the sequential loop — the engine
+/// stays lockstep (one event at a time, under one mutex), so simulated
+/// results are byte-identical for every shard count. What the partition
+/// structure buys today is the mailbox/lookahead discipline (checked on
+/// every cross-partition send) and per-partition clocks; the measured
+/// concurrency headroom (`EngineInfo::concurrent_events`) is the basis
+/// for relaxing the turn protocol into true parallel commit once
+/// protocol handlers stop touching remote tiles' state directly.
+///
+/// Worker rendezvous stays sound: core `tid`'s `Start`/`OpComplete`
+/// events are routed to `tid`'s tile, so its request slot is always
+/// received on the same host thread (the slot's receiver affinity
+/// requirement), and blocking in `recv` while holding the turn mutex is
+/// the lockstep invariant — the sending worker is the only runnable
+/// entity, and it never takes this mutex.
+fn run_threaded(core: &mut EngineCore<'_>, shards: usize) -> Result<(), String> {
+    struct Turn<'c, 'a> {
+        core: &'c mut EngineCore<'a>,
+        fail: Option<String>,
+        done: bool,
+    }
+    let turn = Mutex::new(Turn {
+        core,
+        fail: None,
+        done: false,
+    });
+    let cv = Condvar::new();
+    std::thread::scope(|s| {
+        for p in 0..shards {
+            let (turn, cv) = (&turn, &cv);
+            s.spawn(move || {
+                let mut g = turn.lock().unwrap_or_else(|e| e.into_inner());
+                loop {
+                    if g.done || g.fail.is_some() {
+                        break;
+                    }
+                    match g.core.shared.queue.head_partition() {
+                        None => {
+                            g.done = true;
+                            cv.notify_all();
+                            break;
+                        }
+                        Some(q) if q == p => {
+                            let core = &mut *g.core;
+                            // The catch is *inside* the lock so an apply
+                            // panic (watchdog, protocol bug) becomes a
+                            // recorded failure, never a poisoned mutex.
+                            let res = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                                let Queues::Sharded(q) = &mut core.shared.queue else {
+                                    unreachable!("threaded executor uses the sharded store")
+                                };
+                                let (t, part, ev) =
+                                    q.pop_global().expect("head_partition saw an event");
+                                debug_assert_eq!(part, p);
+                                core.apply(t, ev)
+                            }));
+                            match res {
+                                Ok(Ok(())) => cv.notify_all(),
+                                Ok(Err(reason)) => {
+                                    g.fail = Some(reason);
+                                    cv.notify_all();
+                                    break;
+                                }
+                                Err(payload) => {
+                                    g.fail = Some(panic_payload_msg(payload.as_ref()));
+                                    cv.notify_all();
+                                    break;
+                                }
+                            }
+                        }
+                        Some(_) => g = cv.wait(g).unwrap_or_else(|e| e.into_inner()),
+                    }
+                }
+            });
+        }
+    });
+    let t = turn.into_inner().unwrap_or_else(|e| e.into_inner());
+    match t.fail {
+        Some(reason) => Err(reason),
+        None => Ok(()),
     }
 }
 

@@ -48,6 +48,21 @@ const WAITING: u8 = 2;
 /// Overridable at process start via `LR_SPIN_ROUNDS` (see
 /// [`configured_spin_rounds`]) so the fuzz farm and benches can sweep
 /// the handoff tuning space.
+///
+/// Tuning data (`LR_FORCE_SPIN=1 LR_SPIN_ROUNDS=… lr-bench --scenario
+/// engine_throughput --threads 8 --ops 4000`, single-hardware-thread
+/// container): spinning where the peer cannot run is pure loss, and the
+/// loss scales linearly with the round count — contended-faa retires
+/// 440k sim-ops/s at 0 rounds, 296k at 32, 145k at 128, 51k at 512,
+/// 14k at 2048 (private-rw and events-resident degrade in the same
+/// ratios). The un-forced default path measures within noise of the
+/// 0-round row, i.e. the `available_parallelism` probe that disables
+/// the spin phase on single-threaded hosts is doing exactly its job —
+/// which is why 128 is safe to keep as the multicore default: it is
+/// never reached on hosts where it measures as harmful, and on
+/// multicore hosts it covers the peer's ~100-cycle handoff window
+/// without approaching the yield phase's cost. A multicore host should
+/// re-run the sweep before changing it.
 const SPIN_ROUNDS: u32 = 128;
 
 /// Upper bound accepted from `LR_SPIN_ROUNDS`: beyond ~1M iterations a

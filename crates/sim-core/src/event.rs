@@ -162,14 +162,26 @@ impl<E> EventQueue<E> {
     /// Scheduling in the past is a logic error and panics: the engine
     /// never travels backwards.
     pub fn push_at(&mut self, time: Cycle, payload: E) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.push_at_seq(time, seq, payload);
+    }
+
+    /// Schedule `payload` at `time` under a caller-supplied sequence
+    /// number instead of the internal counter. This is the partition
+    /// building block of [`crate::shard::ShardedQueue`]: N partition
+    /// queues share one *global* sequence space so that merging their
+    /// heads by `(time, seq)` reproduces the single-queue total order
+    /// exactly. The caller must supply strictly increasing sequence
+    /// numbers per queue (the wheel's slot-FIFO tie-break relies on
+    /// same-time entries arriving in ascending `seq` order).
+    pub(crate) fn push_at_seq(&mut self, time: Cycle, seq: u64, payload: E) {
         assert!(
             time >= self.now,
             "event scheduled in the past: t={} < now={}",
             time,
             self.now
         );
-        let seq = self.seq;
-        self.seq += 1;
         match &mut self.store {
             Store::Heap(h) => h.push(Reverse(Entry { time, seq, payload })),
             Store::Wheel(w) => w.push(time, seq, payload),
@@ -193,6 +205,13 @@ impl<E> EventQueue<E> {
 
     /// Pop the earliest event, advancing the simulated clock to it.
     pub fn pop(&mut self) -> Option<(Cycle, E)> {
+        self.pop_keyed()
+            .map(|(time, _seq, payload)| (time, payload))
+    }
+
+    /// [`EventQueue::pop`] additionally exposing the popped sequence
+    /// number (the merge key of [`crate::shard::ShardedQueue`]).
+    pub(crate) fn pop_keyed(&mut self) -> Option<(Cycle, u64, E)> {
         let (time, seq, payload) = match &mut self.store {
             Store::Heap(h) => h.pop().map(|Reverse(e)| (e.time, e.seq, e.payload)),
             Store::Wheel(w) => w.pop(),
@@ -218,18 +237,23 @@ impl<E> EventQueue<E> {
             }
             self.last = Some((time, seq));
         }
-        #[cfg(not(feature = "strict-invariants"))]
-        let _ = seq;
         self.now = time;
         self.processed += 1;
-        Some((time, payload))
+        Some((time, seq, payload))
     }
 
     /// Peek at the timestamp of the earliest pending event.
     pub fn peek_time(&self) -> Option<Cycle> {
+        self.peek_key().map(|(t, _)| t)
+    }
+
+    /// `(time, seq)` of the event [`EventQueue::pop`] would return next
+    /// — the per-partition head key that [`crate::shard::ShardedQueue`]
+    /// merges on.
+    pub(crate) fn peek_key(&self) -> Option<(Cycle, u64)> {
         match &self.store {
-            Store::Heap(h) => h.peek().map(|Reverse(e)| e.time),
-            Store::Wheel(w) => w.peek_time(),
+            Store::Heap(h) => h.peek().map(|Reverse(e)| (e.time, e.seq)),
+            Store::Wheel(w) => w.peek_key(),
         }
     }
 }

@@ -10,6 +10,7 @@
 pub mod config;
 pub mod event;
 pub mod rng;
+pub mod shard;
 pub mod stats;
 pub mod trace;
 pub mod tracefmt;
@@ -18,6 +19,7 @@ mod wheel;
 pub use config::{CoherenceProtocol, EnergyModel, LeaseConfig, SystemConfig};
 pub use event::{EventQueue, EventQueueKind};
 pub use rng::SplitMix64;
+pub use shard::{PartitionMap, ShardedQueue};
 pub use stats::{CoreStats, MachineStats};
 pub use trace::{TraceAccess, TraceEvent, TraceRecord, TraceRing, TraceSink};
 pub use tracefmt::{config_fingerprint, MachineTrace, MemImage, OpRecord, TraceError, TraceOp};

@@ -1,0 +1,431 @@
+//! Conservatively-synchronized partitioned event queue (PDES core).
+//!
+//! [`ShardedQueue`] splits the simulation's event space into N
+//! partitions sharded by tile (core + L1 + lease table + L2 home
+//! slice). Each partition owns a full [`EventQueue`] instance — its own
+//! timing wheel, its own local clock — and cross-partition scheduling
+//! travels through a per-destination *mailbox* of envelopes stamped
+//! with the sending partition, exactly like a NoC message crossing a
+//! partition boundary.
+//!
+//! # Determinism
+//!
+//! All partitions draw sequence numbers from one **global** counter, in
+//! commit order. The merged head is the minimum partition head by
+//! `(time, seq)`; because pushes into any single partition carry
+//! strictly increasing sequence numbers (direct pushes happen in commit
+//! order, and mailbox envelopes — also created in commit order — are
+//! drained into the owning wheel before that partition's next pop),
+//! every partition queue's head is its minimum `(time, seq)` and the
+//! merge reproduces the *single-queue total order exactly*, for any
+//! partition count. Mailbox envelopes carry `(time, src-partition,
+//! seq)`; at equal delivery times the globally-unique `seq` (assigned
+//! in commit order) is the tie-break, which refines the
+//! `(time, src, seq)` lexicographic order into the one order that is
+//! invariant in N — byte-identical stats, traces, and bench rows
+//! whether the engine runs 1 partition or 64.
+//!
+//! # Lookahead and safe-time
+//!
+//! Cross-partition events model NoC messages, so their delivery time is
+//! at least `lookahead` — the minimum cross-tile message latency
+//! ([`Mesh::min_cross_latency`] in `lr-sim-noc`) — after the send
+//! instant. That is the classic conservative-PDES guarantee: partition
+//! `p`'s events below `min(other heads) + lookahead` can never be
+//! preempted by a message that hasn't been sent yet. The queue verifies
+//! the property on every cross-partition push (debug builds) and uses
+//! it for the safe-time epoch accounting that the `pdes_scaling` bench
+//! scenario reports ([`ShardedQueue::concurrent_events`],
+//! [`ShardedQueue::epochs`]).
+
+use crate::event::{EventQueue, EventQueueKind};
+use crate::Cycle;
+
+/// Static tile → partition assignment: contiguous, balanced blocks of
+/// tiles (`partition_of(t) = t·P/T`), so L2 home slices of neighbouring
+/// tiles stay co-resident and the mesh distance between partitions is
+/// the distance between tile blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartitionMap {
+    tiles: usize,
+    parts: usize,
+}
+
+impl PartitionMap {
+    /// A map of `tiles` tiles onto `parts` partitions. `parts` is
+    /// clamped to `1..=tiles`: more partitions than tiles would leave
+    /// some empty, fewer than one is meaningless.
+    pub fn new(tiles: usize, parts: usize) -> Self {
+        assert!(tiles >= 1, "partition map over zero tiles");
+        PartitionMap {
+            tiles,
+            parts: parts.clamp(1, tiles),
+        }
+    }
+
+    /// The partition owning `tile`.
+    #[inline]
+    pub fn partition_of(&self, tile: usize) -> usize {
+        debug_assert!(tile < self.tiles, "tile {tile} out of range");
+        tile * self.parts / self.tiles
+    }
+
+    /// Number of partitions (≥ 1, ≤ tiles).
+    #[inline]
+    pub fn partitions(&self) -> usize {
+        self.parts
+    }
+
+    /// Number of tiles.
+    #[inline]
+    pub fn tiles(&self) -> usize {
+        self.tiles
+    }
+}
+
+/// One cross-partition message: the payload plus the fixed merge key
+/// `(time, src-partition, seq)`.
+#[derive(Debug)]
+struct Envelope<E> {
+    time: Cycle,
+    /// Sending partition — diagnostic half of the merge key; at equal
+    /// times the globally-unique `seq` already decides (module docs).
+    #[allow(dead_code)]
+    src: usize,
+    seq: u64,
+    payload: E,
+}
+
+/// N per-partition [`EventQueue`]s + deterministic mailbox merge.
+///
+/// The driving executor calls [`ShardedQueue::pop_global`] to obtain
+/// the next event in global `(time, seq)` order together with its
+/// owning partition, applies it (which may [`ShardedQueue::push`] new
+/// events toward any tile), and repeats. Same-partition pushes go
+/// straight into the owner's wheel; cross-partition pushes are
+/// enveloped into the destination's mailbox and drained at the merge
+/// point.
+#[derive(Debug)]
+pub struct ShardedQueue<E> {
+    parts: Vec<EventQueue<E>>,
+    inboxes: Vec<Vec<Envelope<E>>>,
+    map: PartitionMap,
+    /// Minimum cross-partition delivery delay (NoC lookahead).
+    lookahead: Cycle,
+    /// Global sequence counter — the shared tie-break space.
+    seq: u64,
+    now: Cycle,
+    processed: u64,
+    /// Partition whose event is currently being applied (`None` during
+    /// pre-run setup, where pushes are attributed to the destination).
+    active: Option<usize>,
+    /// Pushes that crossed a partition boundary (mailbox envelopes).
+    cross_events: u64,
+    /// Events that satisfied the conservative safe-time test at pop:
+    /// `t < min(other partitions' heads) + lookahead`, i.e. events a
+    /// conservative PDES executor may commit without waiting on any
+    /// other partition's clock.
+    concurrent_events: u64,
+    /// Lookahead windows crossed (safe-time epoch counter).
+    epochs: u64,
+    epoch_horizon: Cycle,
+    /// Last sequence pushed into each partition: proves the ascending-
+    /// seq-per-partition invariant the wheel's FIFO tie-break needs.
+    #[cfg(debug_assertions)]
+    last_seq: Vec<Option<u64>>,
+}
+
+impl<E> ShardedQueue<E> {
+    /// A sharded queue over `tiles` tiles in `parts` partitions (see
+    /// [`PartitionMap::new`] for clamping), every partition backed by
+    /// `kind`, with the given cross-partition `lookahead`.
+    pub fn with_kind(kind: EventQueueKind, tiles: usize, parts: usize, lookahead: Cycle) -> Self {
+        let map = PartitionMap::new(tiles, parts);
+        let n = map.partitions();
+        ShardedQueue {
+            parts: (0..n).map(|_| EventQueue::with_kind(kind)).collect(),
+            inboxes: (0..n).map(|_| Vec::new()).collect(),
+            map,
+            lookahead,
+            seq: 0,
+            now: 0,
+            processed: 0,
+            active: None,
+            cross_events: 0,
+            concurrent_events: 0,
+            epochs: 0,
+            epoch_horizon: 0,
+            #[cfg(debug_assertions)]
+            last_seq: vec![None; n],
+        }
+    }
+
+    /// The backing store every partition uses.
+    pub fn kind(&self) -> EventQueueKind {
+        self.parts[0].kind()
+    }
+
+    /// The tile → partition map.
+    pub fn map(&self) -> PartitionMap {
+        self.map
+    }
+
+    /// Global simulated time: timestamp of the last event popped.
+    #[inline]
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Total events popped across all partitions.
+    #[inline]
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Pending events across partitions and mailboxes.
+    pub fn len(&self) -> usize {
+        self.parts.iter().map(EventQueue::len).sum::<usize>()
+            + self.inboxes.iter().map(Vec::len).sum::<usize>()
+    }
+
+    /// True if no events are pending anywhere.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Cross-partition pushes so far (mailbox traffic).
+    #[inline]
+    pub fn cross_events(&self) -> u64 {
+        self.cross_events
+    }
+
+    /// Events that passed the conservative safe-time test (see field).
+    #[inline]
+    pub fn concurrent_events(&self) -> u64 {
+        self.concurrent_events
+    }
+
+    /// Safe-time epochs (lookahead windows) crossed so far.
+    #[inline]
+    pub fn epochs(&self) -> u64 {
+        self.epochs
+    }
+
+    /// The cross-partition lookahead this queue enforces.
+    #[inline]
+    pub fn lookahead(&self) -> Cycle {
+        self.lookahead
+    }
+
+    /// Schedule `payload` at `time` for the partition owning
+    /// `dest_tile`. Same-partition pushes are direct; cross-partition
+    /// pushes travel through the destination's mailbox and must honour
+    /// the lookahead (debug-asserted — in the machine every such push
+    /// rides a NoC message whose latency is at least the lookahead).
+    pub fn push(&mut self, dest_tile: usize, time: Cycle, payload: E) {
+        assert!(
+            time >= self.now,
+            "event scheduled in the past: t={} < now={}",
+            time,
+            self.now
+        );
+        let dest = self.map.partition_of(dest_tile);
+        let seq = self.seq;
+        self.seq += 1;
+        #[cfg(debug_assertions)]
+        {
+            debug_assert!(
+                self.last_seq[dest].is_none_or(|s| seq > s),
+                "non-monotonic seq into partition {dest}"
+            );
+            self.last_seq[dest] = Some(seq);
+        }
+        match self.active {
+            Some(src) if src != dest => {
+                debug_assert!(
+                    time >= self.now + self.lookahead,
+                    "cross-partition event violates lookahead: t={} < now={} + lookahead={} \
+                     (partition {src} -> {dest})",
+                    time,
+                    self.now,
+                    self.lookahead,
+                );
+                self.cross_events += 1;
+                self.inboxes[dest].push(Envelope {
+                    time,
+                    src,
+                    seq,
+                    payload,
+                });
+            }
+            _ => self.parts[dest].push_at_seq(time, seq, payload),
+        }
+    }
+
+    /// Drain every mailbox into its owning partition queue. Envelopes
+    /// sit in each inbox in send (= ascending global seq) order, so the
+    /// drain preserves the per-partition ascending-seq invariant.
+    fn deliver_all(&mut self) {
+        for (p, inbox) in self.inboxes.iter_mut().enumerate() {
+            for env in inbox.drain(..) {
+                self.parts[p].push_at_seq(env.time, env.seq, env.payload);
+            }
+        }
+    }
+
+    /// The partition owning the globally earliest pending event, after
+    /// delivering pending mailbox traffic. `None` iff the queue is
+    /// drained. Used by the threaded executor to decide whose turn it
+    /// is without consuming the event.
+    pub fn head_partition(&mut self) -> Option<usize> {
+        self.deliver_all();
+        self.min_head().map(|(_, _, p)| p)
+    }
+
+    /// Minimum partition head by `(time, seq)` (mailboxes must already
+    /// be drained).
+    fn min_head(&self) -> Option<(Cycle, u64, usize)> {
+        let mut best: Option<(Cycle, u64, usize)> = None;
+        for (p, q) in self.parts.iter().enumerate() {
+            if let Some((t, s)) = q.peek_key() {
+                if best.is_none_or(|(bt, bs, _)| (t, s) < (bt, bs)) {
+                    best = Some((t, s, p));
+                }
+            }
+        }
+        best
+    }
+
+    /// Pop the globally earliest event: deliver mailbox traffic, merge
+    /// partition heads by `(time, seq)`, pop from the winning partition
+    /// and mark it active (subsequent pushes from the event's handler
+    /// are attributed to it). Returns `(time, partition, payload)`.
+    pub fn pop_global(&mut self) -> Option<(Cycle, usize, E)> {
+        self.deliver_all();
+        let (_, _, p) = self.min_head()?;
+        // Safe-time test against the other partitions *before* popping.
+        let mut other_min: Option<Cycle> = None;
+        for (q, queue) in self.parts.iter().enumerate() {
+            if q != p {
+                if let Some(t) = queue.peek_time() {
+                    other_min = Some(other_min.map_or(t, |m| m.min(t)));
+                }
+            }
+        }
+        let (time, _seq, payload) = self.parts[p].pop_keyed().expect("head vanished");
+        self.active = Some(p);
+        self.now = time;
+        self.processed += 1;
+        if let Some(m) = other_min {
+            if time < m.saturating_add(self.lookahead) {
+                self.concurrent_events += 1;
+            }
+        }
+        if time >= self.epoch_horizon {
+            self.epochs += 1;
+            self.epoch_horizon = time.saturating_add(self.lookahead.max(1));
+        }
+        Some((time, p, payload))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_map_is_contiguous_balanced_and_surjective() {
+        for tiles in 1..=16usize {
+            for parts in 1..=tiles {
+                let m = PartitionMap::new(tiles, parts);
+                assert_eq!(m.partitions(), parts);
+                let assignment: Vec<usize> = (0..tiles).map(|t| m.partition_of(t)).collect();
+                // Monotone (contiguous blocks) and surjective.
+                assert!(assignment.windows(2).all(|w| w[0] <= w[1]));
+                assert_eq!(assignment[0], 0);
+                assert_eq!(assignment[tiles - 1], parts - 1);
+                // Balanced: block sizes differ by at most one.
+                let mut sizes = vec![0usize; parts];
+                for &p in &assignment {
+                    sizes[p] += 1;
+                }
+                let (mn, mx) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+                assert!(mx - mn <= 1, "tiles={tiles} parts={parts} sizes={sizes:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_partition_count_clamps_to_tiles() {
+        let m = PartitionMap::new(4, 64);
+        assert_eq!(m.partitions(), 4);
+        assert_eq!(PartitionMap::new(4, 0).partitions(), 1);
+    }
+
+    #[test]
+    fn pop_global_merges_partitions_in_time_seq_order() {
+        let mut q: ShardedQueue<&str> = ShardedQueue::with_kind(EventQueueKind::Wheel, 4, 2, 0);
+        // Setup pushes (no active partition) go direct.
+        q.push(0, 5, "a@p0");
+        q.push(3, 5, "b@p1");
+        q.push(0, 2, "c@p0");
+        assert_eq!(q.pop_global(), Some((2, 0, "c@p0")));
+        // Same time across partitions: global send order (seq) wins.
+        assert_eq!(q.pop_global(), Some((5, 0, "a@p0")));
+        assert_eq!(q.pop_global(), Some((5, 1, "b@p1")));
+        assert_eq!(q.pop_global(), None);
+        assert_eq!(q.processed(), 3);
+    }
+
+    #[test]
+    fn cross_partition_pushes_travel_through_the_mailbox() {
+        let mut q: ShardedQueue<u32> = ShardedQueue::with_kind(EventQueueKind::Wheel, 4, 4, 2);
+        q.push(0, 0, 0);
+        assert_eq!(q.pop_global(), Some((0, 0, 0)));
+        // Handler of partition 0's event schedules for tile 3 (partition
+        // 3): must be enveloped, honouring the lookahead of 2.
+        q.push(3, 2, 1);
+        q.push(0, 1, 2); // same-partition: direct, no envelope
+        assert_eq!(q.cross_events(), 1);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop_global(), Some((1, 0, 2)));
+        assert_eq!(q.pop_global(), Some((2, 3, 1)));
+        assert_eq!(q.cross_events(), 1);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "violates lookahead")]
+    fn lookahead_violation_is_caught_in_debug() {
+        let mut q: ShardedQueue<u32> = ShardedQueue::with_kind(EventQueueKind::Wheel, 4, 4, 10);
+        q.push(0, 0, 0);
+        q.pop_global();
+        q.push(3, 5, 1); // 5 < now(0) + lookahead(10)
+    }
+
+    #[test]
+    fn single_partition_never_envelopes() {
+        let mut q: ShardedQueue<u32> = ShardedQueue::with_kind(EventQueueKind::Heap, 8, 1, 3);
+        q.push(0, 0, 0);
+        q.pop_global();
+        for tile in 0..8 {
+            q.push(tile, 1, tile as u32);
+        }
+        assert_eq!(q.cross_events(), 0);
+        for tile in 0..8 {
+            assert_eq!(q.pop_global(), Some((1, 0, tile as u32)));
+        }
+    }
+
+    #[test]
+    fn safe_time_accounting_counts_concurrent_events() {
+        let mut q: ShardedQueue<u32> = ShardedQueue::with_kind(EventQueueKind::Wheel, 2, 2, 100);
+        // Heads 10 (p0) and 50 (p1): both within one lookahead window.
+        q.push(0, 10, 0);
+        q.push(1, 50, 1);
+        q.pop_global(); // t=10: other head 50, 10 < 50+100 → concurrent
+        q.pop_global(); // t=50: no other head → not counted
+        assert_eq!(q.concurrent_events(), 1);
+        assert!(q.epochs() >= 1);
+    }
+}

@@ -269,13 +269,24 @@ impl<E> Wheel<E> {
     /// occupied slot of the lowest non-empty level (entries within one
     /// higher-level slot are FIFO, not time-sorted).
     pub(crate) fn peek_time(&self) -> Option<Cycle> {
+        self.peek_key().map(|(t, _)| t)
+    }
+
+    /// `(time, seq)` of the entry [`Wheel::pop`] would return next.
+    ///
+    /// For the minimum time this is exact: within a slot the first node
+    /// (head-to-tail) carrying the minimum time is the earliest-inserted
+    /// one, which is exactly the node a cascade re-files first and a pop
+    /// returns first.
+    pub(crate) fn peek_key(&self) -> Option<(Cycle, u64)> {
         if self.len == 0 {
             return None;
         }
         let start = (self.pos & MASK) as usize;
         if let Some(slot) = self.levels[0].first_occupied_from(start) {
             let idx = self.levels[0].slots[slot].head;
-            return Some(self.pool[idx as usize].time);
+            let n = &self.pool[idx as usize];
+            return Some((n.time, n.seq));
         }
         for level in 1..LEVELS {
             let shift = BITS * level as u32;
@@ -286,14 +297,20 @@ impl<E> Wheel<E> {
             // The first occupied slot of the lowest non-empty level
             // bounds the minimum: every other pending entry is in a
             // later window of this level or a later window of a higher
-            // level, both strictly greater.
+            // level, both strictly greater. A strict `<` keeps the
+            // earliest-inserted minimum-time node.
             let mut idx = self.levels[level].slots[slot].head;
             let mut min = Cycle::MAX;
+            let mut seq = 0u64;
             while idx != NIL {
-                min = min.min(self.pool[idx as usize].time);
-                idx = self.pool[idx as usize].next;
+                let n = &self.pool[idx as usize];
+                if n.time < min {
+                    min = n.time;
+                    seq = n.seq;
+                }
+                idx = n.next;
             }
-            return Some(min);
+            return Some((min, seq));
         }
         unreachable!("wheel has {} entries but no occupied slot", self.len);
     }

@@ -1,0 +1,243 @@
+//! Randomized property tests for the partitioned PDES queue: driving
+//! the same interleaved push/pop schedule through a [`ShardedQueue`]
+//! (any partition count, either backing store) and a single
+//! [`EventQueue`] must produce element-for-element identical pop
+//! streams — the sharded merge over per-partition wheels plus the
+//! cross-partition mailbox *is* the single-queue `(time, seq)` total
+//! order. Same sorted-oracle model as `event_prop.rs`, extended with a
+//! random destination tile per push.
+
+use lr_sim_core::{EventQueue, EventQueueKind, ShardedQueue, SplitMix64};
+
+const KINDS: [EventQueueKind; 2] = [EventQueueKind::Heap, EventQueueKind::Wheel];
+const PARTS: [usize; 5] = [1, 2, 3, 4, 7];
+const TILES: usize = 8;
+
+/// One schedule step: `Push(dest_tile, delay)` schedules the next id at
+/// `now + delay` for `dest_tile`'s partition, `Pop` pops one event
+/// (skipped while empty). Trailing drain is implicit.
+#[derive(Debug, Clone, Copy)]
+enum Step {
+    Push(usize, u64),
+    Pop,
+}
+
+fn random_schedule(seed: u64, max_delay: u64, push_bias: f64) -> Vec<Step> {
+    let mut rng = SplitMix64::new(seed);
+    let steps = rng.gen_range(1usize..300);
+    (0..steps)
+        .map(|_| {
+            if rng.gen_bool(push_bias) {
+                Step::Push(
+                    rng.gen_range(0u64..TILES as u64) as usize,
+                    rng.gen_range(0u64..max_delay),
+                )
+            } else {
+                Step::Pop
+            }
+        })
+        .collect()
+}
+
+/// Pop stream of the sharded queue under (kind, parts). Lookahead 0:
+/// these schedules model arbitrary delays, not NoC-stamped ones.
+fn drive_sharded(kind: EventQueueKind, parts: usize, steps: &[Step]) -> Vec<(u64, usize)> {
+    let mut q: ShardedQueue<usize> = ShardedQueue::with_kind(kind, TILES, parts, 0);
+    let mut out = Vec::new();
+    let mut id = 0usize;
+    for &s in steps {
+        match s {
+            Step::Push(tile, d) => {
+                q.push(tile, q.now() + d, id);
+                id += 1;
+            }
+            Step::Pop => out.extend(q.pop_global().map(|(t, _, e)| (t, e))),
+        }
+    }
+    while let Some((t, _, e)) = q.pop_global() {
+        out.push((t, e));
+    }
+    assert!(q.is_empty());
+    assert_eq!(q.processed() as usize, out.len());
+    out
+}
+
+/// Pop stream of the single-queue reference for the same schedule.
+fn drive_single(kind: EventQueueKind, steps: &[Step]) -> Vec<(u64, usize)> {
+    let mut q: EventQueue<usize> = EventQueue::with_kind(kind);
+    let mut out = Vec::new();
+    let mut id = 0usize;
+    for &s in steps {
+        match s {
+            Step::Push(_, d) => {
+                q.push_after(d, id);
+                id += 1;
+            }
+            Step::Pop => out.extend(q.pop()),
+        }
+    }
+    while let Some(e) = q.pop() {
+        out.push(e);
+    }
+    out
+}
+
+/// Full cross-check for one schedule: every (kind, parts) sharded run
+/// equals the single-queue run equals the stable sorted oracle.
+fn check_schedule(steps: &[Step], label: &str) {
+    let reference = drive_single(EventQueueKind::Wheel, steps);
+    // Sorted oracle: stable sort of pushes by target time. `now` is
+    // tracked like the queue does (a pop advances it to the pops-th
+    // entry of the stable-sorted prefix so far — later pushes can never
+    // sort before already-popped events because `time >= now`).
+    let expected: Vec<(u64, usize)> = {
+        let mut now = 0u64;
+        let mut pops = 0usize;
+        let mut times: Vec<(u64, usize)> = Vec::new();
+        let mut id = 0usize;
+        for &s in steps {
+            match s {
+                Step::Push(_, d) => {
+                    times.push((now + d, id));
+                    id += 1;
+                }
+                Step::Pop => {
+                    let mut sorted = times.clone();
+                    sorted.sort_by_key(|&(t, _)| t);
+                    if let Some(&(t, _)) = sorted.get(pops) {
+                        now = t;
+                        pops += 1;
+                    }
+                }
+            }
+        }
+        times.sort_by_key(|&(t, _)| t);
+        times
+    };
+    assert_eq!(
+        reference, expected,
+        "{label}: single-queue vs sorted oracle"
+    );
+    for kind in KINDS {
+        for parts in PARTS {
+            assert_eq!(
+                drive_sharded(kind, parts, steps),
+                reference,
+                "{label} [{kind:?}, {parts} partitions]"
+            );
+        }
+    }
+}
+
+#[test]
+fn sharded_pop_stream_equals_single_queue_push_only() {
+    for case in 0..128u64 {
+        let sched = random_schedule(0x5a4d_0000 + case, 50, 1.0);
+        check_schedule(&sched, &format!("case {case}"));
+    }
+}
+
+#[test]
+fn sharded_pop_stream_equals_single_queue_interleaved() {
+    for case in 0..128u64 {
+        let sched = random_schedule(0x5a4d_1000 + case, 100, 0.5);
+        check_schedule(&sched, &format!("interleaved case {case}"));
+    }
+}
+
+/// Far-future delays (lease-timeout scale and beyond): partition wheels
+/// must cascade identically to the single wheel.
+#[test]
+fn sharded_far_future_delays_stay_sorted() {
+    for case in 0..64u64 {
+        let mut rng = SplitMix64::new(0x5a4d_2000 + case);
+        let steps = rng.gen_range(1usize..200);
+        let sched: Vec<Step> = (0..steps)
+            .map(|_| {
+                if rng.gen_bool(0.6) {
+                    let d = match rng.gen_range(0u64..3) {
+                        0 => rng.gen_range(0u64..100),
+                        1 => 20_000 + rng.gen_range(0u64..20_000),
+                        _ => rng.gen_range(0u64..1 << 40),
+                    };
+                    Step::Push(rng.gen_range(0u64..TILES as u64) as usize, d)
+                } else {
+                    Step::Pop
+                }
+            })
+            .collect();
+        check_schedule(&sched, &format!("far-future case {case}"));
+    }
+}
+
+/// Dense same-cycle bursts across partitions: stability across the
+/// mailbox merge (ties at one cycle spread over N partitions must pop
+/// in global push order) is the whole point.
+#[test]
+fn sharded_same_cycle_bursts_keep_global_push_order() {
+    for case in 0..64u64 {
+        let mut rng = SplitMix64::new(0x5a4d_3000 + case);
+        let mut sched = Vec::new();
+        for _ in 0..rng.gen_range(1usize..20) {
+            let base = rng.gen_range(0u64..64);
+            for _ in 0..rng.gen_range(1usize..32) {
+                sched.push(Step::Push(
+                    rng.gen_range(0u64..TILES as u64) as usize,
+                    base + rng.gen_range(0u64..3) * 7,
+                ));
+            }
+            for _ in 0..rng.gen_range(0usize..8) {
+                sched.push(Step::Pop);
+            }
+        }
+        check_schedule(&sched, &format!("burst case {case}"));
+    }
+}
+
+/// The mailbox path specifically: handlers that always schedule into
+/// *other* partitions (every event enveloped) still merge into the
+/// single-queue order.
+#[test]
+fn all_cross_partition_traffic_merges_deterministically() {
+    for case in 0..64u64 {
+        let mut rng = SplitMix64::new(0x5a4d_4000 + case);
+        let parts = 4usize;
+        let mut sharded: ShardedQueue<usize> =
+            ShardedQueue::with_kind(EventQueueKind::Wheel, TILES, parts, 0);
+        let mut single: EventQueue<usize> = EventQueue::with_kind(EventQueueKind::Wheel);
+        let mut id = 0usize;
+        // Seed one event per partition, then let each pop push 0..3
+        // events into deliberately remote tiles.
+        for tile in [0usize, 2, 4, 6] {
+            let t = rng.gen_range(0u64..10);
+            sharded.push(tile, t, id);
+            single.push_at(t, id);
+            id += 1;
+        }
+        let mut out_s = Vec::new();
+        let mut out_1 = Vec::new();
+        while let Some((t, p, e)) = sharded.pop_global() {
+            out_s.push((t, e));
+            out_1.extend(single.pop());
+            if id < 120 {
+                for _ in 0..1 + rng.gen_range(0u64..2) {
+                    // A tile guaranteed to live in a different partition
+                    // than the active one (tiles/parts = 2 per block).
+                    let remote = ((p + 1 + rng.gen_range(0u64..3) as usize) % parts) * 2;
+                    let t2 = t + rng.gen_range(0u64..40);
+                    sharded.push(remote, t2, id);
+                    single.push_at(t2, id);
+                    id += 1;
+                }
+            }
+        }
+        while let Some(e) = single.pop() {
+            out_1.push(e);
+        }
+        assert_eq!(out_s, out_1, "case {case}");
+        assert!(
+            sharded.cross_events() > 0,
+            "case {case} exercised no mailbox traffic"
+        );
+    }
+}

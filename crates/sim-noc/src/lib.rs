@@ -84,6 +84,21 @@ impl Mesh {
         self.hops(from, to) * self.flits(class) as u64
     }
 
+    /// Minimum latency of any *cross-tile* message: one hop plus the
+    /// serialization of the smallest message class. This is the
+    /// conservative-PDES lookahead of the sharded engine: tiles in
+    /// different partitions are necessarily different tiles, so every
+    /// cross-partition event rides a message that pays at least this
+    /// many cycles — no partition can be preempted by a message sent
+    /// less than this far in its past.
+    pub fn min_cross_latency(&self) -> Cycle {
+        self.hop_latency
+            + (self
+                .flits(MsgClass::Control)
+                .min(self.flits(MsgClass::Data)) as Cycle)
+            - 1
+    }
+
     /// Worst-case message latency across the mesh (used for the
     /// Proposition 2 delay-bound checks in tests).
     pub fn max_latency(&self, class: MsgClass) -> Cycle {
@@ -146,6 +161,26 @@ mod tests {
         assert_eq!(m.flit_hops(CoreId(0), CoreId(1), MsgClass::Data), 9);
         assert_eq!(m.flit_hops(CoreId(0), CoreId(63), MsgClass::Data), 14 * 9);
         assert_eq!(m.flit_hops(CoreId(5), CoreId(5), MsgClass::Data), 0);
+    }
+
+    #[test]
+    fn min_cross_latency_bounds_every_cross_tile_message() {
+        for n in [2usize, 4, 8, 16, 64] {
+            let m = mesh(n);
+            let bound = m.min_cross_latency();
+            assert!(bound >= 1);
+            for a in 0..n as u16 {
+                for b in 0..n as u16 {
+                    if a != b {
+                        for class in [MsgClass::Control, MsgClass::Data] {
+                            assert!(m.latency(CoreId(a), CoreId(b), class) >= bound);
+                        }
+                    }
+                }
+            }
+        }
+        // Defaults: hop latency 2, 1-flit control ⇒ lookahead 2.
+        assert_eq!(mesh(64).min_cross_latency(), 2);
     }
 
     #[test]
