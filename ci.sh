@@ -55,10 +55,32 @@ diff -u "$SH_DIR/rows_s1.txt" "$SH_DIR/rows_s4.txt"
 diff -ru "$SH_DIR/json_s1" "$SH_DIR/json_s4"
 rm -rf "$SH_DIR"
 
+echo "== commit-mode A/B: lockstep vs relaxed must be byte-identical =="
+# The parallel-commit axis: every deterministic (sim) scenario, run once
+# with the lockstep executor (one event at a time in global order) and
+# once with the relaxed executor (safe-window batches committed
+# concurrently across host threads), both at 4 engine partitions. Rows
+# and every BENCH_*.json must not differ by one byte — when the relaxed
+# executor commits batches in parallel, the simulation must not notice.
+CM_DIR=$(mktemp -d)
+mkdir -p "$CM_DIR/json_lock" "$CM_DIR/json_rel"
+LR_ENGINE_SHARDS=4 LR_ENGINE_COMMIT=lockstep LR_JSON_DIR="$CM_DIR/json_lock" \
+    cargo run -q --release --offline -p lr-bench --bin lr-bench -- \
+    --smoke --jobs 2 --kind sim | grep -v "^JSON -> " > "$CM_DIR/rows_lock.txt"
+LR_ENGINE_SHARDS=4 LR_ENGINE_COMMIT=relaxed LR_JSON_DIR="$CM_DIR/json_rel" \
+    cargo run -q --release --offline -p lr-bench --bin lr-bench -- \
+    --smoke --jobs 2 --kind sim | grep -v "^JSON -> " > "$CM_DIR/rows_rel.txt"
+diff -u "$CM_DIR/rows_lock.txt" "$CM_DIR/rows_rel.txt"
+diff -ru "$CM_DIR/json_lock" "$CM_DIR/json_rel"
+rm -rf "$CM_DIR"
+
 echo "== engine throughput smoke (gates on completion, not numbers) =="
 LR_NO_JSON=1 cargo run -q --release --offline -p lr-bench --bin lr-bench -- --scenario engine_throughput --smoke > /dev/null
 
-echo "== PDES scaling smoke (asserts identical stats across shard counts) =="
+echo "== PDES scaling smoke (asserts identical stats + batch occupancy) =="
+# The scenario itself asserts, in-cell, that every (commit mode x shard
+# count) series is byte-identical to the sequential run and that the
+# relaxed series commit more than one event per window batch.
 LR_NO_JSON=1 cargo run -q --release --offline -p lr-bench --bin lr-bench -- --scenario pdes_scaling --smoke > /dev/null
 
 echo "== record/replay: every sim scenario must replay byte-identical =="
@@ -77,8 +99,9 @@ rm -rf "$TR_DIR"
 echo "== fuzz farm: seeded differential campaign, twice, diffed =="
 # Replay-driven differential fuzzing over a fixed seed range: each seed
 # records live under msi/mesi/lease-tight, replays every trace under
-# both event-queue stores crossed with engine partition counts 1 and 2,
-# and checks the workload's built-in FAA-ledger and app-ops invariants. The campaign runs twice and the outputs are
+# both event-queue stores crossed with shard/commit combos (1 lockstep,
+# 2 lockstep, 2 relaxed), and checks the workload's built-in FAA-ledger
+# and app-ops invariants. The campaign runs twice and the outputs are
 # diffed: the farm itself must be byte-deterministic. LR_FUZZ_SEEDS
 # opts in to a longer run (default 64 seeds, sub-second).
 FZ_DIR=$(mktemp -d)
@@ -99,7 +122,8 @@ rm -rf "$FZ_DIR"
 
 echo "== fuzz farm: checked-in regression corpus =="
 # Every committed trace must replay byte-identical under both event
-# queues crossed with engine partition counts 1, 2, and 4.
+# queues crossed with engine partition counts 1, 2, and 4 crossed with
+# both commit modes (lockstep and relaxed).
 # Regenerate with: lr-fuzz --regen-corpus corpus --seeds 4
 cargo run -q --release --offline -p lr-fuzz --bin lr-fuzz -- \
     --check-corpus corpus

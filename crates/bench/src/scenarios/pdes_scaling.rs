@@ -1,35 +1,44 @@
 //! Host throughput of the partitioned (PDES) engine executor: how many
-//! discrete events per wall-clock second the simulator retires when the
-//! event core is split into 1, 2, or 4 conservatively-synchronized
-//! partitions. Not a paper figure — this guards the sharded executor's
-//! constant factor (turn-protocol handoff, cross-partition mailbox
-//! traffic, safe-time epochs) and its headroom counters.
+//! discrete events per wall-clock second the simulator retires under
+//! each commit mode — `lockstep` (one event at a time in global
+//! `(time, key)` order) vs `relaxed` (whole safe-window batches
+//! committed concurrently across host threads) — at 1, 2, or 4
+//! conservatively-synchronized partitions. Not a paper figure — this
+//! guards the executors' constant factors and the relaxed mode's
+//! commit-batch occupancy.
 //!
-//! Each series pins one partition count via
-//! [`Machine::with_engine_shards`]; the workload (a contended FAA line
-//! plus per-thread private traffic) is identical across series, so the
-//! simulated results must be too. Every cell for a sharded series
-//! re-runs the same workload single-partition and asserts the
-//! `MachineStats` JSON and final memory are byte-identical — the
-//! determinism contract is checked inside the bench itself, not just by
-//! CI diffing.
+//! Each series pins one (commit mode × partition count) via
+//! [`Machine::with_commit_mode`] and [`Machine::with_engine_shards`];
+//! the workload (a contended FAA line plus per-thread private traffic)
+//! is identical across series, so the simulated results must be too.
+//! Every non-baseline cell re-runs the same workload single-partition
+//! lockstep and asserts the `MachineStats` JSON and final memory are
+//! byte-identical — the determinism contract is checked inside the
+//! bench itself, not just by CI diffing. Relaxed cells additionally
+//! assert the batch executor really engaged: at least one commit batch
+//! per partition and an average batch occupancy above one event —
+//! the whole point of window batching is committing more than one
+//! event per handoff.
 //!
 //! Rows report wall-clock *engine events/s* (in Mops units) — the PDES
 //! scaling metric — and the `CSVX` extras carry the executor's shape:
-//! cross-partition events, concurrently-safe events (the conservative
-//! parallelism headroom), epoch count, and the NoC-derived lookahead.
-//! Numbers are host-dependent by nature; sim results are not.
+//! cross-partition events, concurrently-safe events, epoch/window
+//! count, commit batches, the largest batch, average batch occupancy,
+//! and the NoC-derived lookahead. Numbers are host-dependent by
+//! nature; sim results are not.
 
 use crate::harness::BenchRow;
 use crate::scenario::{CellCtx, CellOut, Scenario, ScenarioKind};
-use lr_machine::{EngineInfo, Machine, MachineStats, SystemConfig, ThreadCtx, ThreadFn};
+use lr_machine::{
+    CommitMode, EngineInfo, Machine, MachineStats, SystemConfig, ThreadCtx, ThreadFn,
+};
 use std::time::Instant;
 
 pub static SCENARIO: Scenario = Scenario {
     name: "pdes_scaling",
     title: "PDES engine scaling",
     paper_ref: "infrastructure",
-    series: &["shards-1", "shards-2", "shards-4"],
+    series: &["lockstep-1", "lockstep-4", "relaxed-2", "relaxed-4"],
     default_ops: 4_000,
     ops_env: Some("LR_PDES_OPS"),
     kind: ScenarioKind::HostLockstep,
@@ -38,31 +47,40 @@ pub static SCENARIO: Scenario = Scenario {
     footer: Some(
         "Wall-clock event throughput of the conservatively-synchronized\n\
          partitioned executor (host-dependent, not byte-reproducible).\n\
-         Simulated stats are asserted byte-identical across partition\n\
-         counts inside every sharded cell; concurrent_events is the\n\
-         fraction of pops the lookahead proves safe to commit in\n\
-         parallel (the headroom a relaxed executor could exploit).",
+         lockstep commits one event at a time in global order; relaxed\n\
+         commits whole safe-window batches concurrently. Simulated\n\
+         stats are asserted byte-identical across every series inside\n\
+         the cells; batch_occupancy (events per commit batch) is the\n\
+         parallelism the windows actually expose.",
     ),
 };
 
-/// Partition count for each series index.
-const SHARDS: [usize; 3] = [1, 2, 4];
+/// (commit mode, partition count) for each series index.
+const MODES: [(CommitMode, usize); 4] = [
+    (CommitMode::Lockstep, 1),
+    (CommitMode::Lockstep, 4),
+    (CommitMode::Relaxed, 2),
+    (CommitMode::Relaxed, 4),
+];
 
 /// One deterministic run of the scenario workload under `shards`
-/// engine partitions.
+/// engine partitions committing in `commit` mode.
 fn simulate(
     ctx: &CellCtx,
     threads: usize,
     ops: u64,
+    commit: CommitMode,
     shards: usize,
     record: bool,
 ) -> (MachineStats, u64, EngineInfo) {
-    // At least 4 tiles so the shards-4 series genuinely partitions.
+    // At least 4 tiles so the 4-partition series genuinely partitions.
     let cfg = SystemConfig::with_cores(threads.max(4));
-    let mut m = Machine::new(cfg).with_engine_shards(shards);
+    let mut m = Machine::new(cfg)
+        .with_engine_shards(shards)
+        .with_commit_mode(commit);
     if record {
-        // Only the measured run records; the in-cell shards-1 reference
-        // run would otherwise write a second trace under the same label.
+        // Only the measured run records; the in-cell reference run
+        // would otherwise write a second trace under the same label.
         m = ctx.prepare(m);
     }
     let lines = m.setup(|mem| {
@@ -95,7 +113,7 @@ fn simulate(
 }
 
 /// FNV-1a 64 over the stats JSON: a short row-embeddable fingerprint
-/// that any two shard counts must agree on.
+/// that every (commit mode × shard count) must agree on.
 fn fingerprint(s: &str) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for b in s.as_bytes() {
@@ -107,22 +125,48 @@ fn fingerprint(s: &str) -> u64 {
 
 fn run_cell(ctx: &CellCtx) -> CellOut {
     let (series, threads, ops) = (ctx.series, ctx.threads, ctx.ops);
-    let shards = SHARDS[series];
+    let (commit, shards) = MODES[series];
     let t0 = Instant::now();
-    let (stats, counter, info) = simulate(ctx, threads, ops, shards, true);
+    let (stats, counter, info) = simulate(ctx, threads, ops, commit, shards, true);
     let wall = t0.elapsed().as_secs_f64().max(1e-9);
     let json = stats.to_json();
-    if shards > 1 {
-        // The determinism contract, checked in-cell: the partitioned
-        // executor must be invisible in every simulated observable.
-        let (ref_stats, ref_counter, ref_info) = simulate(ctx, threads, ops, 1, false);
+    if series > 0 {
+        // The determinism contract, checked in-cell: neither the
+        // partition count nor the commit mode may be visible in any
+        // simulated observable.
+        let (ref_stats, ref_counter, ref_info) =
+            simulate(ctx, threads, ops, CommitMode::Lockstep, 1, false);
         assert_eq!(
             json,
             ref_stats.to_json(),
-            "stats diverged between shards-{shards} and shards-1"
+            "stats diverged between {}/shards-{shards} and lockstep/shards-1",
+            commit,
         );
-        assert_eq!(counter, ref_counter, "memory diverged at shards-{shards}");
+        assert_eq!(
+            counter, ref_counter,
+            "memory diverged at {commit}/shards-{shards}"
+        );
         assert_eq!(info.events, ref_info.events, "event count diverged");
+    }
+    let occupancy = if info.commit_batches > 0 {
+        info.events as f64 / info.commit_batches as f64
+    } else {
+        0.0
+    };
+    if commit == CommitMode::Relaxed {
+        // The batch executor must actually engage on this contended
+        // workload: batches exist and average more than one event.
+        assert!(
+            info.commit_batches > 0,
+            "relaxed run committed no window batches"
+        );
+        assert!(
+            occupancy > 1.0,
+            "relaxed commit-batch occupancy {occupancy:.2} <= 1 event/batch \
+             ({} events in {} batches)",
+            info.events,
+            info.commit_batches
+        );
     }
     let events_per_sec = info.events as f64 / wall;
     let mut cell = CellOut::row(BenchRow::host_only(
@@ -131,17 +175,21 @@ fn run_cell(ctx: &CellCtx) -> CellOut {
         events_per_sec / 1e6,
     ));
     cell.post.push(format!(
-        "CSVX,pdes_scaling,{},{},sim_events_per_sec,{:.0},events,{},shards,{},\
-         cross_events,{},concurrent_events,{},epochs,{},lookahead,{},\
-         stats_fp,{:016x},wall_secs,{:.4}",
+        "CSVX,pdes_scaling,{},{},sim_events_per_sec,{:.0},events,{},commit,{},shards,{},\
+         cross_events,{},concurrent_events,{},epochs,{},commit_batches,{},max_batch,{},\
+         batch_occupancy,{:.2},lookahead,{},stats_fp,{:016x},wall_secs,{:.4}",
         SCENARIO.series[series],
         threads,
         events_per_sec,
         info.events,
+        commit,
         info.shards,
         info.cross_events,
         info.concurrent_events,
         info.epochs,
+        info.commit_batches,
+        info.max_batch,
+        occupancy,
         info.lookahead,
         fingerprint(&json),
         wall

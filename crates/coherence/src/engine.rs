@@ -9,15 +9,44 @@
 //!    service: Uncached/Shared ──► GrantArrive at requester
 //!             Modified(owner) ──► ProbeArrive at owner
 //!    ProbeArrive: lease valid ──► stall (resumed by lease_released())
+//!                 no copy     ──► ProbeMiss bounce ──► grant from home
 //!                 otherwise   ──► downgrade owner ──► GrantArrive
+//!                                 (+ DirUpdate back to the home)
 //!    GrantArrive: install in L1, notify completion,
 //!                 ack ──► DirUnlock ──► service next queued request
 //! ```
+//!
+//! ## Tile ownership
+//!
+//! Every handler runs *at* one tile — the event's delivery tile — and
+//! only mutates that tile's slice of state: its L1, its L2/directory
+//! slice, its channel table and stalled-probe table, its stats block.
+//! Steps that used to reach across tiles synchronously (invalidating a
+//! sharer's L1, updating the directory after an owner downgrade,
+//! applying a victim writeback, back-invalidating on an inclusive-L2
+//! eviction) are now follow-on messages ([`CohEvent::InvArrive`],
+//! [`CohEvent::DirUpdate`], [`CohEvent::Writeback`],
+//! [`CohEvent::SharerDrop`], [`CohEvent::BackInval`]) carrying a real
+//! NoC latency. Because that latency is at least
+//! [`CoherenceEngine::noc_min_lookahead`], a partitioned executor can
+//! commit events of different tiles concurrently within that window.
+//!
+//! In debug and `strict-invariants` builds, every tile-slice access
+//! asserts that the touched tile equals the executing tile, so a
+//! handler that silently reaches across partitions fails loudly.
+//!
+//! The directory is therefore *eventually consistent* with the L1s:
+//! while a `DirUpdate`/`Writeback`/`SharerDrop` rides the NoC, the
+//! home's view lags the owner's. Per-line FIFO channels make this
+//! safe — a line's directory state is only *read* when its channel
+//! starts servicing a request, and every in-flight update for the
+//! previous transaction provably lands first (see `owner_downgrade`).
+//! Stale victim messages are detected and dropped on arrival.
 
-use crate::{AccessKind, CohContext, CohEvent, DirState, L1State, ProbeAction, XactId};
+use crate::{AccessKind, CohContext, CohEvent, DirState, L1State, ProbeAction, Xact};
 use lr_sim_cache::{Inserted, SetAssocCache};
 use lr_sim_core::trace::{TraceAccess, TraceEvent};
-use lr_sim_core::{CoreId, Cycle, LineAddr, MachineStats, SystemConfig};
+use lr_sim_core::{CoreId, CoreStats, Cycle, LineAddr, MachineStats, SystemConfig};
 use lr_sim_noc::{Mesh, MsgClass};
 use std::collections::{HashMap, VecDeque};
 
@@ -37,33 +66,48 @@ macro_rules! protocol_bug {
     };
 }
 
+/// Number of low bits of a transaction id holding the per-core counter
+/// (the requesting core occupies the bits above).
+const XACT_CTR_BITS: u32 = 48;
+
 /// A probe queued at an owning core behind a lease (Section 3: at most one
 /// per (core, line) can exist — Proposition 1).
 #[derive(Debug, Clone, Copy)]
 pub struct PendingProbe {
     /// The transaction whose probe is stalled.
-    pub xact: XactId,
+    pub xact: Xact,
     /// When the probe arrived (for queued-cycles accounting).
     pub since: Cycle,
 }
 
-#[derive(Debug, Clone, Copy)]
-struct Xact {
-    token: u64,
-    core: CoreId,
-    line: LineAddr,
-    kind: AccessKind,
-    lease_intent: bool,
-    regular: bool,
-    /// MESI: grant the line in Exclusive (clean) state.
-    grant_exclusive: bool,
-    enq_time: Cycle,
-}
-
 #[derive(Debug, Default)]
 struct LineChannel {
-    active: Option<XactId>,
-    queue: VecDeque<XactId>,
+    active: Option<Xact>,
+    queue: VecDeque<Xact>,
+}
+
+/// Mutable state owned by one tile: its per-line directory channels,
+/// its stalled-probe table, and its transaction bookkeeping. Handlers
+/// executing at the tile are the only code that touches it.
+#[derive(Debug, Default)]
+struct TileState {
+    /// Per-line FIFO request channels of this tile's directory slice
+    /// (Assumption 1 of the paper).
+    channels: HashMap<LineAddr, LineChannel>,
+    /// Slab of retired channel nodes. A line's channel is created on
+    /// first directory arrival and dropped once its queue drains, so a
+    /// contended line churns through channels continuously; recycling
+    /// them keeps each queue's `VecDeque` buffer (the only per-node
+    /// heap block) alive across that churn, making the steady-state
+    /// directory path allocation-free (audited by `lr-bench`'s
+    /// `cell_alloc` counting-allocator test).
+    free_channels: Vec<LineChannel>,
+    /// Probes stalled behind leases held by this tile's core.
+    stalled: HashMap<LineAddr, PendingProbe>,
+    /// Per-core issue counter for transaction ids.
+    xact_ctr: u64,
+    /// Misses issued by this tile's core that have not been granted yet.
+    outstanding: u64,
 }
 
 /// The directory-based MSI coherence engine for all tiles.
@@ -76,21 +120,35 @@ pub struct CoherenceEngine {
     /// A line's L2 entry is pinned while its channel is active, so the
     /// slice never evicts a line with an in-flight transaction.
     l2: Vec<SetAssocCache<DirState>>,
-    /// Per-line FIFO request channels (Assumption 1 of the paper).
-    channels: HashMap<LineAddr, LineChannel>,
-    /// Slab of retired channel nodes. A line's channel is created on
-    /// first directory arrival and dropped once its queue drains, so a
-    /// contended line churns through channels continuously; recycling
-    /// them keeps each queue's `VecDeque` buffer (the only per-node
-    /// heap block) alive across that churn, making the steady-state
-    /// directory path allocation-free (audited by `lr-bench`'s
-    /// `cell_alloc` counting-allocator test).
-    free_channels: Vec<LineChannel>,
-    xacts: HashMap<u64, Xact>,
-    next_xact: u64,
-    /// Probes stalled behind leases, keyed by (owning core, line).
-    stalled: HashMap<(CoreId, LineAddr), PendingProbe>,
-    stats: MachineStats,
+    /// Per-tile mutable protocol state.
+    tiles: Vec<TileState>,
+    /// Per-tile machine-level counters (`cores` left empty; merged by
+    /// [`CoherenceEngine::stats`]). A relaxed executor accumulates into
+    /// these concurrently — one block per partition-owned tile — and
+    /// the deterministic tile-order merge reproduces the sequential
+    /// totals exactly.
+    tile_stats: Vec<MachineStats>,
+    /// Per-core counters (tile i owns entry i).
+    core_stats: Vec<CoreStats>,
+    /// Gate for mid-flight per-line invariant sweeps (`strict-invariants`
+    /// builds): the sweep reads every tile's L1, which is only safe when
+    /// partitions are synchronized, so the relaxed executor turns it off
+    /// and relies on the quiescence check.
+    #[cfg_attr(not(feature = "strict-invariants"), allow(dead_code))]
+    strict_at: bool,
+}
+
+thread_local! {
+    /// Tile executing the current entry point (access/handle/...) on
+    /// *this host thread*. Thread-local rather than an engine field
+    /// because the relaxed executor calls entry points for different
+    /// partitions concurrently from different host threads: a shared
+    /// cursor would race (clobbering the ownership guard and routing
+    /// [`CoherenceEngine::cur_stats`] to the wrong tile block). Each
+    /// entry point sets it before touching tile state and never calls
+    /// back into another entry point, so the value is stable for the
+    /// dynamic extent of each call.
+    static CUR: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
 }
 
 fn bit(c: CoreId) -> u64 {
@@ -116,20 +174,16 @@ impl CoherenceEngine {
             .collect();
         CoherenceEngine {
             mesh: Mesh::new(cfg),
-            cfg: cfg.clone(),
             l1,
             l2,
-            channels: HashMap::new(),
-            free_channels: Vec::new(),
-            xacts: HashMap::new(),
-            next_xact: 0,
-            stalled: HashMap::new(),
-            stats: MachineStats::new(cfg.num_cores),
+            tiles: (0..cfg.num_cores).map(|_| TileState::default()).collect(),
+            tile_stats: (0..cfg.num_cores).map(|_| MachineStats::new(0)).collect(),
+            core_stats: vec![CoreStats::default(); cfg.num_cores],
+            strict_at: true,
+            cfg: cfg.clone(),
         }
     }
 
-    /// Home tile (L2 slice / directory) of a line: stride interleaving.
-    #[inline]
     /// Conservative-PDES lookahead of the coherence protocol: the minimum
     /// latency of any cross-tile NoC message. Every event this engine
     /// schedules for a tile other than the one currently executing rides
@@ -140,19 +194,90 @@ impl CoherenceEngine {
         self.mesh.min_cross_latency()
     }
 
+    /// Home tile (L2 slice / directory) of a line: stride interleaving.
+    #[inline]
     pub fn home_of(&self, line: LineAddr) -> CoreId {
         CoreId((line.0 % self.cfg.num_cores as u64) as u16)
     }
 
-    /// Protocol statistics collected so far.
-    pub fn stats(&self) -> &MachineStats {
-        &self.stats
+    // ---- tile-ownership guard -------------------------------------------
+
+    /// Debug-mode guard: every tile-slice access must belong to the tile
+    /// executing the current event. Compiled out in plain release builds.
+    #[inline]
+    fn assert_tile(&self, t: CoreId) {
+        #[cfg(any(debug_assertions, feature = "strict-invariants"))]
+        assert!(
+            t.idx() == CUR.get(),
+            "tile-ownership violated: handler executing at tile {} touched tile {}",
+            CUR.get(),
+            t.idx()
+        );
+        #[cfg(not(any(debug_assertions, feature = "strict-invariants")))]
+        let _ = t;
     }
 
-    /// Mutable access to the statistics (the machine layer merges its own
-    /// per-thread counters in here).
-    pub fn stats_mut(&mut self) -> &mut MachineStats {
-        &mut self.stats
+    fn l1_at(&self, c: CoreId) -> &SetAssocCache<L1State> {
+        self.assert_tile(c);
+        &self.l1[c.idx()]
+    }
+
+    fn l1_mut(&mut self, c: CoreId) -> &mut SetAssocCache<L1State> {
+        self.assert_tile(c);
+        &mut self.l1[c.idx()]
+    }
+
+    fn l2_at(&self, h: CoreId) -> &SetAssocCache<DirState> {
+        self.assert_tile(h);
+        &self.l2[h.idx()]
+    }
+
+    fn l2_mut(&mut self, h: CoreId) -> &mut SetAssocCache<DirState> {
+        self.assert_tile(h);
+        &mut self.l2[h.idx()]
+    }
+
+    fn tile_at(&self, t: CoreId) -> &TileState {
+        self.assert_tile(t);
+        &self.tiles[t.idx()]
+    }
+
+    fn tile_mut(&mut self, t: CoreId) -> &mut TileState {
+        self.assert_tile(t);
+        &mut self.tiles[t.idx()]
+    }
+
+    /// The executing tile's stats block.
+    fn cur_stats(&mut self) -> &mut MachineStats {
+        &mut self.tile_stats[CUR.get()]
+    }
+
+    fn cstats(&mut self, c: CoreId) -> &mut CoreStats {
+        self.assert_tile(c);
+        &mut self.core_stats[c.idx()]
+    }
+
+    // ---- public surface --------------------------------------------------
+
+    /// Protocol statistics: per-tile blocks merged in tile order plus the
+    /// per-core counters. The merge is deterministic and identical to
+    /// sequential accumulation, so relaxed and lockstep executors report
+    /// byte-identical numbers.
+    pub fn stats(&self) -> MachineStats {
+        let mut m = MachineStats::new(0);
+        m.cores = self.core_stats.clone();
+        for t in &self.tile_stats {
+            m.merge_from(t);
+        }
+        m
+    }
+
+    /// Mutable per-core counters, for the machine layer's own per-core
+    /// accounting (instructions, ops, lease counters). An entry point:
+    /// the machine calls it while executing an event at `c`'s tile.
+    pub fn core_stats_mut(&mut self, c: CoreId) -> &mut CoreStats {
+        CUR.set(c.idx());
+        &mut self.core_stats[c.idx()]
     }
 
     /// Current L1 state of `line` at `core` (None = Invalid).
@@ -166,56 +291,76 @@ impl CoherenceEngine {
     }
 
     /// Pin or unpin `line` in `core`'s L1 (lease layer: leased lines are
-    /// pinned so they cannot be picked as eviction victims).
+    /// pinned so they cannot be picked as eviction victims). An entry
+    /// point: executes at `core`'s tile.
     pub fn pin(&mut self, core: CoreId, line: LineAddr, pinned: bool) -> bool {
+        CUR.set(core.idx());
         self.l1[core.idx()].set_pinned(line, pinned)
     }
 
     /// Is a probe currently stalled behind a lease at (core, line)?
     pub fn has_stalled_probe(&self, core: CoreId, line: LineAddr) -> bool {
-        self.stalled.contains_key(&(core, line))
+        self.tiles[core.idx()].stalled.contains_key(&line)
     }
 
     /// Number of in-flight transactions (for quiescence checks).
     pub fn in_flight(&self) -> usize {
-        self.xacts.len()
+        self.tiles.iter().map(|t| t.outstanding as usize).sum()
+    }
+
+    /// Enable/disable mid-flight per-line invariant sweeps (on by
+    /// default; the relaxed executor disables them because the sweep
+    /// reads other partitions' L1s).
+    pub fn set_strict_at(&mut self, on: bool) {
+        self.strict_at = on;
+    }
+
+    /// Uncharged control-message latency between two tiles (for machine
+    /// -layer messages that ride the same mesh but are not coherence
+    /// traffic, e.g. allocator requests).
+    pub fn ctrl_latency(&self, from: CoreId, to: CoreId) -> Cycle {
+        self.mesh.latency(from, to, MsgClass::Control)
     }
 
     /// Diagnostic dump of in-flight protocol state (for deadlock reports).
     pub fn debug_dump(&self) -> String {
         use std::fmt::Write;
         let mut s = String::new();
-        for (id, x) in &self.xacts {
-            let _ = writeln!(
-                s,
-                "  xact {id}: core={} line={} kind={:?} lease_intent={}",
-                x.core, x.line, x.kind, x.lease_intent
-            );
-        }
-        for ((c, l), p) in &self.stalled {
-            let _ = writeln!(
-                s,
-                "  stalled probe at {c} for {l}: xact {:?} since {}",
-                p.xact, p.since
-            );
-        }
-        for (l, ch) in &self.channels {
-            let _ = writeln!(
-                s,
-                "  channel {l}: active={:?} queued={:?}",
-                ch.active, ch.queue
-            );
+        for (i, tile) in self.tiles.iter().enumerate() {
+            if tile.outstanding > 0 {
+                let _ = writeln!(s, "  tile {i}: {} outstanding miss(es)", tile.outstanding);
+            }
+            for (l, p) in &tile.stalled {
+                let _ = writeln!(
+                    s,
+                    "  stalled probe at core{i} for {l}: xact {} (req core{}) since {}",
+                    p.xact.id,
+                    p.xact.core.idx(),
+                    p.since
+                );
+            }
+            for (l, ch) in &tile.channels {
+                let _ = writeln!(
+                    s,
+                    "  channel {l} at tile {i}: active={:?} queued={:?}",
+                    ch.active.map(|x| x.id),
+                    ch.queue.iter().map(|x| x.id).collect::<Vec<_>>()
+                );
+            }
         }
         s
     }
 
     fn msg(&mut self, from: CoreId, to: CoreId, class: MsgClass) -> Cycle {
+        let hops = self.mesh.flit_hops(from, to, class);
+        let lat = self.mesh.latency(from, to, class);
+        let ts = self.cur_stats();
         match class {
-            MsgClass::Control => self.stats.msgs_control += 1,
-            MsgClass::Data => self.stats.msgs_data += 1,
+            MsgClass::Control => ts.msgs_control += 1,
+            MsgClass::Data => ts.msgs_data += 1,
         }
-        self.stats.flit_hops += self.mesh.flit_hops(from, to, class);
-        self.mesh.latency(from, to, class)
+        ts.flit_hops += hops;
+        lat
     }
 
     /// Issue a memory access. Returns `Some(completion_time)` on an L1
@@ -238,10 +383,11 @@ impl CoherenceEngine {
         regular: bool,
         ctx: &mut dyn CohContext,
     ) -> Option<Cycle> {
+        CUR.set(core.idx());
         if lease_intent {
             debug_assert!(kind.needs_exclusive(), "leases demand Exclusive state");
         }
-        let st = self.l1[core.idx()].touch(line).map(|s| *s);
+        let st = self.l1_mut(core).touch(line).map(|s| *s);
         let hit = match (st, kind.needs_exclusive()) {
             (Some(s), true) => s.writable(),
             (Some(_), false) => true,
@@ -250,36 +396,37 @@ impl CoherenceEngine {
         if hit {
             if kind.needs_exclusive() && st == Some(L1State::Exclusive) {
                 // MESI silent upgrade: E → M without any message.
-                *self.l1[core.idx()].peek_mut(line).unwrap() = L1State::Modified;
+                *self.l1_mut(core).peek_mut(line).unwrap() = L1State::Modified;
             }
-            self.stats.cores[core.idx()].l1_hits += 1;
+            self.cstats(core).l1_hits += 1;
             let done = now + self.cfg.l1_latency;
             if lease_intent {
                 ctx.exclusive_granted(core, line, done);
             }
             return Some(done);
         }
-        self.stats.cores[core.idx()].l1_misses += 1;
-        let id = XactId(self.next_xact);
-        self.next_xact += 1;
-        self.xacts.insert(
-            id.0,
-            Xact {
-                token,
-                core,
-                line,
-                kind,
-                lease_intent,
-                regular,
-                grant_exclusive: false,
-                enq_time: 0,
-            },
-        );
+        self.cstats(core).l1_misses += 1;
+        let tile = self.tile_mut(core);
+        debug_assert!(tile.xact_ctr < 1 << XACT_CTR_BITS, "xact counter overflow");
+        let id = ((core.idx() as u64) << XACT_CTR_BITS) | tile.xact_ctr;
+        tile.xact_ctr += 1;
+        tile.outstanding += 1;
+        let x = Xact {
+            id,
+            token,
+            core,
+            line,
+            kind,
+            lease_intent,
+            regular,
+            grant_exclusive: false,
+            enq_time: 0,
+        };
         if ctx.tracing() {
             ctx.trace(
                 now,
                 TraceEvent::MissIssued {
-                    xact: id.0,
+                    xact: id,
                     core,
                     line,
                     kind: if kind.needs_exclusive() {
@@ -293,22 +440,36 @@ impl CoherenceEngine {
         }
         let home = self.home_of(line);
         let lat = self.msg(core, home, MsgClass::Control);
-        ctx.schedule(lat, home, CohEvent::DirArrive(id));
+        ctx.schedule(lat, home, CohEvent::DirArrive(x));
         None
     }
 
     /// Feed a previously scheduled coherence event back into the engine.
-    pub fn handle(&mut self, now: Cycle, ev: CohEvent, ctx: &mut dyn CohContext) {
+    /// `at` is the tile the event was scheduled for (the `dest` the
+    /// engine passed to [`CohContext::schedule`]): the handler executes
+    /// there and only mutates that tile's state.
+    pub fn handle(&mut self, now: Cycle, at: CoreId, ev: CohEvent, ctx: &mut dyn CohContext) {
+        CUR.set(at.idx());
         match ev {
             CohEvent::DirArrive(x) => self.dir_arrive(now, x, ctx),
-            CohEvent::ProbeArrive(x) => self.probe_arrive(now, x, ctx),
+            CohEvent::ProbeArrive(x, o) => {
+                debug_assert_eq!(o, at, "probe delivered to the wrong tile");
+                self.probe_arrive(now, x, o, ctx)
+            }
+            CohEvent::ProbeMiss(x) => self.probe_miss(now, x, ctx),
             CohEvent::GrantArrive(x) => self.grant_arrive(now, x, ctx),
             CohEvent::DirUnlock(line) => self.dir_unlock(now, line, ctx),
+            CohEvent::InvArrive { line } => self.inv_arrive(at, line),
+            CohEvent::DirUpdate { line, dir } => self.dir_update(now, line, dir),
+            CohEvent::Writeback { line, from } => self.writeback_arrive(line, from),
+            CohEvent::SharerDrop { line, from } => self.sharer_drop(line, from),
+            CohEvent::BackInval { line } => self.back_inval(now, at, line, ctx),
         }
     }
 
     /// The lease on `(core, line)` ended (voluntarily or not): unpin the
-    /// line and resume any probe stalled behind the lease.
+    /// line and resume any probe stalled behind the lease. An entry
+    /// point: executes at `core`'s tile.
     pub fn lease_released(
         &mut self,
         now: Cycle,
@@ -316,9 +477,10 @@ impl CoherenceEngine {
         line: LineAddr,
         ctx: &mut dyn CohContext,
     ) {
-        self.l1[core.idx()].set_pinned(line, false);
-        if let Some(p) = self.stalled.remove(&(core, line)) {
-            self.stats.cores[core.idx()].probe_queued_cycles += now - p.since;
+        CUR.set(core.idx());
+        self.l1_mut(core).set_pinned(line, false);
+        if let Some(p) = self.tile_mut(core).stalled.remove(&line) {
+            self.cstats(core).probe_queued_cycles += now - p.since;
             if ctx.tracing() {
                 ctx.trace(
                     now,
@@ -333,25 +495,31 @@ impl CoherenceEngine {
         }
     }
 
-    fn dir_arrive(&mut self, now: Cycle, x: XactId, ctx: &mut dyn CohContext) {
-        let line = self.xacts[&x.0].line;
-        let pool = &mut self.free_channels;
-        let ch = self
-            .channels
+    fn dir_arrive(&mut self, now: Cycle, mut x: Xact, ctx: &mut dyn CohContext) {
+        let line = x.line;
+        let home = self.home_of(line);
+        let tile = self.tile_mut(home);
+        let TileState {
+            channels,
+            free_channels,
+            ..
+        } = tile;
+        let ch = channels
             .entry(line)
-            .or_insert_with(|| pool.pop().unwrap_or_default());
+            .or_insert_with(|| free_channels.pop().unwrap_or_default());
         if ch.active.is_some() {
+            x.enq_time = now;
             ch.queue.push_back(x);
-            self.xacts.get_mut(&x.0).unwrap().enq_time = now;
             let qlen = ch.queue.len();
-            if qlen > self.stats.max_dir_queue_len {
-                self.stats.max_dir_queue_len = qlen;
+            let ts = self.cur_stats();
+            if qlen > ts.max_dir_queue_len {
+                ts.max_dir_queue_len = qlen;
             }
             if ctx.tracing() {
                 ctx.trace(
                     now,
                     TraceEvent::DirQueued {
-                        xact: x.0,
+                        xact: x.id,
                         line,
                         depth: qlen,
                     },
@@ -360,7 +528,7 @@ impl CoherenceEngine {
         } else {
             ch.active = Some(x);
             if ctx.tracing() {
-                ctx.trace(now, TraceEvent::DirArrive { xact: x.0, line });
+                ctx.trace(now, TraceEvent::DirArrive { xact: x.id, line });
             }
             self.service(now, x, ctx);
         }
@@ -368,72 +536,87 @@ impl CoherenceEngine {
 
     fn dir_unlock(&mut self, now: Cycle, line: LineAddr, ctx: &mut dyn CohContext) {
         let home = self.home_of(line);
-        self.l2[home.idx()].set_pinned(line, false);
+        self.l2_mut(home).set_pinned(line, false);
         if ctx.tracing() {
             ctx.trace(now, TraceEvent::DirUnlock { line });
         }
-        let Some(ch) = self.channels.get_mut(&line) else {
+        let tile = self.tile_mut(home);
+        let Some(ch) = tile.channels.get_mut(&line) else {
             protocol_bug!(now, "DirUnlock for {line} but no request channel exists");
         };
         ch.active = None;
         let next = ch.queue.pop_front();
         if next.is_none() {
-            if let Some(ch) = self.channels.remove(&line) {
+            if let Some(ch) = tile.channels.remove(&line) {
                 debug_assert!(ch.active.is_none() && ch.queue.is_empty());
                 // Recycle the node: its queue keeps (empty) capacity.
-                self.free_channels.push(ch);
+                tile.free_channels.push(ch);
             }
         }
-        // The previous transaction on `line` is fully settled here, before
-        // any queued successor starts mutating state again.
+        // The previous transaction on `line` is fully settled here: its
+        // DirUpdate (if any) provably landed first, its invalidations
+        // landed before its grant. Only victim messages may still be in
+        // flight, so the sweep checks the single-writer property only.
         #[cfg(feature = "strict-invariants")]
-        self.check_invariants_at(line);
+        if self.strict_at {
+            self.check_invariants_at(line);
+        }
         if let Some(next) = next {
-            self.channels.get_mut(&line).unwrap().active = Some(next);
-            let enq = self.xacts[&next.0].enq_time;
-            self.stats.dir_queue_wait_cycles += now - enq;
+            self.tile_mut(home).channels.get_mut(&line).unwrap().active = Some(next);
+            self.cur_stats().dir_queue_wait_cycles += now - next.enq_time;
             if ctx.tracing() {
-                ctx.trace(now, TraceEvent::DirArrive { xact: next.0, line });
+                ctx.trace(
+                    now,
+                    TraceEvent::DirArrive {
+                        xact: next.id,
+                        line,
+                    },
+                );
             }
             self.service(now, next, ctx);
         }
     }
 
     /// Directory services the transaction at the head of the line queue.
-    fn service(&mut self, now: Cycle, x: XactId, ctx: &mut dyn CohContext) {
+    /// Executes at the home tile.
+    fn service(&mut self, now: Cycle, x: Xact, ctx: &mut dyn CohContext) {
         let Xact {
             core, line, kind, ..
-        } = self.xacts[&x.0];
+        } = x;
         let home = self.home_of(line);
-        self.stats.dir_requests += 1;
+        self.cur_stats().dir_requests += 1;
         let mut t = now + self.cfg.l2_tag_latency;
 
-        if self.l2[home.idx()].touch(line).is_some() {
-            self.stats.l2_hits += 1;
+        if self.l2_mut(home).touch(line).is_some() {
+            self.cur_stats().l2_hits += 1;
         } else {
-            self.stats.l2_misses += 1;
+            self.cur_stats().l2_misses += 1;
             t += self.cfg.dram_latency;
             self.l2_install(now, home, line, ctx);
         }
         // Keep the line resident while its transaction is in flight.
-        self.l2[home.idx()].set_pinned(line, true);
+        self.l2_mut(home).set_pinned(line, true);
 
-        let dir = *self.l2[home.idx()].peek(line).unwrap();
+        let dir = *self.l2_at(home).peek(line).unwrap();
         match dir {
             DirState::Uncached => self.grant_from_home(now, t, x, ctx),
             DirState::Shared(mask) => {
                 if !kind.needs_exclusive() {
                     self.grant_from_home(now, t, x, ctx)
                 } else {
-                    // Invalidate all other sharers; acks go to the requester.
+                    // Invalidate all other sharers; acks go to the
+                    // requester. Each sharer drops its copy when the
+                    // invalidation *arrives* at its tile; every arrival
+                    // is strictly before the grant below, since the
+                    // grant waits out max(to_s + ack) ≥ to_s + 1.
                     let others = mask & !bit(core);
                     let mut inv_lat = 0;
                     for s in cores_in(others) {
                         let to_s = self.msg(home, s, MsgClass::Control);
                         let ack = self.msg(s, core, MsgClass::Control);
                         inv_lat = inv_lat.max(to_s + ack);
-                        self.l1[s.idx()].remove(line);
-                        self.stats.invalidations += 1;
+                        ctx.schedule(to_s, s, CohEvent::InvArrive { line });
+                        self.cur_stats().invalidations += 1;
                     }
                     let upgrade = mask & bit(core) != 0;
                     let data_lat = if upgrade {
@@ -442,7 +625,7 @@ impl CoherenceEngine {
                     } else {
                         self.cfg.l2_data_latency + self.msg(home, core, MsgClass::Data)
                     };
-                    *self.l2[home.idx()].peek_mut(line).unwrap() = DirState::Modified(core);
+                    *self.l2_mut(home).peek_mut(line).unwrap() = DirState::Modified(core);
                     ctx.schedule(
                         t - now + data_lat.max(inv_lat),
                         core,
@@ -458,26 +641,32 @@ impl CoherenceEngine {
             }
             DirState::Modified(o) => {
                 let lat = self.msg(home, o, MsgClass::Control);
-                ctx.schedule(t - now + lat, o, CohEvent::ProbeArrive(x));
+                ctx.schedule(t - now + lat, o, CohEvent::ProbeArrive(x, o));
             }
         }
     }
 
     /// Serve data (or permission) straight from the home slice.
-    fn grant_from_home(&mut self, now: Cycle, t_ready: Cycle, x: XactId, ctx: &mut dyn CohContext) {
+    fn grant_from_home(
+        &mut self,
+        now: Cycle,
+        t_ready: Cycle,
+        mut x: Xact,
+        ctx: &mut dyn CohContext,
+    ) {
         let Xact {
             core, line, kind, ..
-        } = self.xacts[&x.0];
+        } = x;
         let home = self.home_of(line);
         let mesi = self.cfg.protocol == lr_sim_core::CoherenceProtocol::Mesi;
-        if self.l2[home.idx()].peek(line).is_none() {
+        if self.l2_at(home).peek(line).is_none() {
             protocol_bug!(
                 now,
                 "granting {line} to {core} but the line is not resident in its home slice \
                  {home} (L2 pin lost mid-transaction?)"
             );
         }
-        let dir = self.l2[home.idx()].peek_mut(line).unwrap();
+        let dir = self.l2_mut(home).peek_mut(line).unwrap();
         *dir = if kind.needs_exclusive() {
             DirState::Modified(core)
         } else {
@@ -486,7 +675,7 @@ impl CoherenceEngine {
                 // MESI: a sole reader of an uncached line gets Exclusive;
                 // the directory tracks it like any exclusive owner.
                 _ if mesi => {
-                    self.xacts.get_mut(&x.0).unwrap().grant_exclusive = true;
+                    x.grant_exclusive = true;
                     DirState::Modified(core)
                 }
                 _ => DirState::Shared(bit(core)),
@@ -496,117 +685,202 @@ impl CoherenceEngine {
         ctx.schedule(t_ready - now + lat, core, CohEvent::GrantArrive(x));
     }
 
-    fn probe_arrive(&mut self, now: Cycle, x: XactId, ctx: &mut dyn CohContext) {
-        let Xact { line, regular, .. } = self.xacts[&x.0];
-        let dir = self.dir_state(line);
-        match dir {
-            Some(DirState::Modified(o)) if self.l1[o.idx()].contains(line) => {
-                // A probe is actually delivered to the owner only on this
-                // path; the evicted-owner fallback below serves from home
-                // without one, so counting in `service` would overcount.
-                self.stats.owner_probes += 1;
-                self.stats.cores[o.idx()].probes_received += 1;
-                if ctx.tracing() {
-                    ctx.trace(
-                        now,
-                        TraceEvent::ProbeArrive {
-                            xact: x.0,
-                            owner: o,
-                            line,
-                        },
-                    );
-                }
-                match ctx.probe_action(o, line, regular, now) {
-                    ProbeAction::Queue => {
-                        self.stats.cores[o.idx()].probes_queued += 1;
-                        if ctx.tracing() {
-                            ctx.trace(
-                                now,
-                                TraceEvent::ProbeStalled {
-                                    xact: x.0,
-                                    owner: o,
-                                    line,
-                                },
-                            );
-                        }
-                        let prev = self.stalled.insert(
-                            (o, line),
-                            PendingProbe {
-                                xact: x,
-                                since: now,
+    /// A forwarded probe reached the owning core. Executes at the owner.
+    fn probe_arrive(&mut self, now: Cycle, x: Xact, o: CoreId, ctx: &mut dyn CohContext) {
+        let Xact { line, regular, .. } = x;
+        if self.l1_at(o).contains(line) {
+            // A probe is actually delivered to the owner only on this
+            // path; the evicted-owner bounce below serves from home
+            // without one, so counting in `service` would overcount.
+            self.cur_stats().owner_probes += 1;
+            self.cstats(o).probes_received += 1;
+            if ctx.tracing() {
+                ctx.trace(
+                    now,
+                    TraceEvent::ProbeArrive {
+                        xact: x.id,
+                        owner: o,
+                        line,
+                    },
+                );
+            }
+            match ctx.probe_action(o, line, regular, now) {
+                ProbeAction::Queue => {
+                    self.cstats(o).probes_queued += 1;
+                    if ctx.tracing() {
+                        ctx.trace(
+                            now,
+                            TraceEvent::ProbeStalled {
+                                xact: x.id,
+                                owner: o,
+                                line,
                             },
                         );
-                        if let Some(prev) = prev {
-                            protocol_bug!(
-                                now,
-                                "two probes stalled at {o} for {line} (prior xact {:?} since \
-                                 cycle {}): violates Proposition 1",
-                                prev.xact,
-                                prev.since
-                            );
-                        }
                     }
-                    ProbeAction::ProceedBreakingLease => {
-                        self.l1[o.idx()].set_pinned(line, false);
-                        self.owner_downgrade(now, x, o, ctx);
+                    let prev = self.tile_mut(o).stalled.insert(
+                        line,
+                        PendingProbe {
+                            xact: x,
+                            since: now,
+                        },
+                    );
+                    if let Some(prev) = prev {
+                        protocol_bug!(
+                            now,
+                            "two probes stalled at {o} for {line} (prior xact {} since \
+                             cycle {}): violates Proposition 1",
+                            prev.xact.id,
+                            prev.since
+                        );
                     }
-                    ProbeAction::Proceed => self.owner_downgrade(now, x, o, ctx),
                 }
+                ProbeAction::ProceedBreakingLease => {
+                    self.l1_mut(o).set_pinned(line, false);
+                    self.owner_downgrade(now, x, o, ctx);
+                }
+                ProbeAction::Proceed => self.owner_downgrade(now, x, o, ctx),
             }
-            _ => {
-                // The owner evicted the line (writeback raced the probe):
-                // data is back home; serve from there.
-                let t = now + self.cfg.l2_tag_latency;
-                self.grant_from_home(now, t, x, ctx);
-            }
+        } else {
+            // The owner evicted the line (its writeback raced the probe):
+            // the data is headed home; bounce there so the home serves
+            // from its slice once the tag lookup completes.
+            let home = self.home_of(line);
+            let lat = self.msg(o, home, MsgClass::Control);
+            ctx.schedule(lat, home, CohEvent::ProbeMiss(x));
         }
     }
 
+    /// A probe bounced off an owner that no longer holds the line.
+    /// Executes at the home tile, which serves from its slice.
+    fn probe_miss(&mut self, now: Cycle, x: Xact, ctx: &mut dyn CohContext) {
+        // The owner's writeback either already landed (directory now
+        // Uncached) or is still in flight (it will be dropped on arrival
+        // because this transaction holds the channel). Either way the
+        // home's data is authoritative.
+        let t = now + self.cfg.l2_tag_latency;
+        self.grant_from_home(now, t, x, ctx);
+    }
+
     /// The owning core downgrades/invalidates its copy and forwards data
-    /// cache-to-cache to the requester.
-    fn owner_downgrade(&mut self, now: Cycle, x: XactId, o: CoreId, ctx: &mut dyn CohContext) {
+    /// cache-to-cache to the requester. Executes at the owner; the home
+    /// directory learns the outcome via a `DirUpdate` message.
+    fn owner_downgrade(&mut self, now: Cycle, x: Xact, o: CoreId, ctx: &mut dyn CohContext) {
         let Xact {
             core: req,
             line,
             kind,
             ..
-        } = self.xacts[&x.0];
+        } = x;
         let home = self.home_of(line);
         let t = now + self.cfg.l1_latency;
-        if self.l1[o.idx()].is_pinned(line) {
+        if self.l1_at(o).is_pinned(line) {
             protocol_bug!(
                 now,
                 "downgrading {line} at {o} while it is pinned (leased) — probes must stall \
                  behind a valid lease, never break it silently"
             );
         }
-        let Some(&owner_state) = self.l1[o.idx()].peek(line) else {
+        let Some(&owner_state) = self.l1_at(o).peek(line) else {
             protocol_bug!(
                 now,
-                "downgrading {line} at {o} for xact {x:?}, but the owner holds no copy \
-                 (directory/L1 disagree)"
+                "downgrading {line} at {o} for xact {}, but the owner holds no copy \
+                 (directory/L1 disagree)",
+                x.id
             );
         };
-        if kind.needs_exclusive() {
-            self.l1[o.idx()].remove(line);
-            *self.l2[home.idx()].peek_mut(line).unwrap() = DirState::Modified(req);
+        let new_dir = if kind.needs_exclusive() {
+            self.l1_mut(o).remove(line);
+            DirState::Modified(req)
         } else {
-            *self.l1[o.idx()].peek_mut(line).unwrap() = L1State::Shared;
-            *self.l2[home.idx()].peek_mut(line).unwrap() = DirState::Shared(bit(o) | bit(req));
-        }
+            *self.l1_mut(o).peek_mut(line).unwrap() = L1State::Shared;
+            DirState::Shared(bit(o) | bit(req))
+        };
         if owner_state == L1State::Modified {
             // Only dirty copies write back; an Exclusive (clean) copy is
             // downgraded without one (MESI).
-            self.stats.cores[o.idx()].l1_writebacks += 1;
+            self.cstats(o).l1_writebacks += 1;
         }
-        // Off-critical-path directory update / writeback.
-        let _ = self.msg(o, home, MsgClass::Control);
+        // The home learns the downgrade via an explicit update message.
+        // It always lands strictly before this transaction's DirUnlock:
+        // the unlock path takes l1_latency + data(o→req) + ctrl(req→home)
+        // ≥ 1 + ctrl(o→home) by the mesh triangle inequality and
+        // Data ≥ Control, so the directory is current when the line's
+        // channel reopens.
+        let upd = self.msg(o, home, MsgClass::Control);
+        ctx.schedule(upd, home, CohEvent::DirUpdate { line, dir: new_dir });
         let data = self.msg(o, req, MsgClass::Data);
         ctx.schedule(t - now + data, req, CohEvent::GrantArrive(x));
     }
 
-    fn grant_arrive(&mut self, now: Cycle, x: XactId, ctx: &mut dyn CohContext) {
+    /// An owner's downgrade result reached the home directory.
+    fn dir_update(&mut self, now: Cycle, line: LineAddr, dir: DirState) {
+        let home = self.home_of(line);
+        if self.l2_at(home).peek(line).is_none() {
+            protocol_bug!(
+                now,
+                "DirUpdate for {line} but no home L2 entry (pin lost mid-transaction?)"
+            );
+        }
+        *self.l2_mut(home).peek_mut(line).unwrap() = dir;
+    }
+
+    /// An invalidation reached a Shared-state holder: drop the copy.
+    /// Idempotent — the holder may have evicted it on its own while the
+    /// invalidation was in flight.
+    fn inv_arrive(&mut self, at: CoreId, line: LineAddr) {
+        self.l1_mut(at).remove(line);
+    }
+
+    /// A victim writeback reached the home. Applied only if the
+    /// directory still names `from` as owner and no transaction is
+    /// active on the line; a stale writeback (the protocol has already
+    /// re-granted the line) is dropped.
+    fn writeback_arrive(&mut self, line: LineAddr, from: CoreId) {
+        let home = self.home_of(line);
+        if self.tile_at(home).channels.contains_key(&line) {
+            // An active transaction rewrites the directory itself (the
+            // requester re-fetches through the home or a probe-miss
+            // bounce); applying the stale writeback under it would
+            // corrupt that.
+            return;
+        }
+        if let Some(dir) = self.l2_mut(home).peek_mut(line) {
+            if *dir == DirState::Modified(from) {
+                *dir = DirState::Uncached;
+            }
+        }
+    }
+
+    /// A Shared-state victim notice reached the home: clear the sharer
+    /// bit. Dropped if the directory has moved on (e.g. the line was
+    /// re-granted exclusively while the notice was in flight).
+    fn sharer_drop(&mut self, line: LineAddr, from: CoreId) {
+        let home = self.home_of(line);
+        if let Some(dir) = self.l2_mut(home).peek_mut(line) {
+            if let DirState::Shared(mask) = *dir {
+                let m = mask & !bit(from);
+                *dir = if m == 0 {
+                    DirState::Uncached
+                } else {
+                    DirState::Shared(m)
+                };
+            }
+        }
+    }
+
+    /// An inclusive-L2 back-invalidation reached a copy holder: drop the
+    /// copy and any lease on it. Idempotent.
+    fn back_inval(&mut self, now: Cycle, at: CoreId, line: LineAddr, ctx: &mut dyn CohContext) {
+        if self.l1_at(at).contains(line) {
+            ctx.line_invalidated(at, line, now);
+            self.l1_mut(at).set_pinned(line, false);
+            self.l1_mut(at).remove(line);
+        }
+    }
+
+    fn grant_arrive(&mut self, now: Cycle, x: Xact, ctx: &mut dyn CohContext) {
         let Xact {
+            id,
             token,
             core,
             line,
@@ -614,12 +888,17 @@ impl CoherenceEngine {
             lease_intent,
             grant_exclusive,
             ..
-        } = match self.xacts.remove(&x.0) {
-            Some(x) => x,
-            None => protocol_bug!(now, "GrantArrive for unknown transaction {x:?}"),
-        };
+        } = x;
+        let tile = self.tile_mut(core);
+        if tile.outstanding == 0 {
+            protocol_bug!(
+                now,
+                "GrantArrive at {core} for xact {id} but the core has no outstanding miss"
+            );
+        }
+        tile.outstanding -= 1;
 
-        if let Some(st) = self.l1[core.idx()].touch(line) {
+        if let Some(st) = self.l1_mut(core).touch(line) {
             // Upgrade path: the S copy is still resident.
             if kind.needs_exclusive() {
                 *st = L1State::Modified;
@@ -633,14 +912,14 @@ impl CoherenceEngine {
                 L1State::Shared
             };
             loop {
-                match self.l1[core.idx()].insert(line, new_state) {
+                match self.l1_mut(core).insert(line, new_state) {
                     Inserted::NoVictim => break,
                     Inserted::Evicted(vline, vstate) => {
                         self.evict_l1(now, core, vline, vstate, ctx);
                         break;
                     }
                     Inserted::AllPinned => {
-                        let pinned = self.l1[core.idx()].pinned_in_set(line);
+                        let pinned = self.l1_at(core).pinned_in_set(line);
                         let Some(victim) = ctx.pinned_victim(core, &pinned, now) else {
                             protocol_bug!(
                                 now,
@@ -668,18 +947,21 @@ impl CoherenceEngine {
             ctx.trace(
                 now,
                 TraceEvent::GrantArrive {
-                    xact: x.0,
+                    xact: id,
                     core,
                     line,
                     exclusive: kind.needs_exclusive() || grant_exclusive,
                 },
             );
         }
-        // The grant installed the line: its L1 copy and directory entry
-        // must agree from here on (the pending DirUnlock does not touch
-        // coherence state).
+        // The grant installed the line: from here on at most one core
+        // may hold it writable (the full directory/L1 agreement is
+        // checked at this transaction's DirUnlock, once the in-flight
+        // DirUpdate has landed).
         #[cfg(feature = "strict-invariants")]
-        self.check_invariants_at(line);
+        if self.strict_at {
+            self.check_invariants_at(line);
+        }
         let done = now + self.cfg.l1_latency;
         if lease_intent {
             ctx.exclusive_granted(core, line, done);
@@ -691,6 +973,8 @@ impl CoherenceEngine {
     }
 
     /// Bookkeeping for an L1 eviction (silent from the thread's view).
+    /// Executes at the evicting core; the home learns via a `Writeback`
+    /// (E/M victims) or `SharerDrop` (S victims) message.
     fn evict_l1(
         &mut self,
         now: Cycle,
@@ -709,74 +993,69 @@ impl CoherenceEngine {
                 },
             );
         }
-        self.stats.cores[core.idx()].l1_evictions += 1;
+        self.cstats(core).l1_evictions += 1;
         let home_v = self.home_of(vline);
-        if self.l2[home_v.idx()].peek(vline).is_none() {
-            protocol_bug!(
-                now,
-                "inclusivity violated: {vline} evicted from {core}'s L1 in state {vstate:?} \
-                 has no directory entry at its home {home_v}"
-            );
-        }
-        let dir = self.l2[home_v.idx()].peek_mut(vline).unwrap();
         match vstate {
             L1State::Modified => {
-                self.stats.cores[core.idx()].l1_writebacks += 1;
-                debug_assert_eq!(*dir, DirState::Modified(core));
-                *dir = DirState::Uncached;
-                let _ = self.msg(core, home_v, MsgClass::Data);
+                self.cstats(core).l1_writebacks += 1;
+                let lat = self.msg(core, home_v, MsgClass::Data);
+                ctx.schedule(
+                    lat,
+                    home_v,
+                    CohEvent::Writeback {
+                        line: vline,
+                        from: core,
+                    },
+                );
             }
             L1State::Exclusive => {
                 // Clean exclusive copy: a control-only PutE.
-                debug_assert_eq!(*dir, DirState::Modified(core));
-                *dir = DirState::Uncached;
-                let _ = self.msg(core, home_v, MsgClass::Control);
+                let lat = self.msg(core, home_v, MsgClass::Control);
+                ctx.schedule(
+                    lat,
+                    home_v,
+                    CohEvent::Writeback {
+                        line: vline,
+                        from: core,
+                    },
+                );
             }
             L1State::Shared => {
-                if let DirState::Shared(mask) = dir {
-                    let m = *mask & !bit(core);
-                    *dir = if m == 0 {
-                        DirState::Uncached
-                    } else {
-                        DirState::Shared(m)
-                    };
-                }
-                let _ = self.msg(core, home_v, MsgClass::Control);
+                let lat = self.msg(core, home_v, MsgClass::Control);
+                ctx.schedule(
+                    lat,
+                    home_v,
+                    CohEvent::SharerDrop {
+                        line: vline,
+                        from: core,
+                    },
+                );
             }
         }
     }
 
     /// Install `line` in its home L2 slice (DRAM fill), back-invalidating
-    /// the victim's L1 copies to preserve inclusivity.
+    /// the victim's L1 copies to preserve inclusivity. The invalidations
+    /// are messages: each copy holder drops its copy (and lease) when the
+    /// `BackInval` arrives at its tile.
     fn l2_install(&mut self, now: Cycle, home: CoreId, line: LineAddr, ctx: &mut dyn CohContext) {
-        match self.l2[home.idx()].insert(line, DirState::Uncached) {
+        match self.l2_mut(home).insert(line, DirState::Uncached) {
             Inserted::NoVictim => {}
             Inserted::Evicted(vline, vdir) => match vdir {
                 DirState::Uncached => {}
                 DirState::Shared(mask) => {
                     for s in cores_in(mask) {
-                        self.l1[s.idx()].remove(vline);
-                        let _ = self.msg(home, s, MsgClass::Control);
-                        self.stats.invalidations += 1;
+                        let lat = self.msg(home, s, MsgClass::Control);
+                        ctx.schedule(lat, s, CohEvent::BackInval { line: vline });
+                        self.cur_stats().invalidations += 1;
                     }
                 }
                 DirState::Modified(o) => {
-                    if let Some(p) = self.stalled.get(&(o, vline)) {
-                        protocol_bug!(
-                            now,
-                            "L2 victim {vline} still has a probe (xact {:?}) stalled at its \
-                             owner {o} since cycle {} — the slice evicted a line with an \
-                             in-flight transaction",
-                            p.xact,
-                            p.since
-                        );
-                    }
-                    ctx.line_invalidated(o, vline, now);
-                    self.l1[o.idx()].set_pinned(vline, false);
-                    self.l1[o.idx()].remove(vline);
-                    let _ = self.msg(home, o, MsgClass::Control);
+                    let lat = self.msg(home, o, MsgClass::Control);
+                    ctx.schedule(lat, o, CohEvent::BackInval { line: vline });
+                    // The victim's dirty data heads home alongside.
                     let _ = self.msg(o, home, MsgClass::Data);
-                    self.stats.invalidations += 1;
+                    self.cur_stats().invalidations += 1;
                 }
             },
             Inserted::AllPinned => {
@@ -789,73 +1068,45 @@ impl CoherenceEngine {
         }
     }
 
-    /// Protocol invariants narrowed to one line: single-writer,
-    /// sharer-mask/L1 agreement, and inclusivity for `line` only.
+    /// Mid-flight invariant narrowed to one line: the *single-writer*
+    /// property — at most one E/M copy, and an E/M copy excludes all
+    /// other copies.
     ///
     /// Unlike [`CoherenceEngine::check_invariants`], this is safe to run
-    /// mid-simulation — but only at points where `line` has no
-    /// partially-applied transaction: right after its `GrantArrive`
-    /// (copy installed) or at its `DirUnlock` (previous transaction fully
-    /// settled, successor not yet serviced). Under the `strict-invariants`
-    /// feature the engine calls it at exactly those points, so a protocol
-    /// bug fails at the violating event instead of at quiescence
-    /// thousands of cycles later.
+    /// mid-simulation at this line's `DirUnlock`/`GrantArrive`. The
+    /// directory-agreement checks of the quiescence sweep can *not* run
+    /// here: directory updates, writebacks and sharer drops ride NoC
+    /// messages now, so the home's view lags its tiles' L1s by design
+    /// while those messages are in flight.
     pub fn check_invariants_at(&self, line: LineAddr) {
-        let dir = self.dir_state(line);
+        let mut exclusive: Option<CoreId> = None;
+        let mut copies = 0usize;
         for (c, l1) in self.l1.iter().enumerate() {
-            let c = CoreId(c as u16);
             let Some(&st) = l1.peek(line) else { continue };
-            let dir = dir.unwrap_or_else(|| {
-                panic!("inclusivity violated at {line}: L1 copy at {c} but no L2 entry")
-            });
-            match st {
-                L1State::Modified | L1State::Exclusive => {
-                    assert_eq!(
-                        dir,
-                        DirState::Modified(c),
-                        "dir disagrees with E/M copy at {c} for {line}"
-                    );
-                    for (o, other) in self.l1.iter().enumerate() {
-                        if o != c.idx() {
-                            assert!(!other.contains(line), "two copies of modified {line}");
-                        }
-                    }
+            copies += 1;
+            if matches!(st, L1State::Modified | L1State::Exclusive) {
+                if let Some(prev) = exclusive {
+                    panic!("two E/M copies of {line}: {prev} and {}", CoreId(c as u16));
                 }
-                L1State::Shared => match dir {
-                    DirState::Shared(mask) => {
-                        assert!(mask & bit(c) != 0, "sharer bit missing for {c} {line}")
-                    }
-                    other => panic!("S copy at {c} for {line} but dir={other:?}"),
-                },
+                exclusive = Some(CoreId(c as u16));
             }
         }
-        match dir {
-            None | Some(DirState::Uncached) => {}
-            Some(DirState::Modified(o)) => {
-                let st = self.l1[o.idx()].peek(line);
-                assert!(
-                    matches!(st, Some(L1State::Modified | L1State::Exclusive)),
-                    "dir=M({o}) but no E/M copy for {line} (found {st:?})"
-                );
-            }
-            Some(DirState::Shared(mask)) => {
-                assert!(mask != 0, "empty sharer mask for {line}");
-                for s in cores_in(mask) {
-                    assert_eq!(
-                        self.l1[s.idx()].peek(line),
-                        Some(&L1State::Shared),
-                        "dir sharer {s} lacks S copy of {line}"
-                    );
-                }
-            }
+        if let Some(o) = exclusive {
+            assert!(
+                copies == 1,
+                "E/M copy of {line} at {o} coexists with {} other copies",
+                copies - 1
+            );
         }
     }
 
     /// Protocol invariants, checked at quiescence (no in-flight
-    /// transactions): single-writer, sharer-mask consistency, inclusivity.
+    /// transactions *and* a drained event queue, so every victim message
+    /// has been applied): single-writer, sharer-mask consistency,
+    /// inclusivity.
     pub fn check_invariants(&self) {
-        assert!(self.xacts.is_empty(), "invariant check requires quiescence");
-        assert!(self.stalled.is_empty());
+        assert_eq!(self.in_flight(), 0, "invariant check requires quiescence");
+        assert!(self.tiles.iter().all(|t| t.stalled.is_empty()));
         for (c, l1) in self.l1.iter().enumerate() {
             let c = CoreId(c as u16);
             for (line, st) in l1.iter() {

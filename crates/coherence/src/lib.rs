@@ -19,6 +19,19 @@
 //! The engine is event-driven: callers feed it [`CohEvent`]s popped from
 //! their own time-ordered queue and provide a [`CohContext`] for scheduling
 //! follow-up events, completion notification, and lease hooks.
+//!
+//! ## Message-passing handlers
+//!
+//! Every handler executes at exactly one tile (the event's delivery
+//! tile, passed to [`CoherenceEngine::handle`]) and mutates only that
+//! tile's slice of engine state — its L1, its L2/directory slice, its
+//! channel table, its stats block. Any protocol step that needs to
+//! touch a *different* tile is split off as a follow-on [`CohEvent`]
+//! scheduled with a real NoC latency. This is what lets a partitioned
+//! executor commit events of different tiles concurrently: there is no
+//! hidden shared state between handlers, only messages. In debug (and
+//! `strict-invariants`) builds every tile-slice access is checked
+//! against the executing tile and panics on a violation.
 
 mod engine;
 #[cfg(test)]
@@ -79,22 +92,77 @@ pub enum DirState {
     Modified(CoreId),
 }
 
-/// Identifier of an in-flight coherence transaction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct XactId(pub u64);
+/// An in-flight coherence transaction, carried *inside* the protocol
+/// messages instead of living in a shared table: each tile only ever
+/// sees the transactions whose messages are delivered to it, so no
+/// cross-tile lookup structure is needed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Xact {
+    /// Unique id: `(requesting core << 48) | per-core issue counter`.
+    /// Tile-local stamping keeps ids identical across executors.
+    pub id: u64,
+    /// Caller token handed back via [`CohContext::xact_completed`].
+    pub token: u64,
+    /// Requesting core.
+    pub core: CoreId,
+    /// Target line.
+    pub line: LineAddr,
+    /// Requested permission.
+    pub kind: AccessKind,
+    /// Was the access issued with lease intent (`exclusive_granted` fires
+    /// on completion)?
+    pub lease_intent: bool,
+    /// Is this a "regular" (non-lease) request for §5 prioritization?
+    pub regular: bool,
+    /// MESI: the home granted E (sole clean copy) rather than S.
+    pub grant_exclusive: bool,
+    /// Cycle the request was enqueued in a directory channel (0 until
+    /// it queues; used for `dir_queue_wait_cycles`).
+    pub enq_time: Cycle,
+}
 
 /// Events the engine schedules on the caller's queue and expects back.
+///
+/// The `CoreId` returned alongside each variant via
+/// [`CohContext::schedule`]'s `dest` parameter names the tile the event
+/// is *delivered* to; [`CoherenceEngine::handle`] must be called with
+/// that same tile. Requester/owner/home tiles are recoverable from the
+/// payload, so the variants carry no redundant destination field except
+/// where noted.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CohEvent {
     /// A request message reached its home directory.
-    DirArrive(XactId),
-    /// A forwarded probe reached the exclusive owner.
-    ProbeArrive(XactId),
+    DirArrive(Xact),
+    /// A forwarded probe reached the exclusive owner (second field).
+    ProbeArrive(Xact, CoreId),
+    /// A forwarded probe found the owner without a copy (eviction raced
+    /// the probe): bounced back to the home, which serves from its L2
+    /// slice.
+    ProbeMiss(Xact),
     /// Data/permission grant reached the requester.
-    GrantArrive(XactId),
+    GrantArrive(Xact),
     /// The requester's completion ack reached the directory: the line's
     /// FIFO queue may start servicing its next request.
     DirUnlock(LineAddr),
+    /// An invalidation reached a Shared-state holder (the delivery
+    /// tile): drop the copy. Idempotent — the copy may already be gone.
+    InvArrive { line: LineAddr },
+    /// The owner's downgrade result reached the home directory: install
+    /// the new directory state. Always arrives strictly before the same
+    /// transaction's `DirUnlock` (see `engine.rs` for the latency
+    /// argument), so the directory is current when the channel reopens.
+    DirUpdate { line: LineAddr, dir: DirState },
+    /// A victim writeback (M: data, E: clean-exclusive notice) reached
+    /// the home. Applied only if the directory still names `from` as
+    /// owner and no transaction is active on the line; otherwise the
+    /// protocol has already moved on and the message is dropped.
+    Writeback { line: LineAddr, from: CoreId },
+    /// A Shared-state victim notice reached the home: clear `from`'s
+    /// sharer bit (dropped if the directory no longer says Shared).
+    SharerDrop { line: LineAddr, from: CoreId },
+    /// An inclusive-L2 back-invalidation reached a copy holder (the
+    /// delivery tile): drop the copy and any lease on it. Idempotent.
+    BackInval { line: LineAddr },
 }
 
 /// What the lease layer tells the engine to do with a probe that reached
@@ -116,10 +184,12 @@ pub trait CohContext {
     /// Schedule `ev` to be handed back to the engine after `delay` cycles.
     ///
     /// `dest` is the tile where the event is *delivered*: the home tile
-    /// for directory events (`DirArrive`/`DirUnlock`), the owning core
-    /// for probes, the requesting core for grants. A partitioned engine
-    /// uses it to route the event to the partition owning that tile;
-    /// a single-queue engine may ignore it.
+    /// for directory events, the owning core for probes, the requesting
+    /// core for grants, the copy holder for invalidations. A partitioned
+    /// executor routes the event to the partition owning that tile and
+    /// must hand it back via [`CoherenceEngine::handle`] with the same
+    /// tile; a single-queue embedder still must preserve `dest` for the
+    /// `handle` call.
     fn schedule(&mut self, delay: Cycle, dest: CoreId, ev: CohEvent);
 
     /// A memory transaction issued with token `token` finished at `now`.

@@ -8,9 +8,11 @@ use lr_sim_core::{CoreId, Cycle, EventQueue, LineAddr, SystemConfig};
 use std::collections::HashMap;
 use std::collections::HashSet;
 
-/// Programmable mock of the machine layer.
+/// Programmable mock of the machine layer. The queue carries each
+/// event's delivery tile so `run` can hand it back to the engine the
+/// way a real executor would.
 struct MockCtx {
-    queue: EventQueue<CohEvent>,
+    queue: EventQueue<(CoreId, CohEvent)>,
     completions: Vec<(u64, Cycle)>,
     /// Lines the mock claims are leased per core: probes on them queue.
     leased: HashSet<(CoreId, LineAddr)>,
@@ -34,8 +36,8 @@ impl MockCtx {
 }
 
 impl CohContext for MockCtx {
-    fn schedule(&mut self, delay: Cycle, _dest: CoreId, ev: CohEvent) {
-        self.queue.push_after(delay, ev);
+    fn schedule(&mut self, delay: Cycle, dest: CoreId, ev: CohEvent) {
+        self.queue.push_after(delay, (dest, ev));
     }
     fn xact_completed(&mut self, token: u64, now: Cycle) {
         self.completions.push((token, now));
@@ -76,8 +78,8 @@ impl CohContext for MockCtx {
 
 /// Drain the event queue completely.
 fn run(engine: &mut CoherenceEngine, ctx: &mut MockCtx) {
-    while let Some((t, ev)) = ctx.queue.pop() {
-        engine.handle(t, ev, ctx);
+    while let Some((t, (at, ev))) = ctx.queue.pop() {
+        engine.handle(t, at, ev, ctx);
     }
 }
 
@@ -220,8 +222,8 @@ fn leased_line_queues_probe_until_release() {
     // Release after 500 cycles: the probe resumes and c1 completes.
     let t_rel = ctx.queue.now() + 500;
     ctx.queue
-        .push_at(t_rel, CohEvent::DirUnlock(LineAddr(0xdead))); // dummy to advance clock
-                                                                // Instead of the dummy event trick, call lease_released directly.
+        .push_at(t_rel, (CoreId(0), CohEvent::DirUnlock(LineAddr(0xdead)))); // dummy to advance clock
+                                                                             // Instead of the dummy event trick, call lease_released directly.
     ctx.queue.pop();
     ctx.leased.remove(&(c0, L));
     e.lease_released(t_rel, c0, L, &mut ctx);
@@ -520,7 +522,7 @@ fn stats_counters_exact_for_three_core_contention() {
     // Advance the mock clock to the release time (push/pop a dummy event)
     // so the resumed protocol messages are scheduled relative to t_rel.
     ctx.queue
-        .push_at(t_rel, CohEvent::DirUnlock(LineAddr(0xdead)));
+        .push_at(t_rel, (CoreId(0), CohEvent::DirUnlock(LineAddr(0xdead))));
     ctx.queue.pop();
     ctx.leased.remove(&(c0, L));
     e.lease_released(t_rel, c0, L, &mut ctx);

@@ -9,15 +9,15 @@ use lr_sim_core::{CoreId, Cycle, EventQueue, LineAddr, SplitMix64, SystemConfig}
 use std::collections::HashSet;
 
 struct FuzzCtx {
-    queue: EventQueue<CohEvent>,
+    queue: EventQueue<(CoreId, CohEvent)>,
     completions: Vec<(u64, Cycle)>,
     leased: HashSet<(CoreId, LineAddr)>,
     granted_leases: Vec<(CoreId, LineAddr, Cycle)>,
 }
 
 impl CohContext for FuzzCtx {
-    fn schedule(&mut self, delay: Cycle, _dest: CoreId, ev: CohEvent) {
-        self.queue.push_after(delay, ev);
+    fn schedule(&mut self, delay: Cycle, dest: CoreId, ev: CohEvent) {
+        self.queue.push_after(delay, (dest, ev));
     }
     fn xact_completed(&mut self, token: u64, now: Cycle) {
         self.completions.push((token, now));
@@ -130,10 +130,10 @@ fn random_interleavings_preserve_invariants() {
                     // Schedule a forced expiry via a dummy unlock event:
                     // we emulate expiry below instead.
                 }
-                let Some((t, ev)) = ctx.queue.pop() else {
+                let Some((t, (at, ev))) = ctx.queue.pop() else {
                     break;
                 };
-                engine.handle(t, ev, &mut ctx);
+                engine.handle(t, at, ev, &mut ctx);
                 // Emulate lease expiry: if a probe stalls, release the
                 // lease after the bound.
                 let stalled: Vec<(CoreId, LineAddr)> = ctx
@@ -155,8 +155,8 @@ fn random_interleavings_preserve_invariants() {
         for (c, l) in all {
             engine.lease_released(now, c, l, &mut ctx);
         }
-        while let Some((t, ev)) = ctx.queue.pop() {
-            engine.handle(t, ev, &mut ctx);
+        while let Some((t, (at, ev))) = ctx.queue.pop() {
+            engine.handle(t, at, ev, &mut ctx);
         }
         assert_eq!(engine.in_flight(), 0, "case {case}: transactions leaked");
         assert_eq!(

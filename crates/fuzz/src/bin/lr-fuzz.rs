@@ -220,7 +220,7 @@ fn main() {
             Ok((files, ops)) => {
                 println!(
                     "lr-fuzz: corpus clean — {files} trace(s), {ops} ops replayed byte-identical \
-                     under heap and wheel queues x shard counts 1/2/4"
+                     under heap and wheel queues x shard counts 1/2/4 x lockstep and relaxed commit"
                 );
                 return;
             }

@@ -18,7 +18,7 @@
 //! `app_ops` count. A violation of any of these is a [`Finding`].
 
 use crate::gen::{GenOp, Workload};
-use lr_machine::{Addr, EventQueueKind, Machine, SystemConfig, ThreadCtx, ThreadFn};
+use lr_machine::{Addr, CommitMode, EventQueueKind, Machine, SystemConfig, ThreadCtx, ThreadFn};
 use lr_sim_core::tracefmt::{self, MachineTrace};
 use lr_sim_core::CoherenceProtocol;
 
@@ -221,8 +221,19 @@ pub fn check_variant(w: &Workload, variant: Variant) -> Result<usize, Finding> {
     }
     let mut verified = 0;
     for queue in [EventQueueKind::Heap, EventQueueKind::Wheel] {
-        for shards in [1usize, 2] {
-            let variant = lr_replay::EngineVariant::queue(queue).with_shards(shards);
+        // Shard count × commit mode: one partition pins the sequential
+        // baseline, two partitions exercise the cross-partition merge
+        // in lockstep order and the safe-window batch executor in
+        // relaxed order (the campaign's cheap subset; the corpus gate
+        // sweeps the full matrix).
+        for (shards, commit) in [
+            (1usize, CommitMode::Lockstep),
+            (2, CommitMode::Lockstep),
+            (2, CommitMode::Relaxed),
+        ] {
+            let variant = lr_replay::EngineVariant::queue(queue)
+                .with_shards(shards)
+                .with_commit(commit);
             lr_replay::verify_with_variant(&out.trace, variant)
                 .map_err(|d| finding("divergence", format!("[{variant}] {d}")))?;
             verified += 1;

@@ -14,15 +14,34 @@ fn scratch(tag: &str) -> std::path::PathBuf {
 }
 
 /// The first campaign seeds pass the whole check matrix (3 variants ×
-/// 2 queue stores × 2 engine shard counts + invariants + decode
+/// 2 queue stores × 3 shard/commit combos + invariants + decode
 /// robustness).
 #[test]
 fn first_seeds_are_clean() {
     for seed in 0..6 {
         let r = check_seed(seed).unwrap_or_else(|f| panic!("{f}"));
-        assert_eq!(r.verified, 12, "3 variants x 2 queues x 2 shard counts");
+        assert_eq!(
+            r.verified, 18,
+            "3 variants x 2 queues x 3 shard/commit combos"
+        );
         assert!(r.ops > 0);
     }
+}
+
+/// Satellite of the relaxed-commit work: every checked-in corpus trace
+/// replays clean under the full engine-variant matrix with the
+/// tile-ownership assertions compiled in (debug/test builds always
+/// carry them; the CI `strict-invariants` pass re-runs this test with
+/// the mid-flight single-writer sweeps enabled as well). This drives
+/// the message-passing coherence handlers through every recorded
+/// protocol interleaving while proving no handler ever touches another
+/// tile's slice.
+#[test]
+fn checked_in_corpus_replays_clean_with_ownership_assertions() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../corpus");
+    let (files, ops) = check_corpus(&dir).unwrap_or_else(|f| panic!("{f:?}"));
+    assert_eq!(files, 12, "4 seeds x 3 variants");
+    assert!(ops > 0);
 }
 
 /// Recording the same workload twice under the same variant is

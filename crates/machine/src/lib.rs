@@ -36,8 +36,8 @@ pub mod rendezvous;
 pub use barrier::SimBarrier;
 pub use ctx::ThreadCtx;
 pub use machine::{
-    engine_shards_from_env, EngineInfo, Machine, OpSource, RecordedRun, SourceAbort, ThreadFn,
-    TraceOutput,
+    engine_commit_from_env, engine_shards_from_env, CommitMode, EngineInfo, Machine, OpSource,
+    RecordedRun, SourceAbort, ThreadFn, TraceOutput,
 };
 pub use proto::{AddrVec, Op, Reply, Request};
 pub use rendezvous::configured_spin_rounds;

@@ -1,12 +1,29 @@
 //! The engine loop: ties the coherence protocol, lease tables, simulated
 //! memory, and lockstep workers together.
 //!
-//! Time ordering: every simulated instruction becomes an `OpStart` event
-//! at the worker's local issue time and an `OpComplete` event at its
-//! protocol-determined completion time, so all state mutation happens in
-//! strict global time order (the engine is *tightly* synchronized, unlike
-//! Graphite's loose synchronization — one source of constant-factor
-//! differences from the paper's absolute numbers).
+//! ## Event routing
+//!
+//! Every simulated instruction becomes an `OpStart` event at the
+//! worker's local issue time and an `OpComplete` event at its
+//! protocol-determined completion time. Every event names the tile it
+//! executes at ([`Ev::tile`]), and applying it touches only that tile's
+//! slice of machine state — its pending-op slot, its lease table, its
+//! partition's scratch buffers — mirroring the message-passing handler
+//! discipline of `lr-coherence`. The one piece of genuinely global
+//! machine state, the heap allocator, is reached by message too:
+//! `Malloc`/`Free` are routed to a fixed *allocator home* tile
+//! ([`ALLOC_HOME`]) and the result rides back as [`Ev::MemReply`].
+//!
+//! ## Commit modes
+//!
+//! [`CommitMode::Lockstep`] applies events strictly in global
+//! `(time, key)` order, one at a time. [`CommitMode::Relaxed`] drives
+//! the safe-window API of [`ShardedQueue`]: each partition commits its
+//! whole window batch without per-event synchronization — concurrently
+//! across host threads on live runs — and the tile-local discipline
+//! above guarantees the simulated results are byte-identical anyway.
+//! The shard A/B tests and the CI lockstep-vs-relaxed gate hold us to
+//! that, byte for byte.
 
 use crate::ctx::{RecordSink, Recorder, ThreadCtx};
 use crate::proto::{Op, Reply, Request, ALLOC_COST};
@@ -16,11 +33,12 @@ use lr_lease::{ArmedCounter, BeginLease, LeaseTable, MultiLeaseBegin};
 use lr_sim_core::trace::{TraceEvent, TraceRing, TraceSink};
 use lr_sim_core::tracefmt::{self, MachineTrace, OpRecord};
 use lr_sim_core::{
-    CoreId, Cycle, EventQueue, EventQueueKind, LineAddr, MachineStats, ShardedQueue, SystemConfig,
+    CoreId, Cycle, EventQueueKind, LineAddr, MachineStats, ShardedQueue, SystemConfig,
 };
 use lr_sim_mem::SimMemory;
 use std::panic::AssertUnwindSafe;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 static SHARDS_FROM_ENV: OnceLock<usize> = OnceLock::new();
@@ -41,6 +59,50 @@ pub fn engine_shards_from_env() -> usize {
     })
 }
 
+/// How a partitioned engine commits each safe window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommitMode {
+    /// One event at a time, in global `(time, key)` order (the turn
+    /// protocol). Required by the globally-ordered structured trace
+    /// ring on live runs; otherwise a debugging/A-B reference.
+    Lockstep,
+    /// Whole safe-window batches per partition, with no per-event
+    /// synchronization (host-parallel on live runs). Simulated results
+    /// are identical to lockstep by construction.
+    Relaxed,
+}
+
+impl std::fmt::Display for CommitMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommitMode::Lockstep => f.write_str("lockstep"),
+            CommitMode::Relaxed => f.write_str("relaxed"),
+        }
+    }
+}
+
+static COMMIT_FROM_ENV: OnceLock<CommitMode> = OnceLock::new();
+
+/// The process-wide default commit mode, from `LR_ENGINE_COMMIT`
+/// (`lockstep` | `relaxed`; default relaxed — the modes only differ in
+/// host execution shape, never in simulated results).
+pub fn engine_commit_from_env() -> CommitMode {
+    *COMMIT_FROM_ENV.get_or_init(|| match std::env::var("LR_ENGINE_COMMIT") {
+        Err(_) => CommitMode::Relaxed,
+        Ok(v) => match v.as_str() {
+            "lockstep" => CommitMode::Lockstep,
+            "relaxed" => CommitMode::Relaxed,
+            _ => panic!("LR_ENGINE_COMMIT={v:?} is not \"lockstep\" or \"relaxed\""),
+        },
+    })
+}
+
+/// The tile that owns the simulated heap allocator. `Malloc`/`Free`
+/// mutate one global free list, so they execute as messages delivered
+/// here — the only machine-layer state reached by routing rather than
+/// by the issuing event's own tile.
+const ALLOC_HOME: usize = 0;
+
 /// A workload thread: a closure over the simulated-instruction API.
 pub type ThreadFn = Box<dyn FnOnce(&mut ThreadCtx) + Send + 'static>;
 
@@ -53,9 +115,16 @@ pub type ThreadFn = Box<dyn FnOnce(&mut ThreadCtx) + Send + 'static>;
 /// structured failure report — this is how `lr-replay` surfaces
 /// divergence between a recorded trace and the engine's behaviour.
 ///
+/// Calls for different `tid`s arrive in executor-dependent order (the
+/// relaxed executor drains per-partition window batches, not global time
+/// order), but each core's own `next`/`observe` alternation is always in
+/// that core's program order — sources must key their state by `tid`,
+/// never by global call order.
+///
 /// `Send` because the engine core that drives a source is shared with
 /// the partitioned executor's host threads (sources themselves are only
-/// ever *called* from one thread at a time — the engine is lockstep).
+/// ever *called* from one thread at a time — engine-only runs are
+/// driven from a single host thread in every commit mode).
 pub trait OpSource: Send {
     /// The next request core `tid` issues (or its `Op::Exit`).
     fn next(&mut self, tid: usize) -> Result<Request, String>;
@@ -228,85 +297,40 @@ pub struct EngineInfo {
     /// Events whose timestamp preceded every other partition's safe
     /// horizon (head + lookahead): the events a conservative PDES
     /// executor may commit concurrently without risking causality.
+    /// Maintained on the `pop_global` (lockstep) path.
     pub concurrent_events: u64,
-    /// Safe-time epochs the partitioned clocks advanced through.
+    /// Safe-time epochs the partitioned clocks advanced through
+    /// (`pop_global` path).
     pub epochs: u64,
     /// Conservative lookahead (cycles) stamped on cross-partition sends.
     pub lookahead: Cycle,
+    /// Non-empty per-partition window batches the relaxed executor
+    /// committed (0 under lockstep driving).
+    pub commit_batches: u64,
+    /// Largest single per-partition window batch committed.
+    pub max_batch: u64,
 }
 
-/// The engine's event store: one global queue (shards = 1, the classic
-/// engine) or per-tile-slice partitions merged conservatively through
-/// [`ShardedQueue`]. Both yield the same `(time, seq)` pop order, so a
-/// run's simulated results are independent of the variant — the A/B
-/// tests and the CI shard gate hold us to that, byte for byte.
-enum Queues {
-    Single(EventQueue<Ev>),
-    Sharded(ShardedQueue<Ev>),
-}
-
-impl Queues {
-    /// Schedule `ev` at `time`, delivered at tile `dest` (which selects
-    /// the owning partition in sharded mode; ignored in single mode).
-    #[inline]
-    fn push(&mut self, dest: CoreId, time: Cycle, ev: Ev) {
-        match self {
-            Queues::Single(q) => q.push_at(time, ev),
-            Queues::Sharded(q) => q.push(dest.idx(), time, ev),
-        }
-    }
-
-    /// Pop the globally next event. In sharded mode this merges the
-    /// partition heads (and drains mailboxes) — identical order.
-    #[inline]
-    fn pop(&mut self) -> Option<(Cycle, Ev)> {
-        match self {
-            Queues::Single(q) => q.pop(),
-            Queues::Sharded(q) => q.pop_global().map(|(t, _, e)| (t, e)),
-        }
-    }
-
-    /// Events popped so far.
-    fn processed(&self) -> u64 {
-        match self {
-            Queues::Single(q) => q.processed(),
-            Queues::Sharded(q) => q.processed(),
-        }
-    }
-
-    /// Partition owning the globally next event (`None` when drained).
-    /// The threaded executor's turn test; single mode is partition 0.
-    fn head_partition(&mut self) -> Option<usize> {
-        match self {
-            Queues::Single(q) => (!q.is_empty()).then_some(0),
-            Queues::Sharded(q) => q.head_partition(),
-        }
-    }
-
-    /// Executor observability counters (zero for the single store).
-    fn info(&self) -> EngineInfo {
-        match self {
-            Queues::Single(q) => EngineInfo {
-                events: q.processed(),
-                shards: 1,
-                cross_events: 0,
-                concurrent_events: 0,
-                epochs: 0,
-                lookahead: 0,
-            },
-            Queues::Sharded(q) => EngineInfo {
-                events: q.processed(),
-                shards: q.map().partitions(),
-                cross_events: q.cross_events(),
-                concurrent_events: q.concurrent_events(),
-                epochs: q.epochs(),
-                lookahead: q.lookahead(),
-            },
-        }
+/// Executor observability counters, read off the event store after a
+/// run. The engine always uses [`ShardedQueue`] (shards = 1 is a single
+/// partition — the classic engine with a mailbox layer that never
+/// fires), so every run reports the same counter set.
+fn queue_info(q: &ShardedQueue<Ev>) -> EngineInfo {
+    EngineInfo {
+        events: q.processed(),
+        shards: q.map().partitions(),
+        cross_events: q.cross_events(),
+        concurrent_events: q.concurrent_events(),
+        epochs: q.epochs(),
+        lookahead: q.lookahead(),
+        commit_batches: q.commit_batches(),
+        max_batch: q.max_batch(),
     }
 }
 
-/// Engine events.
+/// Engine events. Every variant executes at exactly one tile
+/// ([`Ev::tile`]), and applying it touches only state owned by that
+/// tile — the property that makes relaxed window commit sound.
 #[derive(Debug)]
 enum Ev {
     /// Wait for the worker's first request.
@@ -315,14 +339,31 @@ enum Ev {
     OpStart(usize),
     /// A worker's instruction completes (data moves now).
     OpComplete(usize),
-    /// Coherence-protocol event.
-    Coh(CohEvent),
+    /// Coherence-protocol event, delivered at the named tile.
+    Coh(u16, CohEvent),
     /// A lease counter reached zero (Algorithm 1 `ZERO-COUNTER`).
     Expiry {
         core: CoreId,
         line: LineAddr,
         generation: u64,
     },
+    /// A heap request reached the allocator home tile.
+    MemReq { tid: usize, op: Op },
+    /// The allocator's reply reached the requesting core.
+    MemReply { tid: usize, value: u64 },
+}
+
+impl Ev {
+    /// The tile this event executes at (selects the owning partition).
+    fn tile(&self) -> usize {
+        match self {
+            Ev::Start(tid) | Ev::OpStart(tid) | Ev::OpComplete(tid) => *tid,
+            Ev::Coh(dest, _) => *dest as usize,
+            Ev::Expiry { core, .. } => core.idx(),
+            Ev::MemReq { .. } => ALLOC_HOME,
+            Ev::MemReply { tid, .. } => *tid,
+        }
+    }
 }
 
 /// Per-core lease statistics collected by the machine layer.
@@ -352,6 +393,8 @@ enum Pending {
         idx: usize,
         issued: Cycle,
     },
+    /// A heap request in flight to/from the allocator home tile.
+    Alloc { issued: Cycle },
     /// Immediate completion with a precomputed result.
     Imm {
         value: u64,
@@ -360,9 +403,10 @@ enum Pending {
     },
 }
 
-/// Reusable engine-loop buffers. Deferred-effect staging ping-pongs
-/// between here and [`Shared`] (see [`Machine::drain`]) so the
-/// steady-state loop performs no per-event heap allocation.
+/// Reusable machine-loop buffers, one set per partition.
+/// Deferred-effect staging ping-pongs between here and [`PartCtx`] (see
+/// [`EngineCore::drain`]) so the steady-state loop performs no per-event
+/// heap allocation.
 #[derive(Default)]
 struct Scratch {
     pins: Vec<(CoreId, LineAddr)>,
@@ -372,21 +416,37 @@ struct Scratch {
     lines: Vec<LineAddr>,
 }
 
-/// State shared with the coherence engine through [`CohContext`].
+/// Machine state shared across partitions. Every access is keyed by the
+/// executing event's tile — queue pushes by source partition, lease
+/// tables and counters by core — so concurrent window commits touch
+/// disjoint slices. The structured trace ring is the exception: it is
+/// one globally-ordered window, so live runs with tracing on commit in
+/// lockstep (see `run_inner`).
 struct Shared {
-    queue: Queues,
+    queue: ShardedQueue<Ev>,
     tables: Vec<LeaseTable>,
     lc: Vec<LeaseCounters>,
-    /// Base time of the engine call in progress (schedule() is relative).
-    base: Cycle,
-    /// Deferred effects, drained after every engine call.
-    completions: Vec<(u64, Cycle)>,
-    to_pin: Vec<(CoreId, LineAddr)>,
-    deferred_release: Vec<(CoreId, LineAddr)>,
     prioritization: bool,
     /// Structured trace window (depth 0 = off) fed by both the engine
     /// (through the [`CohContext`] hooks) and the machine loop itself.
     trace: TraceRing,
+}
+
+/// Per-partition engine-call context: the base time/tile of the event
+/// being applied (every `schedule` is relative to them, and the tile
+/// both stamps the canonical push key and names the source partition)
+/// plus the deferred-effect and reuse buffers that used to be global —
+/// one set per partition so relaxed window commits never share them.
+#[derive(Default)]
+struct PartCtx {
+    /// Base time of the engine call in progress (schedule() is relative).
+    base: Cycle,
+    /// Tile of the event being applied (push source / canonical key).
+    tile: usize,
+    /// Deferred effects, drained after every engine call.
+    completions: Vec<(u64, Cycle)>,
+    to_pin: Vec<(CoreId, LineAddr)>,
+    deferred_release: Vec<(CoreId, LineAddr)>,
     /// Reusable buffer for lease-release results inside the `CohContext`
     /// hooks (the hook signatures are fixed, so the scratch lives here).
     released_scratch: Vec<LineAddr>,
@@ -395,23 +455,41 @@ struct Shared {
     pinned_scratch: Vec<LineAddr>,
     /// Reusable buffer for counters armed by an exclusive grant.
     armed_scratch: Vec<ArmedCounter>,
+    /// Events this partition applied — its share of the watchdog event
+    /// budget (the exact global count is only read at executor
+    /// synchronization points).
+    applied: u64,
 }
 
-impl CohContext for Shared {
+/// The [`CohContext`] the engine sees: the tile-sliced shared state plus
+/// the executing partition's context, borrowed disjointly from
+/// [`EngineCore`] for the duration of one engine call.
+struct Ctx<'a> {
+    shared: &'a mut Shared,
+    ps: &'a mut PartCtx,
+}
+
+impl CohContext for Ctx<'_> {
     fn schedule(&mut self, delay: Cycle, dest: CoreId, ev: CohEvent) {
-        self.queue.push(dest, self.base + delay, Ev::Coh(ev));
+        self.shared.queue.push(
+            self.ps.tile,
+            self.ps.base,
+            dest.idx(),
+            self.ps.base + delay,
+            Ev::Coh(dest.0, ev),
+        );
     }
 
     fn tracing(&self) -> bool {
-        self.trace.enabled()
+        self.shared.trace.enabled()
     }
 
     fn trace(&mut self, now: Cycle, ev: TraceEvent) {
-        self.trace.record(now, ev);
+        self.shared.trace.record(now, ev);
     }
 
     fn xact_completed(&mut self, token: u64, now: Cycle) {
-        self.completions.push((token, now));
+        self.ps.completions.push((token, now));
     }
 
     fn probe_action(
@@ -421,7 +499,7 @@ impl CohContext for Shared {
         regular: bool,
         now: Cycle,
     ) -> ProbeAction {
-        match self.tables[owner.idx()].state(line, now) {
+        match self.shared.tables[owner.idx()].state(line, now) {
             lr_lease::LeaseState::NotLeased => ProbeAction::Proceed,
             // The entry exists but ownership has not been (re-)acquired
             // under it: the line is merely stale-owned, so the probe may
@@ -430,15 +508,15 @@ impl CohContext for Shared {
             // deadlock-free, Proposition 3).
             lr_lease::LeaseState::Pending => ProbeAction::Proceed,
             lr_lease::LeaseState::Active => {
-                if regular && self.prioritization {
+                if regular && self.shared.prioritization {
                     // §5 prioritization: a regular request breaks the lease.
-                    let found =
-                        self.tables[owner.idx()].release_into(line, &mut self.released_scratch);
+                    let found = self.shared.tables[owner.idx()]
+                        .release_into(line, &mut self.ps.released_scratch);
                     assert!(found, "Active lease vanished under release");
-                    self.lc[owner.idx()].broken += self.released_scratch.len() as u64;
-                    for &l in &self.released_scratch {
+                    self.shared.lc[owner.idx()].broken += self.ps.released_scratch.len() as u64;
+                    for &l in &self.ps.released_scratch {
                         if l != line {
-                            self.deferred_release.push((owner, l));
+                            self.ps.deferred_release.push((owner, l));
                         }
                     }
                     ProbeAction::ProceedBreakingLease
@@ -449,12 +527,13 @@ impl CohContext for Shared {
             // Expired but the expiry event has not fired yet (tie at the
             // same cycle): finish the involuntary release in place.
             lr_lease::LeaseState::Expired => {
-                let found = self.tables[owner.idx()].release_into(line, &mut self.released_scratch);
+                let found = self.shared.tables[owner.idx()]
+                    .release_into(line, &mut self.ps.released_scratch);
                 assert!(found, "Expired lease vanished under release");
-                self.lc[owner.idx()].involuntary += self.released_scratch.len() as u64;
-                for &l in &self.released_scratch {
+                self.shared.lc[owner.idx()].involuntary += self.ps.released_scratch.len() as u64;
+                for &l in &self.ps.released_scratch {
                     if l != line {
-                        self.deferred_release.push((owner, l));
+                        self.ps.deferred_release.push((owner, l));
                     }
                 }
                 ProbeAction::ProceedBreakingLease
@@ -463,13 +542,21 @@ impl CohContext for Shared {
     }
 
     fn exclusive_granted(&mut self, core: CoreId, line: LineAddr, now: Cycle) {
-        self.tables[core.idx()].on_exclusive_granted_into(line, now, &mut self.armed_scratch);
-        if self.tables[core.idx()].is_leased(line, now) {
-            self.to_pin.push((core, line));
+        self.shared.tables[core.idx()].on_exclusive_granted_into(
+            line,
+            now,
+            &mut self.ps.armed_scratch,
+        );
+        if self.shared.tables[core.idx()].is_leased(line, now) {
+            self.ps.to_pin.push((core, line));
         }
-        for a in &self.armed_scratch {
-            self.queue.push(
-                core,
+        for a in &self.ps.armed_scratch {
+            // Expiries fire at the leasing core's own tile. Grants are
+            // delivered at that same tile, so this is a same-tile push.
+            self.shared.queue.push(
+                self.ps.tile,
+                self.ps.base,
+                core.idx(),
                 a.expires,
                 Ev::Expiry {
                     core,
@@ -490,15 +577,15 @@ impl CohContext for Shared {
         // Membership is a binary search against a sorted copy of the
         // pinned set (O(leases·log pinned)) instead of a linear
         // `contains` per lease line.
-        self.pinned_scratch.clear();
-        self.pinned_scratch.extend_from_slice(pinned);
-        self.pinned_scratch.sort_unstable();
-        if let Some(l) = self.tables[core.idx()].oldest_member(&self.pinned_scratch) {
-            self.lc[core.idx()].overflow += 1;
-            if self.tables[core.idx()].release_into(l, &mut self.released_scratch) {
-                for &m in &self.released_scratch {
+        self.ps.pinned_scratch.clear();
+        self.ps.pinned_scratch.extend_from_slice(pinned);
+        self.ps.pinned_scratch.sort_unstable();
+        if let Some(l) = self.shared.tables[core.idx()].oldest_member(&self.ps.pinned_scratch) {
+            self.shared.lc[core.idx()].overflow += 1;
+            if self.shared.tables[core.idx()].release_into(l, &mut self.ps.released_scratch) {
+                for &m in &self.ps.released_scratch {
                     if m != l {
-                        self.deferred_release.push((core, m));
+                        self.ps.deferred_release.push((core, m));
                     }
                 }
             }
@@ -509,11 +596,11 @@ impl CohContext for Shared {
     }
 
     fn line_invalidated(&mut self, core: CoreId, line: LineAddr, _now: Cycle) {
-        if self.tables[core.idx()].release_into(line, &mut self.released_scratch) {
-            self.lc[core.idx()].involuntary += self.released_scratch.len() as u64;
-            for &m in &self.released_scratch {
+        if self.shared.tables[core.idx()].release_into(line, &mut self.ps.released_scratch) {
+            self.shared.lc[core.idx()].involuntary += self.ps.released_scratch.len() as u64;
+            for &m in &self.ps.released_scratch {
                 if m != line {
-                    self.deferred_release.push((core, m));
+                    self.ps.deferred_release.push((core, m));
                 }
             }
         }
@@ -558,6 +645,9 @@ pub struct Machine {
     /// Explicit engine-partition override; `None` follows the
     /// process-wide `LR_ENGINE_SHARDS` default.
     engine_shards: Option<usize>,
+    /// Explicit commit-mode override; `None` follows the process-wide
+    /// `LR_ENGINE_COMMIT` default.
+    commit: Option<CommitMode>,
     /// When set, a live run records itself and writes the trace here.
     trace_out: Option<TraceOutput>,
 }
@@ -583,6 +673,7 @@ impl Machine {
             trace_depth: 0,
             eventq: None,
             engine_shards: None,
+            commit: None,
             trace_out: None,
         }
     }
@@ -607,11 +698,23 @@ impl Machine {
         self
     }
 
+    /// Pin this machine to a commit mode, bypassing the
+    /// `LR_ENGINE_COMMIT` process default. Simulated results are
+    /// required to be byte-identical across modes — the commit A/B
+    /// tests and the CI lockstep-vs-relaxed gate prove it.
+    pub fn with_commit_mode(mut self, mode: CommitMode) -> Self {
+        self.commit = Some(mode);
+        self
+    }
+
     /// Keep a ring of the last `depth` structured protocol/machine trace
     /// events ([`lr_sim_core::TraceEvent`]) and include the window in the
     /// failure report emitted on watchdog trips, deadlocks, or invariant
     /// violations (0 = off, the default). Events are plain `Copy` records;
     /// nothing is formatted unless a report is actually printed.
+    ///
+    /// The ring is one globally-ordered window, so live runs with
+    /// `depth > 0` commit in lockstep regardless of the commit mode.
     pub fn with_trace(mut self, depth: usize) -> Self {
         self.trace_depth = depth;
         self
@@ -745,6 +848,15 @@ impl Machine {
             "{n} threads exceed {} cores",
             cfg.num_cores
         );
+        // The structured trace ring is one globally-ordered window; the
+        // host-parallel relaxed executor cannot feed it, so live tracing
+        // runs fall back to lockstep. Engine-only source runs stay
+        // single-threaded in every commit mode and may keep the ring —
+        // this is what lets `lr-replay` exercise the relaxed executor.
+        let mut commit = self.commit.unwrap_or_else(engine_commit_from_env);
+        if trace_depth > 0 && is_live {
+            commit = CommitMode::Lockstep;
+        }
 
         // Recording is on when explicitly requested (run_recorded) or
         // when a trace output destination was configured.
@@ -766,32 +878,17 @@ impl Machine {
         let pre_image = record.then(|| mem.snapshot());
         let sink: Option<RecordSink> =
             record.then(|| Arc::new(Mutex::new((0..n).map(|_| None).collect())));
+        let queue = ShardedQueue::with_kind(kind, cfg.num_cores, shards, lookahead);
+        let parts = queue.map().partitions();
         let mut shared = Shared {
-            queue: if shards == 1 {
-                Queues::Single(EventQueue::with_kind(kind))
-            } else {
-                Queues::Sharded(ShardedQueue::with_kind(
-                    kind,
-                    cfg.num_cores,
-                    shards,
-                    lookahead,
-                ))
-            },
+            queue,
             tables: (0..cfg.num_cores)
                 .map(|_| LeaseTable::new(cfg.lease.clone()))
                 .collect(),
             lc: vec![LeaseCounters::default(); cfg.num_cores],
-            base: 0,
-            completions: Vec::new(),
-            to_pin: Vec::new(),
-            deferred_release: Vec::new(),
             prioritization: cfg.lease.prioritization,
             trace: TraceRing::new(trace_depth),
-            released_scratch: Vec::new(),
-            pinned_scratch: Vec::new(),
-            armed_scratch: Vec::new(),
         };
-        let scratch = Scratch::default();
 
         let (transport, handles) = match mode {
             Mode::Live { programs, .. } => {
@@ -829,25 +926,26 @@ impl Machine {
             }
             Mode::Source { source, .. } => (Transport::Source(source), Vec::new()),
         };
-        // Setup pushes: before the first pop there is no active
-        // partition, so these are exempt from the lookahead discipline.
+        // Setup pushes: same-tile sends at t = 0, before any pop — the
+        // lookahead discipline never applies to them.
         for tid in 0..n {
-            shared.queue.push(CoreId(tid as u16), 0, Ev::Start(tid));
+            shared.queue.push(tid, 0, tid, 0, Ev::Start(tid));
         }
 
         let mut core = EngineCore {
             cfg,
             engine,
             shared,
-            scratch,
+            pctx: (0..parts).map(|_| PartCtx::default()).collect(),
+            scratch: (0..parts).map(|_| Scratch::default()).collect(),
             mem,
             transport,
             pending: (0..n).map(|_| None).collect(),
-            live: n,
-            finish_time: 0,
+            live: AtomicUsize::new(n),
+            finish_time: AtomicU64::new(0),
             exit_inst: vec![0u64; n],
             exit_ops: vec![0u64; n],
-            panicked: Vec::new(),
+            panicked: Mutex::new(Vec::new()),
         };
 
         // Any failure inside the event loop — watchdog trip, protocol
@@ -857,21 +955,49 @@ impl Machine {
         // lease table. Live runs re-raise the report as a panic; source
         // runs hand it back as a structured `SourceAbort`.
         //
-        // Executor choice: live runs with N > 1 partitions drive them
-        // from N host threads (one per partition, conservative turn
-        // protocol); everything else runs the sequential loop — which,
-        // by the merge-order guarantee of [`Queues`], pops the exact
-        // same event sequence.
-        let loop_result = if is_live && shards > 1 {
-            run_threaded(&mut core, shards).and_then(|()| {
+        // Executor choice (N = partitions after clamping):
+        //  * N > 1, relaxed, live   → safe-window batches on N host
+        //    threads, synchronizing only at window boundaries.
+        //  * N > 1, relaxed, source → the same windowed schedule on the
+        //    engine's own thread (replay's commit-mode oracle).
+        //  * N > 1, lockstep, live  → one host thread per partition,
+        //    conservative turn protocol (one event at a time).
+        //  * otherwise              → the classic sequential loop.
+        // All four run the same per-event `apply`; the first two commit
+        // in per-partition window order, the rest in global `(time,
+        // key)` order — and the tile-local state discipline makes the
+        // simulated results byte-identical either way.
+        let relaxed = parts > 1 && commit == CommitMode::Relaxed;
+        if relaxed {
+            // Mid-flight per-line invariant sweeps read other tiles'
+            // caches — between window barriers that is both racy and
+            // spuriously wrong (a grant can commit before an
+            // earlier-timed invalidation settles in another partition's
+            // batch). Quiescence checks still run in finish_checks.
+            core.engine.set_strict_at(false);
+        }
+        let loop_result = if relaxed && is_live {
+            run_relaxed_live(&mut core, parts).and_then(|()| {
+                std::panic::catch_unwind(AssertUnwindSafe(|| core.finish_checks()))
+                    .unwrap_or_else(|p| Err(panic_payload_msg(p.as_ref())))
+            })
+        } else if relaxed {
+            let c = &mut core;
+            std::panic::catch_unwind(AssertUnwindSafe(|| -> Result<(), String> {
+                run_relaxed_serial(c)?;
+                c.finish_checks()
+            }))
+            .unwrap_or_else(|p| Err(panic_payload_msg(p.as_ref())))
+        } else if is_live && parts > 1 {
+            run_threaded(&mut core, parts).and_then(|()| {
                 std::panic::catch_unwind(AssertUnwindSafe(|| core.finish_checks()))
                     .unwrap_or_else(|p| Err(panic_payload_msg(p.as_ref())))
             })
         } else {
             let c = &mut core;
             std::panic::catch_unwind(AssertUnwindSafe(|| -> Result<(), String> {
-                while let Some((t, ev)) = c.shared.queue.pop() {
-                    c.apply(t, ev)?;
+                while let Some((t, p, ev)) = c.shared.queue.pop_global() {
+                    c.apply(p, t, ev)?;
                 }
                 c.finish_checks()
             }))
@@ -888,6 +1014,7 @@ impl Machine {
             cfg,
             engine,
             shared,
+            pctx: _,
             scratch: _,
             mem,
             transport,
@@ -903,6 +1030,7 @@ impl Machine {
         for h in handles {
             let _ = h.join();
         }
+        let panicked = panicked.into_inner().unwrap_or_else(|e| e.into_inner());
         if !panicked.is_empty() {
             // Same coherent report as a loop failure: the worker panic is
             // the reason, the protocol state is the context.
@@ -913,9 +1041,9 @@ impl Machine {
             );
         }
 
-        let info = shared.queue.info();
-        let mut stats = engine.stats().clone();
-        stats.total_cycles = finish_time;
+        let info = queue_info(&shared.queue);
+        let mut stats = engine.stats();
+        stats.total_cycles = finish_time.into_inner();
         stats.app_ops = exit_ops.iter().sum();
         for (tid, c) in stats.cores.iter_mut().enumerate().take(n) {
             c.instructions += exit_inst[tid];
@@ -955,41 +1083,66 @@ impl Machine {
     }
 }
 
-/// The sequential engine state: protocol, lease tables, event store,
-/// simulated memory, worker transport, and per-core completion
-/// bookkeeping. Exactly one event is applied at a time (whichever
-/// executor drives it), so all methods take `&mut self` — the executor
-/// shape can never change what a run computes.
+/// The engine state: protocol, lease tables, event store, simulated
+/// memory, worker transport, and per-core completion bookkeeping.
+///
+/// Every event goes through [`EngineCore::apply`] with the partition
+/// that owns it, and applying an event touches only state owned by the
+/// event's tile: its queue partition (plus the source-side outbox rows
+/// of the sharded queue), its tiles' engine slices, its cores' lease
+/// tables/counters/pending slots/rendezvous endpoints, its partition's
+/// context and scratch. The relaxed live executor relies on exactly
+/// this — it applies events of *different* partitions concurrently
+/// through a shared pointer, with cross-partition effects riding staged
+/// messages that are only delivered at window boundaries. The few
+/// fields any partition may touch (`live`, `finish_time`, `panicked`)
+/// are synchronized explicitly.
 struct EngineCore<'a> {
     cfg: SystemConfig,
     engine: CoherenceEngine,
     shared: Shared,
-    scratch: Scratch,
+    pctx: Vec<PartCtx>,
+    scratch: Vec<Scratch>,
     mem: SimMemory,
     transport: Transport<'a>,
     pending: Vec<Option<Pending>>,
-    live: usize,
-    finish_time: Cycle,
+    live: AtomicUsize,
+    finish_time: AtomicU64,
     exit_inst: Vec<u64>,
     exit_ops: Vec<u64>,
-    panicked: Vec<usize>,
+    panicked: Mutex<Vec<usize>>,
 }
 
 impl EngineCore<'_> {
-    /// Apply one popped event at time `t`: the single step both the
-    /// sequential and the partitioned executors are built from.
-    fn apply(&mut self, t: Cycle, ev: Ev) -> Result<(), String> {
+    /// Apply one popped event of partition `p` at time `t`: the single
+    /// step every executor is built from.
+    fn apply(&mut self, p: usize, t: Cycle, ev: Ev) -> Result<(), String> {
+        debug_assert_eq!(
+            self.shared.queue.map().partition_of(ev.tile()),
+            p,
+            "event applied by the wrong partition"
+        );
         assert!(
             t <= self.cfg.watchdog_max_cycles,
             "watchdog: simulated time exceeded {} cycles (livelock?)",
             self.cfg.watchdog_max_cycles
         );
-        assert!(
-            self.shared.queue.processed() <= self.cfg.watchdog_max_events,
-            "watchdog: event budget exceeded"
-        );
+        {
+            let ps = &mut self.pctx[p];
+            // Per-partition share of the event budget (any partition
+            // crossing the whole budget alone has certainly blown it;
+            // the exact global count is checked at executor
+            // synchronization points).
+            ps.applied += 1;
+            assert!(
+                ps.applied <= self.cfg.watchdog_max_events,
+                "watchdog: event budget exceeded"
+            );
+            ps.base = t;
+            ps.tile = ev.tile();
+        }
         match ev {
-            Ev::Start(tid) => self.await_request(tid)?,
+            Ev::Start(tid) => self.await_request(tid, t)?,
             Ev::OpStart(tid) => {
                 if self.shared.trace.enabled() {
                     self.shared.trace.record(t, TraceEvent::OpStart { tid });
@@ -999,18 +1152,21 @@ impl EngineCore<'_> {
                         "OpStart without incoming op for core {tid} at cycle {t}"
                     ));
                 };
-                self.start_op(tid, t, op);
+                self.start_op(p, tid, t, op);
             }
             Ev::OpComplete(tid) => {
                 if self.shared.trace.enabled() {
                     self.shared.trace.record(t, TraceEvent::OpComplete { tid });
                 }
-                self.complete_op(tid, t)?;
+                self.complete_op(p, tid, t)?;
             }
-            Ev::Coh(e) => {
-                self.shared.base = t;
-                self.engine.handle(t, e, &mut self.shared);
-                self.drain(t);
+            Ev::Coh(dest, e) => {
+                let mut cx = Ctx {
+                    shared: &mut self.shared,
+                    ps: &mut self.pctx[p],
+                };
+                self.engine.handle(t, CoreId(dest), e, &mut cx);
+                self.drain(p, t);
             }
             Ev::Expiry {
                 core,
@@ -1020,32 +1176,71 @@ impl EngineCore<'_> {
                 if self.shared.tables[core.idx()].on_expiry_into(
                     line,
                     generation,
-                    &mut self.scratch.lines,
+                    &mut self.scratch[p].lines,
                 ) {
-                    self.shared.lc[core.idx()].involuntary += self.scratch.lines.len() as u64;
-                    for &l in &self.scratch.lines {
+                    self.shared.lc[core.idx()].involuntary += self.scratch[p].lines.len() as u64;
+                    for i in 0..self.scratch[p].lines.len() {
+                        let l = self.scratch[p].lines[i];
                         if self.shared.trace.enabled() {
                             self.shared
                                 .trace
                                 .record(t, TraceEvent::LeaseExpired { core, line: l });
                         }
-                        self.shared.base = t;
-                        self.engine.lease_released(t, core, l, &mut self.shared);
+                        let mut cx = Ctx {
+                            shared: &mut self.shared,
+                            ps: &mut self.pctx[p],
+                        };
+                        self.engine.lease_released(t, core, l, &mut cx);
                     }
-                    self.drain(t);
+                    self.drain(p, t);
                 }
+            }
+            Ev::MemReq { tid, op } => {
+                let value = match op {
+                    Op::Malloc { size, align } => self.mem.alloc(size, align).0,
+                    Op::Free(a) => {
+                        self.mem.free(a);
+                        0
+                    }
+                    other => {
+                        return Err(format!(
+                            "non-heap op routed to the allocator home: {other:?}"
+                        ))
+                    }
+                };
+                let back = self
+                    .engine
+                    .ctrl_latency(CoreId(ALLOC_HOME as u16), CoreId(tid as u16));
+                self.shared
+                    .queue
+                    .push(ALLOC_HOME, t, tid, t + back, Ev::MemReply { tid, value });
+            }
+            Ev::MemReply { tid, value } => {
+                let Some(Pending::Alloc { issued }) = self.pending[tid].take() else {
+                    return Err(format!(
+                        "MemReply without a pending heap op for core {tid} at cycle {t}"
+                    ));
+                };
+                self.pending[tid] = Some(Pending::Imm {
+                    value,
+                    flag: true,
+                    issued,
+                });
+                self.shared
+                    .queue
+                    .push(tid, t, tid, t + ALLOC_COST, Ev::OpComplete(tid));
             }
         }
         Ok(())
     }
 
-    /// End-of-run validation, shared by both executors: no thread may
+    /// End-of-run validation, shared by every executor: no thread may
     /// still be blocked, no transaction in flight, invariants hold.
     fn finish_checks(&mut self) -> Result<(), String> {
-        if self.live != 0 {
+        let live = self.live.load(Ordering::Acquire);
+        if live != 0 {
             return Err(format!(
-                "simulation deadlock: event queue drained with {} threads blocked",
-                self.live
+                "simulation deadlock: event queue drained with {live} threads blocked"
             ));
         }
         assert_eq!(self.engine.in_flight(), 0);
@@ -1053,49 +1248,73 @@ impl EngineCore<'_> {
         Ok(())
     }
 
-    /// Drain effects deferred by the `CohContext` during engine calls.
+    /// Drain effects deferred by the `CohContext` during partition `p`'s
+    /// engine calls.
     ///
-    /// The deferred-effect vectors ping-pong with `scratch` via
-    /// `mem::swap`, so at steady state this allocates nothing: both
-    /// sides keep their high-water capacity.
-    fn drain(&mut self, t: Cycle) {
+    /// The deferred-effect vectors ping-pong with the partition's
+    /// scratch via `mem::swap`, so at steady state this allocates
+    /// nothing: both sides keep their high-water capacity.
+    fn drain(&mut self, p: usize, t: Cycle) {
         loop {
-            if self.shared.to_pin.is_empty() && self.shared.deferred_release.is_empty() {
+            if self.pctx[p].to_pin.is_empty() && self.pctx[p].deferred_release.is_empty() {
                 break;
             }
-            std::mem::swap(&mut self.shared.to_pin, &mut self.scratch.pins);
-            std::mem::swap(&mut self.shared.deferred_release, &mut self.scratch.rels);
-            for &(c, l) in &self.scratch.pins {
+            {
+                let ps = &mut self.pctx[p];
+                let sc = &mut self.scratch[p];
+                std::mem::swap(&mut ps.to_pin, &mut sc.pins);
+                std::mem::swap(&mut ps.deferred_release, &mut sc.rels);
+            }
+            for i in 0..self.scratch[p].pins.len() {
+                let (c, l) = self.scratch[p].pins[i];
                 self.engine.pin(c, l, true);
             }
-            for &(c, l) in &self.scratch.rels {
-                self.shared.base = t;
-                self.engine.lease_released(t, c, l, &mut self.shared);
+            for i in 0..self.scratch[p].rels.len() {
+                let (c, l) = self.scratch[p].rels[i];
+                let mut cx = Ctx {
+                    shared: &mut self.shared,
+                    ps: &mut self.pctx[p],
+                };
+                self.engine.lease_released(t, c, l, &mut cx);
             }
-            self.scratch.pins.clear();
-            self.scratch.rels.clear();
+            self.scratch[p].pins.clear();
+            self.scratch[p].rels.clear();
         }
-        if !self.shared.completions.is_empty() {
-            std::mem::swap(&mut self.shared.completions, &mut self.scratch.completions);
-            for &(token, done) in &self.scratch.completions {
-                // Completions are delivered at the requesting core.
-                self.shared
-                    .queue
-                    .push(CoreId(token as u16), done, Ev::OpComplete(token as usize));
+        if !self.pctx[p].completions.is_empty() {
+            {
+                let ps = &mut self.pctx[p];
+                let sc = &mut self.scratch[p];
+                std::mem::swap(&mut ps.completions, &mut sc.completions);
             }
-            self.scratch.completions.clear();
+            let tile = self.pctx[p].tile;
+            for i in 0..self.scratch[p].completions.len() {
+                let (token, done) = self.scratch[p].completions[i];
+                // Completions are delivered at the requesting core —
+                // which is the tile the grant/hit just executed at, so
+                // this is a same-tile push.
+                self.shared.queue.push(
+                    tile,
+                    t,
+                    token as usize,
+                    done,
+                    Ev::OpComplete(token as usize),
+                );
+            }
+            self.scratch[p].completions.clear();
         }
     }
 
-    /// Block until worker `tid` sends its next instruction (lockstep:
-    /// `tid` is the only runnable entity right now). In source mode this
-    /// is a plain function call into the [`OpSource`].
+    /// Block until worker `tid` sends its next instruction (`tid` is the
+    /// only runnable entity of its own pipeline right now). In source
+    /// mode this is a plain function call into the [`OpSource`].
     ///
-    /// In the partitioned executor this always runs on the host thread
-    /// owning `tid`'s partition (`Start`/`OpComplete` events are routed
-    /// to `tid`'s tile), so each rendezvous slot keeps a stable receiver
-    /// thread for its whole life.
-    fn await_request(&mut self, tid: usize) -> Result<(), String> {
+    /// Every executor routes `Start`/`OpComplete` events to `tid`'s own
+    /// tile, so each rendezvous slot keeps a stable receiver thread for
+    /// its whole life (the slot's pinned-consumer requirement): the
+    /// sequential loops always receive on the engine thread, and the
+    /// partitioned executors always receive on the host thread owning
+    /// `tid`'s partition.
+    fn await_request(&mut self, tid: usize, t: Cycle) -> Result<(), String> {
         let r = self.transport.recv(tid)?;
         debug_assert_eq!(r.tid, tid);
         match r.op {
@@ -1105,20 +1324,21 @@ impl EngineCore<'_> {
                 at,
                 panicked: p,
             } => {
-                self.live -= 1;
+                self.live.fetch_sub(1, Ordering::AcqRel);
                 self.exit_inst[tid] = instructions;
                 self.exit_ops[tid] = ops;
-                self.finish_time = self.finish_time.max(at);
+                self.finish_time.fetch_max(at, Ordering::AcqRel);
                 if p {
-                    self.panicked.push(tid);
+                    self.panicked
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .push(tid);
                 }
             }
             op => {
                 debug_assert!(self.pending[tid].is_none());
                 self.pending[tid] = Some(Pending::Incoming(op));
-                self.shared
-                    .queue
-                    .push(CoreId(tid as u16), r.at, Ev::OpStart(tid));
+                self.shared.queue.push(tid, t, tid, r.at, Ev::OpStart(tid));
             }
         }
         Ok(())
@@ -1133,11 +1353,11 @@ impl EngineCore<'_> {
         });
         self.shared
             .queue
-            .push(CoreId(tid as u16), t + delay, Ev::OpComplete(tid));
+            .push(tid, t, tid, t + delay, Ev::OpComplete(tid));
     }
 
     /// Begin executing one instruction at its issue time `t`.
-    fn start_op(&mut self, tid: usize, t: Cycle, op: Op) {
+    fn start_op(&mut self, p: usize, tid: usize, t: Cycle, op: Op) {
         let core = CoreId(tid as u16);
         let token = tid as u64;
         match op {
@@ -1151,22 +1371,21 @@ impl EngineCore<'_> {
                     Op::Write(..) => AccessKind::Store,
                     _ => AccessKind::Rmw,
                 };
-                self.shared.base = t;
-                let hit = self.engine.access(
-                    t,
-                    token,
-                    core,
-                    a.line(),
-                    kind,
-                    false,
-                    true,
-                    &mut self.shared,
-                );
+                let hit = {
+                    let mut cx = Ctx {
+                        shared: &mut self.shared,
+                        ps: &mut self.pctx[p],
+                    };
+                    self.engine
+                        .access(t, token, core, a.line(), kind, false, true, &mut cx)
+                };
                 if let Some(done) = hit {
-                    self.shared.queue.push(core, done, Ev::OpComplete(tid));
+                    self.shared
+                        .queue
+                        .push(tid, t, tid, done, Ev::OpComplete(tid));
                 }
                 self.pending[tid] = Some(Pending::Data { op, issued: t });
-                self.drain(t);
+                self.drain(p, t);
             }
             Op::Lease { addr, time } => {
                 let line = addr.line();
@@ -1177,34 +1396,45 @@ impl EngineCore<'_> {
                     BeginLease::Inserted { displaced } => {
                         for d in displaced {
                             self.shared.lc[tid].overflow += 1;
-                            self.shared.base = t;
-                            self.engine.lease_released(t, core, d, &mut self.shared);
+                            let mut cx = Ctx {
+                                shared: &mut self.shared,
+                                ps: &mut self.pctx[p],
+                            };
+                            self.engine.lease_released(t, core, d, &mut cx);
                         }
                         self.shared.lc[tid].taken += 1;
-                        self.shared.base = t;
-                        let hit = self.engine.access(
-                            t,
-                            token,
-                            core,
-                            line,
-                            AccessKind::Rmw,
-                            true,
-                            false,
-                            &mut self.shared,
-                        );
+                        let hit = {
+                            let mut cx = Ctx {
+                                shared: &mut self.shared,
+                                ps: &mut self.pctx[p],
+                            };
+                            self.engine.access(
+                                t,
+                                token,
+                                core,
+                                line,
+                                AccessKind::Rmw,
+                                true,
+                                false,
+                                &mut cx,
+                            )
+                        };
                         if let Some(done) = hit {
-                            self.shared.queue.push(core, done, Ev::OpComplete(tid));
+                            self.shared
+                                .queue
+                                .push(tid, t, tid, done, Ev::OpComplete(tid));
                         }
                         self.pending[tid] = Some(Pending::LeaseAcq { issued: t });
                     }
                 }
-                self.drain(t);
+                self.drain(p, t);
             }
             Op::Release { addr } => {
                 let line = addr.line();
-                let flag = self.shared.tables[tid].release_into(line, &mut self.scratch.lines);
-                self.shared.lc[tid].voluntary += self.scratch.lines.len() as u64;
-                for &l in &self.scratch.lines {
+                let flag = self.shared.tables[tid].release_into(line, &mut self.scratch[p].lines);
+                self.shared.lc[tid].voluntary += self.scratch[p].lines.len() as u64;
+                for i in 0..self.scratch[p].lines.len() {
+                    let l = self.scratch[p].lines[i];
                     if self.shared.trace.enabled() {
                         self.shared.trace.record(
                             t,
@@ -1215,11 +1445,14 @@ impl EngineCore<'_> {
                             },
                         );
                     }
-                    self.shared.base = t;
-                    self.engine.lease_released(t, core, l, &mut self.shared);
+                    let mut cx = Ctx {
+                        shared: &mut self.shared,
+                        ps: &mut self.pctx[p],
+                    };
+                    self.engine.lease_released(t, core, l, &mut cx);
                 }
                 self.imm(tid, t, 0, flag, 1);
-                self.drain(t);
+                self.drain(p, t);
             }
             Op::MultiLease { addrs, time } => {
                 let lines: Vec<LineAddr> = addrs.iter().map(|a| a.line()).collect();
@@ -1227,8 +1460,11 @@ impl EngineCore<'_> {
                     MultiLeaseBegin::Rejected { released } => {
                         self.shared.lc[tid].voluntary += released.len() as u64;
                         for l in released {
-                            self.shared.base = t;
-                            self.engine.lease_released(t, core, l, &mut self.shared);
+                            let mut cx = Ctx {
+                                shared: &mut self.shared,
+                                ps: &mut self.pctx[p],
+                            };
+                            self.engine.lease_released(t, core, l, &mut cx);
                         }
                         self.imm(tid, t, 0, false, 1);
                     }
@@ -1238,28 +1474,38 @@ impl EngineCore<'_> {
                     } => {
                         self.shared.lc[tid].voluntary += released.len() as u64;
                         for l in released {
-                            self.shared.base = t;
-                            self.engine.lease_released(t, core, l, &mut self.shared);
+                            let mut cx = Ctx {
+                                shared: &mut self.shared,
+                                ps: &mut self.pctx[p],
+                            };
+                            self.engine.lease_released(t, core, l, &mut cx);
                         }
                         if sorted_lines.is_empty() {
                             self.imm(tid, t, 0, true, 1);
                         } else {
                             self.shared.lc[tid].multileases += 1;
                             self.shared.lc[tid].taken += sorted_lines.len() as u64;
-                            self.shared.base = t;
                             let first = sorted_lines[0];
-                            let hit = self.engine.access(
-                                t,
-                                token,
-                                core,
-                                first,
-                                AccessKind::Rmw,
-                                true,
-                                false,
-                                &mut self.shared,
-                            );
+                            let hit = {
+                                let mut cx = Ctx {
+                                    shared: &mut self.shared,
+                                    ps: &mut self.pctx[p],
+                                };
+                                self.engine.access(
+                                    t,
+                                    token,
+                                    core,
+                                    first,
+                                    AccessKind::Rmw,
+                                    true,
+                                    false,
+                                    &mut cx,
+                                )
+                            };
                             if let Some(done) = hit {
-                                self.shared.queue.push(core, done, Ev::OpComplete(tid));
+                                self.shared
+                                    .queue
+                                    .push(tid, t, tid, done, Ev::OpComplete(tid));
                             }
                             self.pending[tid] = Some(Pending::Multi {
                                 lines: sorted_lines,
@@ -1269,12 +1515,13 @@ impl EngineCore<'_> {
                         }
                     }
                 }
-                self.drain(t);
+                self.drain(p, t);
             }
             Op::ReleaseAll => {
-                self.shared.tables[tid].release_all_into(&mut self.scratch.lines);
-                self.shared.lc[tid].voluntary += self.scratch.lines.len() as u64;
-                for &l in &self.scratch.lines {
+                self.shared.tables[tid].release_all_into(&mut self.scratch[p].lines);
+                self.shared.lc[tid].voluntary += self.scratch[p].lines.len() as u64;
+                for i in 0..self.scratch[p].lines.len() {
+                    let l = self.scratch[p].lines[i];
                     if self.shared.trace.enabled() {
                         self.shared.trace.record(
                             t,
@@ -1285,19 +1532,25 @@ impl EngineCore<'_> {
                             },
                         );
                     }
-                    self.shared.base = t;
-                    self.engine.lease_released(t, core, l, &mut self.shared);
+                    let mut cx = Ctx {
+                        shared: &mut self.shared,
+                        ps: &mut self.pctx[p],
+                    };
+                    self.engine.lease_released(t, core, l, &mut cx);
                 }
                 self.imm(tid, t, 0, true, 1);
-                self.drain(t);
+                self.drain(p, t);
             }
-            Op::Malloc { size, align } => {
-                let a = self.mem.alloc(size, align);
-                self.imm(tid, t, a.0, true, ALLOC_COST);
-            }
-            Op::Free(a) => {
-                self.mem.free(a);
-                self.imm(tid, t, 0, true, ALLOC_COST);
+            Op::Malloc { .. } | Op::Free(_) => {
+                // The heap allocator is global machine state: route the
+                // request to the allocator home tile as a message. The
+                // simulated cost model becomes ALLOC_COST plus the NoC
+                // control round trip — identical for every executor.
+                self.pending[tid] = Some(Pending::Alloc { issued: t });
+                let go = self.engine.ctrl_latency(core, CoreId(ALLOC_HOME as u16));
+                self.shared
+                    .queue
+                    .push(tid, t, ALLOC_HOME, t + go, Ev::MemReq { tid, op });
             }
             Op::Exit { .. } => unreachable!("Exit handled in await_request"),
         }
@@ -1305,14 +1558,15 @@ impl EngineCore<'_> {
 
     /// Finish one instruction at its completion time: move data, account
     /// statistics, wake the worker, and wait for its next instruction.
-    fn complete_op(&mut self, tid: usize, t: Cycle) -> Result<(), String> {
-        let p = self.pending[tid].take().ok_or_else(|| {
+    fn complete_op(&mut self, p: usize, tid: usize, t: Cycle) -> Result<(), String> {
+        let pd = self.pending[tid].take().ok_or_else(|| {
             format!("OpComplete for core {tid} at cycle {t} without a pending op")
         })?;
-        let (value, flag, issued) = match p {
+        let core = CoreId(tid as u16);
+        let (value, flag, issued) = match pd {
             Pending::Data { op, issued } => {
                 let mem = &mut self.mem;
-                let cs = &mut self.engine.stats_mut().cores[tid];
+                let cs = self.engine.core_stats_mut(core);
                 let (value, flag) = match op {
                     Op::Read(a) => {
                         cs.loads += 1;
@@ -1358,27 +1612,33 @@ impl EngineCore<'_> {
             Pending::Multi { lines, idx, issued } => {
                 if idx + 1 < lines.len() {
                     // Acquire the next line of the group, in order.
-                    let core = CoreId(tid as u16);
-                    self.shared.base = t;
-                    let hit = self.engine.access(
-                        t,
-                        tid as u64,
-                        core,
-                        lines[idx + 1],
-                        AccessKind::Rmw,
-                        true,
-                        false,
-                        &mut self.shared,
-                    );
+                    let hit = {
+                        let mut cx = Ctx {
+                            shared: &mut self.shared,
+                            ps: &mut self.pctx[p],
+                        };
+                        self.engine.access(
+                            t,
+                            tid as u64,
+                            core,
+                            lines[idx + 1],
+                            AccessKind::Rmw,
+                            true,
+                            false,
+                            &mut cx,
+                        )
+                    };
                     if let Some(done) = hit {
-                        self.shared.queue.push(core, done, Ev::OpComplete(tid));
+                        self.shared
+                            .queue
+                            .push(tid, t, tid, done, Ev::OpComplete(tid));
                     }
                     self.pending[tid] = Some(Pending::Multi {
                         lines,
                         idx: idx + 1,
                         issued,
                     });
-                    self.drain(t);
+                    self.drain(p, t);
                     return Ok(());
                 }
                 (0, true, issued)
@@ -1388,9 +1648,10 @@ impl EngineCore<'_> {
                 flag,
                 issued,
             } => (value, flag, issued),
+            Pending::Alloc { .. } => unreachable!("completion before the allocator replied"),
             Pending::Incoming(_) => unreachable!("completion before start"),
         };
-        self.engine.stats_mut().cores[tid].mem_stall_cycles += t - issued;
+        self.engine.core_stats_mut(core).mem_stall_cycles += t - issued;
         self.transport.reply(
             tid,
             Reply {
@@ -1399,21 +1660,18 @@ impl EngineCore<'_> {
                 flag,
             },
         )?;
-        self.await_request(tid)
+        self.await_request(tid, t)
     }
 }
 
-/// Drive `core` with one host thread per partition, conservatively
-/// synchronized: the thread owning the partition of the globally next
-/// event applies it; everyone else waits on the turn condvar. This pops
-/// the exact `(time, seq)` sequence of the sequential loop — the engine
-/// stays lockstep (one event at a time, under one mutex), so simulated
-/// results are byte-identical for every shard count. What the partition
-/// structure buys today is the mailbox/lookahead discipline (checked on
-/// every cross-partition send) and per-partition clocks; the measured
-/// concurrency headroom (`EngineInfo::concurrent_events`) is the basis
-/// for relaxing the turn protocol into true parallel commit once
-/// protocol handlers stop touching remote tiles' state directly.
+/// Drive `core` with one host thread per partition under the
+/// conservative lockstep turn protocol: the thread owning the partition
+/// of the globally next event applies it; everyone else waits on the
+/// turn condvar. This pops the exact `(time, key)` sequence of the
+/// sequential loop — one event at a time, under one mutex. It is the
+/// commit-mode A/B reference for [`run_relaxed_live`], and the executor
+/// live traced runs fall back to (the trace ring needs globally ordered
+/// commits).
 ///
 /// Worker rendezvous stays sound: core `tid`'s `Start`/`OpComplete`
 /// events are routed to `tid`'s tile, so its request slot is always
@@ -1454,13 +1712,13 @@ fn run_threaded(core: &mut EngineCore<'_>, shards: usize) -> Result<(), String> 
                             // panic (watchdog, protocol bug) becomes a
                             // recorded failure, never a poisoned mutex.
                             let res = std::panic::catch_unwind(AssertUnwindSafe(|| {
-                                let Queues::Sharded(q) = &mut core.shared.queue else {
-                                    unreachable!("threaded executor uses the sharded store")
-                                };
-                                let (t, part, ev) =
-                                    q.pop_global().expect("head_partition saw an event");
+                                let (t, part, ev) = core
+                                    .shared
+                                    .queue
+                                    .pop_global()
+                                    .expect("head_partition saw an event");
                                 debug_assert_eq!(part, p);
-                                core.apply(t, ev)
+                                core.apply(part, t, ev)
                             }));
                             match res {
                                 Ok(Ok(())) => cv.notify_all(),
@@ -1487,6 +1745,183 @@ fn run_threaded(core: &mut EngineCore<'_>, shards: usize) -> Result<(), String> 
         Some(reason) => Err(reason),
         None => Ok(()),
     }
+}
+
+/// The relaxed windowed schedule on one host thread: open a safe window
+/// ([`ShardedQueue::begin_window`]), drain every partition's batch in
+/// partition order, repeat. This applies events in a *different order*
+/// than the sequential `pop_global` loop (per-partition batches instead
+/// of global time order) while producing byte-identical simulated
+/// results — the single-threaded oracle for the relaxed commit
+/// discipline, and the executor engine-only (replay) runs use under
+/// relaxed commit.
+fn run_relaxed_serial(core: &mut EngineCore<'_>) -> Result<(), String> {
+    let budget = core.cfg.watchdog_max_events;
+    while let Some(bounds) = core.shared.queue.begin_window() {
+        if core.shared.queue.processed() > budget {
+            return Err("watchdog: event budget exceeded".to_string());
+        }
+        for (p, &bound) in bounds.iter().enumerate() {
+            while let Some((t, ev)) = core.shared.queue.pop_bounded(p, bound) {
+                core.apply(p, t, ev)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Raw shared handle to the engine core for the relaxed live executor.
+///
+/// SAFETY contract (upheld by [`run_relaxed_live`]): between window
+/// barriers, the thread of partition `p` applies only partition-`p`
+/// events, and [`EngineCore::apply`] on such an event touches only
+/// state owned by the event's tile — its queue partition (plus the
+/// source-partition outbox rows and counters of the sharded queue), its
+/// tiles' engine slices, its cores' lease tables/counters/pending
+/// slots/rendezvous endpoints, its partition's context and scratch —
+/// or the explicitly synchronized fields (`live`, `finish_time`,
+/// `panicked`, the atomic page-install path of [`SimMemory`]). The
+/// coordinator touches the core only while every worker is parked at
+/// the barrier; the barrier mutex orders those accesses.
+#[derive(Clone, Copy)]
+struct CorePtr(*mut ());
+
+unsafe impl Send for CorePtr {}
+
+/// Drive `core` with one persistent host thread per partition under
+/// relaxed commit: the coordinator opens a safe window, publishes the
+/// per-partition bounds, and every partition thread commits its whole
+/// batch concurrently with no per-event synchronization — threads meet
+/// only at the generation-counted window barrier. The tile-local event
+/// discipline (see [`EngineCore`]) makes this produce byte-identical
+/// simulated results to the lockstep executors.
+fn run_relaxed_live(core: &mut EngineCore<'_>, shards: usize) -> Result<(), String> {
+    struct WinState {
+        generation: u64,
+        bounds: Vec<Cycle>,
+        remaining: usize,
+        stop: bool,
+        fail: Option<String>,
+    }
+    let budget = core.cfg.watchdog_max_events;
+    let m = Mutex::new(WinState {
+        generation: 0,
+        bounds: Vec::new(),
+        remaining: 0,
+        stop: false,
+        fail: None,
+    });
+    let start = Condvar::new();
+    let done = Condvar::new();
+    let ptr = CorePtr(core as *mut EngineCore<'_> as *mut ());
+    let mut result = Ok(());
+    std::thread::scope(|s| {
+        for p in 0..shards {
+            let (m, start, done) = (&m, &start, &done);
+            // Partition threads persist across all windows, so each
+            // core's rendezvous slot keeps one receiver thread for the
+            // whole run (the slot's pinned-consumer contract). Scope
+            // join is safe even on failure: a worker blocked in `recv`
+            // always returns — its workload thread sends Exit even when
+            // panicking — so every partition reaches the barrier.
+            s.spawn(move || {
+                // Capture the whole Send wrapper, not the raw field
+                // (edition-2021 closures capture disjoint fields).
+                let ptr = ptr;
+                let mut seen = 0u64;
+                loop {
+                    let (bound, skip) = {
+                        let mut g = m.lock().unwrap_or_else(|e| e.into_inner());
+                        while g.generation == seen && !g.stop {
+                            g = start.wait(g).unwrap_or_else(|e| e.into_inner());
+                        }
+                        if g.stop {
+                            return;
+                        }
+                        seen = g.generation;
+                        (g.bounds[p], g.fail.is_some())
+                    };
+                    let res = if skip {
+                        // A sibling already failed: commit nothing, just
+                        // keep the barrier protocol moving to shutdown.
+                        Ok(())
+                    } else {
+                        std::panic::catch_unwind(AssertUnwindSafe(|| -> Result<(), String> {
+                            // SAFETY: see [`CorePtr`] — partition-disjoint
+                            // access between barriers.
+                            let core = unsafe { &mut *(ptr.0 as *mut EngineCore) };
+                            while let Some((t, ev)) = core.shared.queue.pop_bounded(p, bound) {
+                                core.apply(p, t, ev)?;
+                            }
+                            Ok(())
+                        }))
+                        .unwrap_or_else(|pl| Err(panic_payload_msg(pl.as_ref())))
+                    };
+                    let mut g = m.lock().unwrap_or_else(|e| e.into_inner());
+                    if let Err(reason) = res {
+                        if g.fail.is_none() {
+                            g.fail = Some(reason);
+                        }
+                    }
+                    g.remaining -= 1;
+                    if g.remaining == 0 {
+                        done.notify_all();
+                    }
+                }
+            });
+        }
+        loop {
+            // Between windows every worker is parked at the barrier, so
+            // the coordinator has exclusive access to the core.
+            let step = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                // SAFETY: see [`CorePtr`] — exclusive between windows.
+                let core = unsafe { &mut *(ptr.0 as *mut EngineCore) };
+                (
+                    core.shared.queue.begin_window(),
+                    core.shared.queue.processed(),
+                )
+            }));
+            let bounds = match step {
+                Err(pl) => {
+                    result = Err(panic_payload_msg(pl.as_ref()));
+                    None
+                }
+                Ok((_, processed)) if processed > budget => {
+                    result = Err("watchdog: event budget exceeded".to_string());
+                    None
+                }
+                Ok((b, _)) => b,
+            };
+            match bounds {
+                None => {
+                    // Drained (or the coordinator itself failed): stop.
+                    let mut g = m.lock().unwrap_or_else(|e| e.into_inner());
+                    g.stop = true;
+                    drop(g);
+                    start.notify_all();
+                    break;
+                }
+                Some(b) => {
+                    let mut g = m.lock().unwrap_or_else(|e| e.into_inner());
+                    g.generation += 1;
+                    g.bounds = b;
+                    g.remaining = shards;
+                    start.notify_all();
+                    while g.remaining > 0 {
+                        g = done.wait(g).unwrap_or_else(|e| e.into_inner());
+                    }
+                    if let Some(f) = g.fail.take() {
+                        result = Err(f);
+                        g.stop = true;
+                        drop(g);
+                        start.notify_all();
+                        break;
+                    }
+                }
+            }
+        }
+    });
+    result
 }
 
 /// Best-effort extraction of a panic payload's message.

@@ -4,7 +4,7 @@
 //! memory. The partition count selects the executor (single loop vs
 //! one host thread per partition); it must never select the outcome.
 
-use lr_machine::{Machine, SystemConfig, ThreadFn};
+use lr_machine::{CommitMode, Machine, SystemConfig, ThreadFn};
 use lr_sim_core::tracefmt;
 
 /// A contended lease/CAS counter plus FAA side traffic across 8 cores:
@@ -66,6 +66,49 @@ fn shard_counts_1_2_4_are_byte_identical() {
         assert_eq!(got.2, base.2, "event count diverged at {shards} shards");
         assert_eq!(got.3, base.3, "final memory diverged at {shards} shards");
         assert_eq!(got.4, base.4, "final memory diverged at {shards} shards");
+    }
+}
+
+/// The commit mode selects the *schedule* (one event at a time vs
+/// whole safe-window batches on concurrent host threads), never the
+/// outcome: for every shard count, the relaxed executor's merged
+/// statistics, event count, and final memory are byte-identical to the
+/// sequential lockstep run. Tracing is off so the relaxed live
+/// executor actually engages (live tracing forces lockstep).
+#[test]
+fn commit_modes_are_byte_identical_across_shard_counts() {
+    let run = |shards: usize, commit: CommitMode| {
+        let mut m = Machine::new(SystemConfig::with_cores(8))
+            .with_engine_shards(shards)
+            .with_commit_mode(commit);
+        let a = m.setup(|mem| mem.alloc_line_aligned(8));
+        let b = m.setup(|mem| mem.alloc_line_aligned(8));
+        let (stats, mem, info) = m.run_counted_info(programs(8, a, b));
+        (
+            stats.to_json(),
+            info.events,
+            mem.read_word(a),
+            mem.read_word(b),
+        )
+    };
+    let base = run(1, CommitMode::Lockstep);
+    for shards in [1usize, 2, 4] {
+        for commit in [CommitMode::Lockstep, CommitMode::Relaxed] {
+            let got = run(shards, commit);
+            assert_eq!(
+                got.0, base.0,
+                "stats JSON diverged at {shards} shards / {commit} commit"
+            );
+            assert_eq!(
+                got.1, base.1,
+                "event count diverged at {shards} shards / {commit} commit"
+            );
+            assert_eq!(
+                (got.2, got.3),
+                (base.2, base.3),
+                "final memory diverged at {shards} shards / {commit} commit"
+            );
+        }
     }
 }
 

@@ -24,8 +24,8 @@
 //! traces compact cross-version regression oracles.
 
 use lr_machine::{
-    Cycle, EventQueueKind, LineAddr, Machine, MachineStats, Op, OpSource, Reply, Request,
-    SystemConfig,
+    CommitMode, Cycle, EventQueueKind, LineAddr, Machine, MachineStats, Op, OpSource, Reply,
+    Request, SystemConfig,
 };
 use lr_sim_core::tracefmt::{self, MachineTrace, TraceError, TraceOp};
 use lr_sim_mem::SimMemory;
@@ -182,15 +182,18 @@ impl OpSource for ReplaySource<'_> {
     }
 }
 
-/// Execution-engine variant to replay under: the event-queue store and
-/// the engine-partition (shard) count, `None` = the process defaults.
-/// Every variant is required to reproduce a recording byte-for-byte —
-/// each axis is an independent A/B oracle over the same trace (the fuzz
-/// farm's heap-vs-wheel and shards-1/2/4 axes).
+/// Execution-engine variant to replay under: the event-queue store,
+/// the engine-partition (shard) count, and the commit mode (lockstep
+/// global order vs relaxed safe-window batches), `None` = the process
+/// defaults. Every variant is required to reproduce a recording
+/// byte-for-byte — each axis is an independent A/B oracle over the same
+/// trace (the fuzz farm's heap-vs-wheel, shards-1/2/4, and
+/// lockstep-vs-relaxed axes).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct EngineVariant {
     pub queue: Option<EventQueueKind>,
     pub shards: Option<usize>,
+    pub commit: Option<CommitMode>,
 }
 
 impl EngineVariant {
@@ -207,6 +210,12 @@ impl EngineVariant {
         self.shards = Some(shards);
         self
     }
+
+    /// Pin the executor commit mode.
+    pub fn with_commit(mut self, commit: CommitMode) -> Self {
+        self.commit = Some(commit);
+        self
+    }
 }
 
 impl std::fmt::Display for EngineVariant {
@@ -215,10 +224,13 @@ impl std::fmt::Display for EngineVariant {
             Some(k) => write!(f, "{k:?}")?,
             None => write!(f, "default")?,
         }
-        match self.shards {
-            Some(s) => write!(f, "/shards-{s}"),
-            None => Ok(()),
+        if let Some(s) = self.shards {
+            write!(f, "/shards-{s}")?;
         }
+        if let Some(c) = self.commit {
+            write!(f, "/{c}")?;
+        }
+        Ok(())
     }
 }
 
@@ -276,6 +288,9 @@ fn replay_inner(trace: &MachineTrace, cfg: SystemConfig, variant: EngineVariant)
     }
     if let Some(shards) = variant.shards {
         machine = machine.with_engine_shards(shards);
+    }
+    if let Some(commit) = variant.commit {
+        machine = machine.with_commit_mode(commit);
     }
     machine.setup(|m| *m = SimMemory::restore(&trace.mem));
     let mut source = ReplaySource::new(trace);
@@ -340,7 +355,7 @@ pub fn verify_with_queue(
         trace,
         EngineVariant {
             queue,
-            shards: None,
+            ..Default::default()
         },
     )
 }
@@ -445,7 +460,7 @@ pub fn verify_file(path: &Path, queue: Option<EventQueueKind>) -> Result<Verifie
         path,
         EngineVariant {
             queue,
-            shards: None,
+            ..Default::default()
         },
     )
 }
@@ -493,18 +508,24 @@ mod tests {
         machine.run_recorded(progs).trace
     }
 
-    /// The shard axis of the replay oracle: one recording must verify
-    /// byte-for-byte under every (queue store × partition count)
-    /// engine variant. Replay is engine-only (Source mode), so this
-    /// exercises the sharded queue's sequential merge path.
+    /// The shard and commit axes of the replay oracle: one recording
+    /// must verify byte-for-byte under every (queue store × partition
+    /// count × commit mode) engine variant. Replay is engine-only
+    /// (Source mode), so lockstep exercises the sharded queue's
+    /// sequential merge path and relaxed exercises the safe-window
+    /// batch executor.
     #[test]
     fn replay_is_byte_identical_for_every_engine_variant() {
         let trace = record_contended(4, 30);
         for shards in [1usize, 2, 4] {
             for queue in [EventQueueKind::Heap, EventQueueKind::Wheel] {
-                let v = EngineVariant::queue(queue).with_shards(shards);
-                verify_with_variant(&trace, v)
-                    .unwrap_or_else(|d| panic!("variant {v} diverged: {d}"));
+                for commit in [CommitMode::Lockstep, CommitMode::Relaxed] {
+                    let v = EngineVariant::queue(queue)
+                        .with_shards(shards)
+                        .with_commit(commit);
+                    verify_with_variant(&trace, v)
+                        .unwrap_or_else(|d| panic!("variant {v} diverged: {d}"));
+                }
             }
         }
     }

@@ -168,20 +168,30 @@ impl<E> EventQueue<E> {
     }
 
     /// Schedule `payload` at `time` under a caller-supplied sequence
-    /// number instead of the internal counter. This is the partition
-    /// building block of [`crate::shard::ShardedQueue`]: N partition
-    /// queues share one *global* sequence space so that merging their
-    /// heads by `(time, seq)` reproduces the single-queue total order
-    /// exactly. The caller must supply strictly increasing sequence
-    /// numbers per queue (the wheel's slot-FIFO tie-break relies on
-    /// same-time entries arriving in ascending `seq` order).
-    pub(crate) fn push_at_seq(&mut self, time: Cycle, seq: u64, payload: E) {
+    /// key instead of the internal counter. This is the partition
+    /// building block of [`crate::shard::ShardedQueue`]: partition
+    /// queues carry *canonical* keys (`src-tile` ∥ per-src-tile push
+    /// counter) so that ordering by `(time, seq)` is a pure function of
+    /// simulated causality — independent of which executor popped the
+    /// events in which interleaving. Keys must be unique per `(time,
+    /// seq)` pair but need *not* arrive in ascending order; both stores
+    /// order same-time entries by key (the wheel via ordered slot
+    /// insertion).
+    pub fn push_at_seq(&mut self, time: Cycle, seq: u64, payload: E) {
         assert!(
             time >= self.now,
             "event scheduled in the past: t={} < now={}",
             time,
             self.now
         );
+        // A caller-supplied canonical key may legitimately land at the
+        // current cycle *below* the last popped key (same cycle, lower
+        // source tile, pushed after that pop) — pops before this push
+        // are no longer comparable, so restart the ordering audit here.
+        #[cfg(feature = "strict-invariants")]
+        if self.last.is_some_and(|last| (time, seq) <= last) {
+            self.last = None;
+        }
         match &mut self.store {
             Store::Heap(h) => h.push(Reverse(Entry { time, seq, payload })),
             Store::Wheel(w) => w.push(time, seq, payload),
@@ -226,7 +236,9 @@ impl<E> EventQueue<E> {
             self.now
         );
         // Full-ordering audit: pops are strictly increasing in
-        // (time, seq), i.e. an exact stable FIFO per cycle.
+        // (time, seq) — an exact stable FIFO per cycle — except across
+        // a keyed push at-or-below the last pop, which resets `last`
+        // (see `push_at_seq`).
         #[cfg(feature = "strict-invariants")]
         {
             if let Some((lt, ls)) = self.last {

@@ -4,39 +4,53 @@
 //! partitions sharded by tile (core + L1 + lease table + L2 home
 //! slice). Each partition owns a full [`EventQueue`] instance — its own
 //! timing wheel, its own local clock — and cross-partition scheduling
-//! travels through a per-destination *mailbox* of envelopes stamped
-//! with the sending partition, exactly like a NoC message crossing a
-//! partition boundary.
+//! travels through per-source *outboxes* of envelopes, exactly like NoC
+//! messages crossing a partition boundary.
 //!
-//! # Determinism
+//! # Determinism: canonical keys
 //!
-//! All partitions draw sequence numbers from one **global** counter, in
-//! commit order. The merged head is the minimum partition head by
-//! `(time, seq)`; because pushes into any single partition carry
-//! strictly increasing sequence numbers (direct pushes happen in commit
-//! order, and mailbox envelopes — also created in commit order — are
-//! drained into the owning wheel before that partition's next pop),
-//! every partition queue's head is its minimum `(time, seq)` and the
-//! merge reproduces the *single-queue total order exactly*, for any
-//! partition count. Mailbox envelopes carry `(time, src-partition,
-//! seq)`; at equal delivery times the globally-unique `seq` (assigned
-//! in commit order) is the tie-break, which refines the
-//! `(time, src, seq)` lexicographic order into the one order that is
-//! invariant in N — byte-identical stats, traces, and bench rows
-//! whether the engine runs 1 partition or 64.
+//! Every push is stamped with a **canonical key**
+//! `(src_tile << 48) | per-src-tile push counter`. Unlike the global
+//! commit-order sequence counter this queue used before the relaxed
+//! executor existed, the canonical key is a pure function of simulated
+//! causality: tile `s`'s pushes happen during `s`'s own events, in
+//! `s`'s deterministic event order, in fixed code order within each
+//! event — so the k-th push by tile `s` is *the same push* no matter
+//! which executor (sequential, lockstep-threaded, or relaxed-windowed)
+//! ran the simulation or how many partitions it used. Merging heads by
+//! `(time, key)` therefore yields one total order that every executor
+//! reproduces byte-for-byte. (A commit-order counter cannot provide
+//! this: under parallel commit the interleaving — and hence the counter
+//! values — would differ run to run.)
 //!
-//! # Lookahead and safe-time
+//! # Lookahead, safe windows, and relaxed commit
 //!
 //! Cross-partition events model NoC messages, so their delivery time is
 //! at least `lookahead` — the minimum cross-tile message latency
 //! ([`Mesh::min_cross_latency`] in `lr-sim-noc`) — after the send
-//! instant. That is the classic conservative-PDES guarantee: partition
-//! `p`'s events below `min(other heads) + lookahead` can never be
-//! preempted by a message that hasn't been sent yet. The queue verifies
-//! the property on every cross-partition push (debug builds) and uses
-//! it for the safe-time epoch accounting that the `pdes_scaling` bench
-//! scenario reports ([`ShardedQueue::concurrent_events`],
-//! [`ShardedQueue::epochs`]).
+//! instant. That yields the classic conservative-PDES guarantee used by
+//! the safe-window batch API: after [`ShardedQueue::begin_window`]
+//! computes, per partition `p`, the exclusive bound
+//! `min(min over q ≠ p of head(q) + lookahead, head(p) + 2·lookahead)`,
+//! every event of `p` strictly below that bound — including events `p`
+//! schedules for itself *during* the window — can be committed without
+//! observing any other partition. Why: any event that can still arrive
+//! at `p` traces back, through one or more cross-partition hops (each
+//! adding at least `lookahead`), to an event queued somewhere right
+//! now. A chain starting at another partition `q` reaches `p` no
+//! earlier than `head(q) + lookahead`; a chain starting at `p` itself
+//! must leave and return — two hops — so no earlier than
+//! `head(p) + 2·lookahead`. (Bounding only by the *other* partitions'
+//! heads is unsound: a partition that runs far ahead while seeding a
+//! neighbour with an early event can receive the echo below its own
+//! high-water mark two windows later.) The relaxed
+//! executor in `lr-machine` commits each partition's window batch on
+//! its own host thread with no turn mutex, synchronizing only at
+//! window boundaries where outboxes are drained and the next bounds
+//! computed. The lockstep executor keeps popping the exact global
+//! `(time, key)` order through [`ShardedQueue::pop_global`] — both
+//! produce identical per-tile event sequences, hence identical
+//! simulated results.
 
 use crate::event::{EventQueue, EventQueueKind};
 use crate::Cycle;
@@ -83,56 +97,48 @@ impl PartitionMap {
     }
 }
 
-/// One cross-partition message: the payload plus the fixed merge key
-/// `(time, src-partition, seq)`.
+/// Bits of the canonical key holding the per-src-tile push counter.
+const KEY_CTR_BITS: u32 = 48;
+
+/// One cross-partition message: payload plus its canonical merge key.
 #[derive(Debug)]
 struct Envelope<E> {
     time: Cycle,
-    /// Sending partition — diagnostic half of the merge key; at equal
-    /// times the globally-unique `seq` already decides (module docs).
-    #[allow(dead_code)]
-    src: usize,
-    seq: u64,
+    key: u64,
     payload: E,
 }
 
-/// N per-partition [`EventQueue`]s + deterministic mailbox merge.
-///
-/// The driving executor calls [`ShardedQueue::pop_global`] to obtain
-/// the next event in global `(time, seq)` order together with its
-/// owning partition, applies it (which may [`ShardedQueue::push`] new
-/// events toward any tile), and repeats. Same-partition pushes go
-/// straight into the owner's wheel; cross-partition pushes are
-/// enveloped into the destination's mailbox and drained at the merge
-/// point.
+/// N per-partition [`EventQueue`]s + deterministic merge + safe-window
+/// batch API (module docs).
 #[derive(Debug)]
 pub struct ShardedQueue<E> {
     parts: Vec<EventQueue<E>>,
-    inboxes: Vec<Vec<Envelope<E>>>,
+    /// Cross-partition sends staged per *source* partition
+    /// (`outboxes[src][dest]`): each source partition appends only to
+    /// its own row, so relaxed window execution writes disjoint slots.
+    outboxes: Vec<Vec<Vec<Envelope<E>>>>,
     map: PartitionMap,
     /// Minimum cross-partition delivery delay (NoC lookahead).
     lookahead: Cycle,
-    /// Global sequence counter — the shared tie-break space.
-    seq: u64,
+    /// Per-src-tile push counters — the low 48 key bits.
+    tile_ctr: Vec<u64>,
     now: Cycle,
-    processed: u64,
-    /// Partition whose event is currently being applied (`None` during
-    /// pre-run setup, where pushes are attributed to the destination).
-    active: Option<usize>,
-    /// Pushes that crossed a partition boundary (mailbox envelopes).
-    cross_events: u64,
-    /// Events that satisfied the conservative safe-time test at pop:
-    /// `t < min(other partitions' heads) + lookahead`, i.e. events a
-    /// conservative PDES executor may commit without waiting on any
-    /// other partition's clock.
+    /// Cross-partition pushes, counted per source partition (so relaxed
+    /// windows touch disjoint counters); summed on read.
+    cross: Vec<u64>,
+    /// Events that satisfied the conservative safe-time test at
+    /// `pop_global`: `t < min(other partitions' heads) + lookahead`.
     concurrent_events: u64,
-    /// Lookahead windows crossed (safe-time epoch counter).
+    /// Lookahead windows crossed (safe-time epoch counter,
+    /// `pop_global` path).
     epochs: u64,
     epoch_horizon: Cycle,
-    /// Last sequence pushed into each partition: proves the ascending-
-    /// seq-per-partition invariant the wheel's FIFO tie-break needs.
-    #[cfg(debug_assertions)]
-    last_seq: Vec<Option<u64>>,
+    /// Relaxed-commit observability: non-empty per-partition window
+    /// batches committed, and the largest single batch. Maintained at
+    /// window boundaries from per-partition processed() deltas.
+    commit_batches: u64,
+    max_batch: u64,
+    last_processed: Vec<u64>,
 }
 
 impl<E> ShardedQueue<E> {
@@ -144,19 +150,20 @@ impl<E> ShardedQueue<E> {
         let n = map.partitions();
         ShardedQueue {
             parts: (0..n).map(|_| EventQueue::with_kind(kind)).collect(),
-            inboxes: (0..n).map(|_| Vec::new()).collect(),
+            outboxes: (0..n)
+                .map(|_| (0..n).map(|_| Vec::new()).collect())
+                .collect(),
             map,
             lookahead,
-            seq: 0,
+            tile_ctr: vec![0; tiles],
             now: 0,
-            processed: 0,
-            active: None,
-            cross_events: 0,
+            cross: vec![0; n],
             concurrent_events: 0,
             epochs: 0,
             epoch_horizon: 0,
-            #[cfg(debug_assertions)]
-            last_seq: vec![None; n],
+            commit_batches: 0,
+            max_batch: 0,
+            last_processed: vec![0; n],
         }
     }
 
@@ -170,7 +177,8 @@ impl<E> ShardedQueue<E> {
         self.map
     }
 
-    /// Global simulated time: timestamp of the last event popped.
+    /// Global simulated time: the last `pop_global` timestamp, or the
+    /// latest window base under relaxed commit.
     #[inline]
     pub fn now(&self) -> Cycle {
         self.now
@@ -179,13 +187,17 @@ impl<E> ShardedQueue<E> {
     /// Total events popped across all partitions.
     #[inline]
     pub fn processed(&self) -> u64 {
-        self.processed
+        self.parts.iter().map(EventQueue::processed).sum()
     }
 
-    /// Pending events across partitions and mailboxes.
+    /// Pending events across partitions and outboxes.
     pub fn len(&self) -> usize {
         self.parts.iter().map(EventQueue::len).sum::<usize>()
-            + self.inboxes.iter().map(Vec::len).sum::<usize>()
+            + self
+                .outboxes
+                .iter()
+                .flat_map(|row| row.iter().map(Vec::len))
+                .sum::<usize>()
     }
 
     /// True if no events are pending anywhere.
@@ -193,10 +205,10 @@ impl<E> ShardedQueue<E> {
         self.len() == 0
     }
 
-    /// Cross-partition pushes so far (mailbox traffic).
+    /// Cross-partition pushes so far (outbox traffic).
     #[inline]
     pub fn cross_events(&self) -> u64 {
-        self.cross_events
+        self.cross.iter().sum()
     }
 
     /// Events that passed the conservative safe-time test (see field).
@@ -211,6 +223,19 @@ impl<E> ShardedQueue<E> {
         self.epochs
     }
 
+    /// Non-empty per-partition window batches committed so far
+    /// (relaxed executor; 0 under pure `pop_global` driving).
+    #[inline]
+    pub fn commit_batches(&self) -> u64 {
+        self.commit_batches
+    }
+
+    /// Largest single per-partition window batch committed so far.
+    #[inline]
+    pub fn max_batch(&self) -> u64 {
+        self.max_batch
+    }
+
     /// The cross-partition lookahead this queue enforces.
     #[inline]
     pub fn lookahead(&self) -> Cycle {
@@ -218,71 +243,86 @@ impl<E> ShardedQueue<E> {
     }
 
     /// Schedule `payload` at `time` for the partition owning
-    /// `dest_tile`. Same-partition pushes are direct; cross-partition
-    /// pushes travel through the destination's mailbox and must honour
-    /// the lookahead (debug-asserted — in the machine every such push
-    /// rides a NoC message whose latency is at least the lookahead).
-    pub fn push(&mut self, dest_tile: usize, time: Cycle, payload: E) {
+    /// `dest_tile`, pushed by the handler of an event at tile
+    /// `src_tile` whose timestamp is `send_now` (pre-run setup passes
+    /// `src_tile == dest_tile`, `send_now == 0`).
+    ///
+    /// The push is stamped with the canonical key derived from
+    /// `src_tile` (module docs). Same-partition pushes go straight into
+    /// the owner's queue; cross-partition pushes are staged in the
+    /// source partition's outbox — so concurrent window execution
+    /// touches only source-partition-owned state — and delivered at the
+    /// next merge point ([`ShardedQueue::pop_global`] or
+    /// [`ShardedQueue::begin_window`]). Cross-partition sends must
+    /// honour the lookahead (debug-asserted — in the machine every such
+    /// push rides a NoC message whose latency is at least the
+    /// lookahead).
+    pub fn push(
+        &mut self,
+        src_tile: usize,
+        send_now: Cycle,
+        dest_tile: usize,
+        time: Cycle,
+        payload: E,
+    ) {
         assert!(
-            time >= self.now,
-            "event scheduled in the past: t={} < now={}",
-            time,
-            self.now
+            time >= send_now,
+            "event scheduled in the past: t={time} < send time {send_now}"
         );
+        let src = self.map.partition_of(src_tile);
         let dest = self.map.partition_of(dest_tile);
-        let seq = self.seq;
-        self.seq += 1;
-        #[cfg(debug_assertions)]
-        {
+        let ctr = self.tile_ctr[src_tile];
+        self.tile_ctr[src_tile] = ctr + 1;
+        assert!(
+            ctr < 1u64 << KEY_CTR_BITS,
+            "canonical key counter overflow at tile {src_tile}"
+        );
+        let key = ((src_tile as u64) << KEY_CTR_BITS) | ctr;
+        if src == dest {
+            self.parts[dest].push_at_seq(time, key, payload);
+        } else {
             debug_assert!(
-                self.last_seq[dest].is_none_or(|s| seq > s),
-                "non-monotonic seq into partition {dest}"
+                time >= send_now + self.lookahead,
+                "cross-partition event violates lookahead: t={} < send={} + lookahead={} \
+                 (partition {src} -> {dest})",
+                time,
+                send_now,
+                self.lookahead,
             );
-            self.last_seq[dest] = Some(seq);
-        }
-        match self.active {
-            Some(src) if src != dest => {
-                debug_assert!(
-                    time >= self.now + self.lookahead,
-                    "cross-partition event violates lookahead: t={} < now={} + lookahead={} \
-                     (partition {src} -> {dest})",
-                    time,
-                    self.now,
-                    self.lookahead,
-                );
-                self.cross_events += 1;
-                self.inboxes[dest].push(Envelope {
-                    time,
-                    src,
-                    seq,
-                    payload,
-                });
-            }
-            _ => self.parts[dest].push_at_seq(time, seq, payload),
+            self.cross[src] += 1;
+            self.outboxes[src][dest].push(Envelope { time, key, payload });
         }
     }
 
-    /// Drain every mailbox into its owning partition queue. Envelopes
-    /// sit in each inbox in send (= ascending global seq) order, so the
-    /// drain preserves the per-partition ascending-seq invariant.
+    /// Drain every outbox into its destination partition queue. The
+    /// per-queue ordered insertion restores `(time, key)` order no
+    /// matter the interleaving the envelopes were staged in.
     fn deliver_all(&mut self) {
-        for (p, inbox) in self.inboxes.iter_mut().enumerate() {
-            for env in inbox.drain(..) {
-                self.parts[p].push_at_seq(env.time, env.seq, env.payload);
+        for src in 0..self.outboxes.len() {
+            for dest in 0..self.outboxes[src].len() {
+                if self.outboxes[src][dest].is_empty() {
+                    continue;
+                }
+                let mut staged = std::mem::take(&mut self.outboxes[src][dest]);
+                for env in staged.drain(..) {
+                    self.parts[dest].push_at_seq(env.time, env.key, env.payload);
+                }
+                // Hand the (empty, capacity-retaining) buffer back.
+                self.outboxes[src][dest] = staged;
             }
         }
     }
 
     /// The partition owning the globally earliest pending event, after
-    /// delivering pending mailbox traffic. `None` iff the queue is
-    /// drained. Used by the threaded executor to decide whose turn it
-    /// is without consuming the event.
+    /// delivering pending outbox traffic. `None` iff the queue is
+    /// drained. Used by the lockstep threaded executor to decide whose
+    /// turn it is without consuming the event.
     pub fn head_partition(&mut self) -> Option<usize> {
         self.deliver_all();
         self.min_head().map(|(_, _, p)| p)
     }
 
-    /// Minimum partition head by `(time, seq)` (mailboxes must already
+    /// Minimum partition head by `(time, key)` (outboxes must already
     /// be drained).
     fn min_head(&self) -> Option<(Cycle, u64, usize)> {
         let mut best: Option<(Cycle, u64, usize)> = None;
@@ -296,10 +336,11 @@ impl<E> ShardedQueue<E> {
         best
     }
 
-    /// Pop the globally earliest event: deliver mailbox traffic, merge
-    /// partition heads by `(time, seq)`, pop from the winning partition
-    /// and mark it active (subsequent pushes from the event's handler
-    /// are attributed to it). Returns `(time, partition, payload)`.
+    /// Pop the globally earliest event: deliver outbox traffic, merge
+    /// partition heads by `(time, key)`, pop from the winning
+    /// partition. Returns `(time, partition, payload)`. This is the
+    /// sequential/lockstep driving mode; [`ShardedQueue::begin_window`]
+    /// + [`ShardedQueue::pop_bounded`] is the relaxed one.
     pub fn pop_global(&mut self) -> Option<(Cycle, usize, E)> {
         self.deliver_all();
         let (_, _, p) = self.min_head()?;
@@ -312,20 +353,112 @@ impl<E> ShardedQueue<E> {
                 }
             }
         }
-        let (time, _seq, payload) = self.parts[p].pop_keyed().expect("head vanished");
-        self.active = Some(p);
+        let (time, _key, payload) = self.parts[p].pop_keyed().expect("head vanished");
         self.now = time;
-        self.processed += 1;
+        // Epoch/horizon sums must not wrap the 64-bit clock: a wrap
+        // would silently misclassify every later event, so fail loudly
+        // (same discipline as `EventQueue::push_after`).
         if let Some(m) = other_min {
-            if time < m.saturating_add(self.lookahead) {
+            let horizon = m.checked_add(self.lookahead).unwrap_or_else(|| {
+                panic!(
+                    "protocol invariant violated at cycle {time}: safe-time horizon \
+                     {m} + lookahead {} overflows the simulated clock",
+                    self.lookahead
+                )
+            });
+            if time < horizon {
                 self.concurrent_events += 1;
             }
         }
         if time >= self.epoch_horizon {
             self.epochs += 1;
-            self.epoch_horizon = time.saturating_add(self.lookahead.max(1));
+            self.epoch_horizon = time.checked_add(self.lookahead.max(1)).unwrap_or_else(|| {
+                panic!(
+                    "protocol invariant violated at cycle {time}: epoch horizon \
+                     {time} + lookahead {} overflows the simulated clock",
+                    self.lookahead.max(1)
+                )
+            });
         }
         Some((time, p, payload))
+    }
+
+    /// Open the next safe window: deliver all staged cross-partition
+    /// traffic, account the batches of the window just closed, and
+    /// return per-partition **exclusive** bounds — partition `p` may
+    /// commit every event strictly below `bounds[p]` without observing
+    /// any other partition (module docs prove why, including events `p`
+    /// pushes to itself mid-window and multi-window echo chains).
+    /// Returns `None` when fully drained.
+    ///
+    /// Progress: the partition holding the globally earliest event `t`
+    /// always has `bounds[p] ≥ t + lookahead.max(1) > t`.
+    pub fn begin_window(&mut self) -> Option<Vec<Cycle>> {
+        self.deliver_all();
+        // Account the window that just finished executing.
+        for (p, q) in self.parts.iter().enumerate() {
+            let batch = q.processed() - self.last_processed[p];
+            if batch > 0 {
+                self.commit_batches += 1;
+                self.max_batch = self.max_batch.max(batch);
+                self.last_processed[p] = q.processed();
+            }
+        }
+        let heads: Vec<Option<Cycle>> = self.parts.iter().map(EventQueue::peek_time).collect();
+        if heads.iter().all(Option::is_none) {
+            return None;
+        }
+        // Each opened window is one epoch of the conservative clock
+        // (the lockstep driver counts epochs by lookahead horizon in
+        // `pop_global` instead).
+        self.epochs += 1;
+        let la = self.lookahead.max(1);
+        let add = |t: Cycle, d: Cycle| {
+            t.checked_add(d).unwrap_or_else(|| {
+                panic!(
+                    "protocol invariant violated: window bound {t} + lookahead {d} \
+                     overflows the simulated clock"
+                )
+            })
+        };
+        let n = self.parts.len();
+        let bounds = (0..n)
+            .map(|p| {
+                // Every event that can still reach `p` traces back
+                // (through zero or more same-partition steps and one or
+                // more cross-partition hops, each hop adding at least
+                // `la`) to an event queued *right now*. A chain
+                // originating at another partition needs one hop; a
+                // chain originating at `p` itself must leave and come
+                // back — two hops. `p`'s purely local future is ordered
+                // by its own queue and needs no bound.
+                let one_hop = (0..n)
+                    .filter(|&q| q != p)
+                    .filter_map(|q| heads[q])
+                    .min()
+                    .map(|m| add(m, la));
+                let two_hop = heads[p].map(|h| add(h, 2 * la));
+                one_hop
+                    .into_iter()
+                    .chain(two_hop)
+                    .min()
+                    .unwrap_or(Cycle::MAX)
+            })
+            .collect();
+        self.now = heads.iter().flatten().copied().min().unwrap_or(self.now);
+        Some(bounds)
+    }
+
+    /// Pop partition `p`'s next event if its timestamp is strictly
+    /// below `bound` (the partition's current window bound). Safe to
+    /// call concurrently for *distinct* partitions through the relaxed
+    /// executor's shared-core cell: it touches only `parts[p]`.
+    pub fn pop_bounded(&mut self, p: usize, bound: Cycle) -> Option<(Cycle, E)> {
+        let (t, _) = self.parts[p].peek_key()?;
+        if t >= bound {
+            return None;
+        }
+        self.parts[p].pop_keyed().map(|(t, _, e)| (t, e))
     }
 }
 
@@ -363,14 +496,15 @@ mod tests {
     }
 
     #[test]
-    fn pop_global_merges_partitions_in_time_seq_order() {
+    fn pop_global_merges_partitions_in_time_key_order() {
         let mut q: ShardedQueue<&str> = ShardedQueue::with_kind(EventQueueKind::Wheel, 4, 2, 0);
-        // Setup pushes (no active partition) go direct.
-        q.push(0, 5, "a@p0");
-        q.push(3, 5, "b@p1");
-        q.push(0, 2, "c@p0");
+        // Setup pushes: src == dest.
+        q.push(0, 0, 0, 5, "a@p0");
+        q.push(3, 0, 3, 5, "b@p1");
+        q.push(0, 0, 0, 2, "c@p0");
         assert_eq!(q.pop_global(), Some((2, 0, "c@p0")));
-        // Same time across partitions: global send order (seq) wins.
+        // Same time across partitions: canonical key (src tile, then
+        // per-tile counter) decides — tile 0 before tile 3.
         assert_eq!(q.pop_global(), Some((5, 0, "a@p0")));
         assert_eq!(q.pop_global(), Some((5, 1, "b@p1")));
         assert_eq!(q.pop_global(), None);
@@ -378,14 +512,29 @@ mod tests {
     }
 
     #[test]
-    fn cross_partition_pushes_travel_through_the_mailbox() {
+    fn canonical_key_orders_same_time_pushes_by_src_tile_not_push_order() {
+        // Tile 2 pushes first, tile 1 second, both for tile 0 at t=5:
+        // the merged order must be tile 1's event first, regardless of
+        // push (commit) order — this is what makes the order invariant
+        // under relaxed parallel commit.
+        for kind in [EventQueueKind::Heap, EventQueueKind::Wheel] {
+            let mut q: ShardedQueue<&str> = ShardedQueue::with_kind(kind, 4, 1, 1);
+            q.push(2, 0, 0, 5, "from-tile-2");
+            q.push(1, 0, 0, 5, "from-tile-1");
+            assert_eq!(q.pop_global(), Some((5, 0, "from-tile-1")));
+            assert_eq!(q.pop_global(), Some((5, 0, "from-tile-2")));
+        }
+    }
+
+    #[test]
+    fn cross_partition_pushes_travel_through_the_outbox() {
         let mut q: ShardedQueue<u32> = ShardedQueue::with_kind(EventQueueKind::Wheel, 4, 4, 2);
-        q.push(0, 0, 0);
+        q.push(0, 0, 0, 0, 0);
         assert_eq!(q.pop_global(), Some((0, 0, 0)));
-        // Handler of partition 0's event schedules for tile 3 (partition
-        // 3): must be enveloped, honouring the lookahead of 2.
-        q.push(3, 2, 1);
-        q.push(0, 1, 2); // same-partition: direct, no envelope
+        // Handler of tile 0's event at t=0 schedules for tile 3
+        // (partition 3): staged in the outbox, honouring lookahead 2.
+        q.push(0, 0, 3, 2, 1);
+        q.push(0, 0, 0, 1, 2); // same-partition: direct, no envelope
         assert_eq!(q.cross_events(), 1);
         assert_eq!(q.len(), 2);
         assert_eq!(q.pop_global(), Some((1, 0, 2)));
@@ -398,18 +547,18 @@ mod tests {
     #[should_panic(expected = "violates lookahead")]
     fn lookahead_violation_is_caught_in_debug() {
         let mut q: ShardedQueue<u32> = ShardedQueue::with_kind(EventQueueKind::Wheel, 4, 4, 10);
-        q.push(0, 0, 0);
+        q.push(0, 0, 0, 0, 0);
         q.pop_global();
-        q.push(3, 5, 1); // 5 < now(0) + lookahead(10)
+        q.push(0, 0, 3, 5, 1); // 5 < send(0) + lookahead(10)
     }
 
     #[test]
     fn single_partition_never_envelopes() {
         let mut q: ShardedQueue<u32> = ShardedQueue::with_kind(EventQueueKind::Heap, 8, 1, 3);
-        q.push(0, 0, 0);
+        q.push(0, 0, 0, 0, 0);
         q.pop_global();
         for tile in 0..8 {
-            q.push(tile, 1, tile as u32);
+            q.push(0, 0, tile, 1, tile as u32);
         }
         assert_eq!(q.cross_events(), 0);
         for tile in 0..8 {
@@ -421,11 +570,64 @@ mod tests {
     fn safe_time_accounting_counts_concurrent_events() {
         let mut q: ShardedQueue<u32> = ShardedQueue::with_kind(EventQueueKind::Wheel, 2, 2, 100);
         // Heads 10 (p0) and 50 (p1): both within one lookahead window.
-        q.push(0, 10, 0);
-        q.push(1, 50, 1);
+        q.push(0, 0, 0, 10, 0);
+        q.push(1, 0, 1, 50, 1);
         q.pop_global(); // t=10: other head 50, 10 < 50+100 → concurrent
         q.pop_global(); // t=50: no other head → not counted
         assert_eq!(q.concurrent_events(), 1);
         assert!(q.epochs() >= 1);
+    }
+
+    #[test]
+    fn windowed_draining_matches_pop_global_per_partition() {
+        // Drive two identically-filled queues, one via pop_global, one
+        // via the window API; per-partition pop sequences must agree.
+        let build = || {
+            let mut q: ShardedQueue<u64> = ShardedQueue::with_kind(EventQueueKind::Wheel, 4, 2, 2);
+            let mut x = 0x9E3779B97F4A7C15u64;
+            for i in 0..200u64 {
+                x = x.rotate_left(7).wrapping_mul(0xBF58476D1CE4E5B9);
+                let tile = (x % 4) as usize;
+                let t = (x >> 8) % 64;
+                q.push(tile, 0, tile, t, i);
+            }
+            q
+        };
+        let mut seq_order: Vec<Vec<(Cycle, u64)>> = vec![Vec::new(); 2];
+        let mut a = build();
+        while let Some((t, p, v)) = a.pop_global() {
+            seq_order[p].push((t, v));
+        }
+        let mut win_order: Vec<Vec<(Cycle, u64)>> = vec![Vec::new(); 2];
+        let mut b = build();
+        while let Some(bounds) = b.begin_window() {
+            for p in 0..2 {
+                while let Some((t, v)) = b.pop_bounded(p, bounds[p]) {
+                    win_order[p].push((t, v));
+                }
+            }
+        }
+        assert_eq!(seq_order, win_order);
+        assert_eq!(a.processed(), b.processed());
+        assert!(b.commit_batches() > 0);
+        assert!(b.max_batch() > 0);
+        assert_eq!(a.commit_batches(), 0);
+    }
+
+    #[test]
+    fn window_bounds_guarantee_progress_and_batch_accounting() {
+        let mut q: ShardedQueue<u32> = ShardedQueue::with_kind(EventQueueKind::Wheel, 2, 2, 5);
+        q.push(0, 0, 0, 10, 0);
+        q.push(1, 0, 1, 10, 1);
+        let bounds = q.begin_window().unwrap();
+        // Both heads at 10: each bound is the *other* head + lookahead.
+        assert_eq!(bounds, vec![15, 15]);
+        assert_eq!(q.pop_bounded(0, bounds[0]), Some((10, 0)));
+        assert_eq!(q.pop_bounded(0, bounds[0]), None);
+        assert_eq!(q.pop_bounded(1, bounds[1]), Some((10, 1)));
+        // Next window: previous batches accounted, queue drained.
+        assert!(q.begin_window().is_none());
+        assert_eq!(q.commit_batches(), 2);
+        assert_eq!(q.max_batch(), 1);
     }
 }

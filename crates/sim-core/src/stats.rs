@@ -129,6 +129,32 @@ impl MachineStats {
         }
     }
 
+    /// Merge another machine-level stats block into this one: scalar
+    /// counters add, `max_dir_queue_len` takes the max, and per-core
+    /// counters merge index-wise (an empty `cores` vec on either side
+    /// contributes nothing — per-tile partial blocks carry scalars
+    /// only). Merging per-partition partials in fixed tile order is
+    /// deterministic because every counter update is commutative and
+    /// associative over `u64`/`max`, so the merged block is
+    /// byte-identical to sequential accumulation.
+    pub fn merge_from(&mut self, o: &MachineStats) {
+        self.total_cycles = self.total_cycles.max(o.total_cycles);
+        self.dir_requests += o.dir_requests;
+        self.l2_hits += o.l2_hits;
+        self.l2_misses += o.l2_misses;
+        self.invalidations += o.invalidations;
+        self.owner_probes += o.owner_probes;
+        self.msgs_control += o.msgs_control;
+        self.msgs_data += o.msgs_data;
+        self.flit_hops += o.flit_hops;
+        self.dir_queue_wait_cycles += o.dir_queue_wait_cycles;
+        self.max_dir_queue_len = self.max_dir_queue_len.max(o.max_dir_queue_len);
+        self.app_ops += o.app_ops;
+        for (mine, theirs) in self.cores.iter_mut().zip(&o.cores) {
+            mine.merge(theirs);
+        }
+    }
+
     /// Sum of all per-core counters.
     pub fn core_totals(&self) -> CoreStats {
         let mut t = CoreStats::default();
@@ -300,6 +326,36 @@ mod tests {
         assert_eq!(a.l1_hits, 8);
         assert_eq!(a.cas_attempts, 6);
         assert_eq!(a.cas_failures, 1);
+    }
+
+    #[test]
+    fn merge_from_is_order_independent_and_matches_sequential() {
+        // Simulate per-partition partial blocks (scalars only, empty
+        // cores) merged into a base block, vs accumulating the same
+        // updates sequentially into one block.
+        let mk = |d, h, q: usize| MachineStats {
+            dir_requests: d,
+            l2_hits: h,
+            max_dir_queue_len: q,
+            ..MachineStats::default()
+        };
+        let parts = [mk(3, 1, 2), mk(5, 0, 7), mk(0, 4, 1)];
+        let mut sequential = MachineStats::new(2);
+        for p in &parts {
+            sequential.dir_requests += p.dir_requests;
+            sequential.l2_hits += p.l2_hits;
+            sequential.max_dir_queue_len = sequential.max_dir_queue_len.max(p.max_dir_queue_len);
+        }
+        let mut merged = MachineStats::new(2);
+        for p in &parts {
+            merged.merge_from(p);
+        }
+        assert_eq!(merged.to_json(), sequential.to_json());
+        // Empty `cores` on the partial side leaves per-core data alone.
+        merged.cores[1].l1_misses = 9;
+        merged.merge_from(&mk(1, 1, 1));
+        assert_eq!(merged.cores[1].l1_misses, 9);
+        assert_eq!(merged.dir_requests, 9);
     }
 
     #[test]

@@ -31,15 +31,14 @@
 //!
 //! # Determinism
 //!
-//! The queue contract is *stable FIFO by `(time, seq)`*. Within a slot,
-//! entries hang off an intrusive singly-linked list appended at the
-//! tail, and cascades walk that list head-to-tail, so insertion order
-//! is preserved end to end. A level-0 slot holds exactly one distinct
-//! timestamp, and it only ever receives entries in ascending `seq`
-//! order: everything destined for a 256-cycle window is parked at a
-//! higher level until `pos` enters the window, at which point the
-//! window's entries cascade down *once*, in order, before any direct
-//! push can target those slots.
+//! The queue contract is *total order by `(time, seq)`*. Within a slot,
+//! entries hang off an intrusive singly-linked list kept sorted by
+//! `(time, seq)` via ordered insertion ([`Wheel::link`]), and cascades
+//! walk that list head-to-tail through the same insertion path, so
+//! sortedness is preserved end to end. Keys need not arrive in
+//! ascending order: the sharded engine's canonical keys (src-tile ∥
+//! per-tile counter) can reach one queue out of key order at a given
+//! cycle, and the ordered insert restores the contract.
 //!
 //! # Allocation discipline
 //!
@@ -161,17 +160,54 @@ impl<E> Wheel<E> {
         (level, slot)
     }
 
-    /// Append slab node `idx` (whose `time` is given) to its slot list.
+    /// Insert slab node `idx` (whose `time` is given) into its slot
+    /// list, keeping the list sorted by `(time, seq)`.
+    ///
+    /// Sequence keys used to arrive in ascending order per queue, so a
+    /// tail append sufficed. The sharded engine's canonical keys
+    /// (`src-tile` ∥ per-tile counter) are *not* globally ascending at a
+    /// given cycle — two handlers at different tiles can push same-time
+    /// events in either order — so the slot list performs an ordered
+    /// insert instead: O(1) for the common in-order case (new key ≥
+    /// tail), a head-to-tail walk otherwise. Cascades re-file nodes
+    /// head-to-tail through this same path, so sortedness is preserved
+    /// end to end and the head of any slot is its `(time, seq)` minimum.
     fn link(&mut self, idx: u32, time: Cycle) {
         let (level, slot) = self.locate(time);
-        self.pool[idx as usize].next = NIL;
-        let tail = self.levels[level].slots[slot].tail;
-        if tail == NIL {
+        let key = (time, self.pool[idx as usize].seq);
+        let s = self.levels[level].slots[slot];
+        if s.tail == NIL {
+            self.pool[idx as usize].next = NIL;
             self.levels[level].slots[slot].head = idx;
+            self.levels[level].slots[slot].tail = idx;
         } else {
-            self.pool[tail as usize].next = idx;
+            let tail = &self.pool[s.tail as usize];
+            if key >= (tail.time, tail.seq) {
+                self.pool[idx as usize].next = NIL;
+                self.pool[s.tail as usize].next = idx;
+                self.levels[level].slots[slot].tail = idx;
+            } else {
+                // Out-of-order same-window arrival: find the first node
+                // strictly greater and splice in front of it.
+                let mut prev = NIL;
+                let mut cur = s.head;
+                loop {
+                    let n = &self.pool[cur as usize];
+                    if (n.time, n.seq) > key {
+                        break;
+                    }
+                    prev = cur;
+                    cur = n.next;
+                    debug_assert_ne!(cur, NIL, "tail check guaranteed an insert point");
+                }
+                self.pool[idx as usize].next = cur;
+                if prev == NIL {
+                    self.levels[level].slots[slot].head = idx;
+                } else {
+                    self.pool[prev as usize].next = idx;
+                }
+            }
         }
-        self.levels[level].slots[slot].tail = idx;
         self.levels[level].occ[slot / 64] |= 1 << (slot % 64);
     }
 
@@ -274,43 +310,23 @@ impl<E> Wheel<E> {
 
     /// `(time, seq)` of the entry [`Wheel::pop`] would return next.
     ///
-    /// For the minimum time this is exact: within a slot the first node
-    /// (head-to-tail) carrying the minimum time is the earliest-inserted
-    /// one, which is exactly the node a cascade re-files first and a pop
-    /// returns first.
+    /// Exact at every level: slot lists are kept sorted by `(time, seq)`
+    /// ([`Wheel::link`]), and the first occupied slot of the lowest
+    /// non-empty level bounds the minimum (every other pending entry is
+    /// in a later window of this or a higher level), so the head of that
+    /// slot is the global minimum.
     pub(crate) fn peek_key(&self) -> Option<(Cycle, u64)> {
         if self.len == 0 {
             return None;
         }
-        let start = (self.pos & MASK) as usize;
-        if let Some(slot) = self.levels[0].first_occupied_from(start) {
-            let idx = self.levels[0].slots[slot].head;
-            let n = &self.pool[idx as usize];
-            return Some((n.time, n.seq));
-        }
-        for level in 1..LEVELS {
+        for level in 0..LEVELS {
             let shift = BITS * level as u32;
             let start = ((self.pos >> shift) & MASK) as usize;
             let Some(slot) = self.levels[level].first_occupied_from(start) else {
                 continue;
             };
-            // The first occupied slot of the lowest non-empty level
-            // bounds the minimum: every other pending entry is in a
-            // later window of this level or a later window of a higher
-            // level, both strictly greater. A strict `<` keeps the
-            // earliest-inserted minimum-time node.
-            let mut idx = self.levels[level].slots[slot].head;
-            let mut min = Cycle::MAX;
-            let mut seq = 0u64;
-            while idx != NIL {
-                let n = &self.pool[idx as usize];
-                if n.time < min {
-                    min = n.time;
-                    seq = n.seq;
-                }
-                idx = n.next;
-            }
-            return Some((min, seq));
+            let n = &self.pool[self.levels[level].slots[slot].head as usize];
+            return Some((n.time, n.seq));
         }
         unreachable!("wheel has {} entries but no occupied slot", self.len);
     }

@@ -1,11 +1,13 @@
 //! Randomized property tests for the partitioned PDES queue: driving
 //! the same interleaved push/pop schedule through a [`ShardedQueue`]
 //! (any partition count, either backing store) and a single
-//! [`EventQueue`] must produce element-for-element identical pop
-//! streams — the sharded merge over per-partition wheels plus the
-//! cross-partition mailbox *is* the single-queue `(time, seq)` total
-//! order. Same sorted-oracle model as `event_prop.rs`, extended with a
-//! random destination tile per push.
+//! [`EventQueue`] fed the same canonical keys must produce
+//! element-for-element identical pop streams — the sharded merge over
+//! per-partition wheels plus the cross-partition outbox *is* the
+//! single-queue `(time, key)` total order, where the key is the
+//! canonical `(src_tile << 48) | per-src-tile counter` stamp. Same
+//! sorted-oracle model as `event_prop.rs`, extended with random source
+//! and destination tiles per push.
 
 use lr_sim_core::{EventQueue, EventQueueKind, ShardedQueue, SplitMix64};
 
@@ -13,13 +15,21 @@ const KINDS: [EventQueueKind; 2] = [EventQueueKind::Heap, EventQueueKind::Wheel]
 const PARTS: [usize; 5] = [1, 2, 3, 4, 7];
 const TILES: usize = 8;
 
-/// One schedule step: `Push(dest_tile, delay)` schedules the next id at
-/// `now + delay` for `dest_tile`'s partition, `Pop` pops one event
-/// (skipped while empty). Trailing drain is implicit.
+/// One schedule step: `Push(src_tile, dest_tile, delay)` schedules the
+/// next id at `now + delay` for `dest_tile`'s partition as a push by
+/// `src_tile`; `Pop` pops one event (skipped while empty). Trailing
+/// drain is implicit.
 #[derive(Debug, Clone, Copy)]
 enum Step {
-    Push(usize, u64),
+    Push(usize, usize, u64),
     Pop,
+}
+
+/// Mirror of the queue's canonical key stamping.
+fn next_key(ctrs: &mut [u64; TILES], src: usize) -> u64 {
+    let k = ((src as u64) << 48) | ctrs[src];
+    ctrs[src] += 1;
+    k
 }
 
 fn random_schedule(seed: u64, max_delay: u64, push_bias: f64) -> Vec<Step> {
@@ -29,6 +39,7 @@ fn random_schedule(seed: u64, max_delay: u64, push_bias: f64) -> Vec<Step> {
         .map(|_| {
             if rng.gen_bool(push_bias) {
                 Step::Push(
+                    rng.gen_range(0u64..TILES as u64) as usize,
                     rng.gen_range(0u64..TILES as u64) as usize,
                     rng.gen_range(0u64..max_delay),
                 )
@@ -47,8 +58,8 @@ fn drive_sharded(kind: EventQueueKind, parts: usize, steps: &[Step]) -> Vec<(u64
     let mut id = 0usize;
     for &s in steps {
         match s {
-            Step::Push(tile, d) => {
-                q.push(tile, q.now() + d, id);
+            Step::Push(src, dest, d) => {
+                q.push(src, q.now(), dest, q.now() + d, id);
                 id += 1;
             }
             Step::Pop => out.extend(q.pop_global().map(|(t, _, e)| (t, e))),
@@ -62,57 +73,71 @@ fn drive_sharded(kind: EventQueueKind, parts: usize, steps: &[Step]) -> Vec<(u64
     out
 }
 
-/// Pop stream of the single-queue reference for the same schedule.
+/// Pop stream of the single-queue reference for the same schedule,
+/// stamped with the same canonical keys the sharded queue uses.
 fn drive_single(kind: EventQueueKind, steps: &[Step]) -> Vec<(u64, usize)> {
     let mut q: EventQueue<usize> = EventQueue::with_kind(kind);
+    let mut ctrs = [0u64; TILES];
+    let mut now = 0u64;
     let mut out = Vec::new();
     let mut id = 0usize;
     for &s in steps {
         match s {
-            Step::Push(_, d) => {
-                q.push_after(d, id);
+            Step::Push(src, _, d) => {
+                let key = next_key(&mut ctrs, src);
+                q.push_at_seq(now + d, key, id);
                 id += 1;
             }
-            Step::Pop => out.extend(q.pop()),
+            Step::Pop => {
+                if let Some((t, e)) = q.pop() {
+                    now = t;
+                    out.push((t, e));
+                }
+            }
         }
     }
-    while let Some(e) = q.pop() {
-        out.push(e);
+    while let Some((t, e)) = q.pop() {
+        out.push((t, e));
     }
     out
 }
 
 /// Full cross-check for one schedule: every (kind, parts) sharded run
-/// equals the single-queue run equals the stable sorted oracle.
+/// equals the single-queue run equals the sorted-by-(time, key) oracle.
 fn check_schedule(steps: &[Step], label: &str) {
     let reference = drive_single(EventQueueKind::Wheel, steps);
-    // Sorted oracle: stable sort of pushes by target time. `now` is
-    // tracked like the queue does (a pop advances it to the pops-th
-    // entry of the stable-sorted prefix so far — later pushes can never
-    // sort before already-popped events because `time >= now`).
+    // Oracle: a naive O(n) discrete-event simulation over a flat
+    // pending set — pop removes the `(time, key)` minimum. (A
+    // retrospective full sort would be wrong: a push *after* a pop can
+    // carry the popped time with a smaller canonical key — same cycle,
+    // lower source tile — and legitimately pops later.)
     let expected: Vec<(u64, usize)> = {
+        let mut ctrs = [0u64; TILES];
         let mut now = 0u64;
-        let mut pops = 0usize;
-        let mut times: Vec<(u64, usize)> = Vec::new();
+        let mut pending: Vec<(u64, u64, usize)> = Vec::new();
+        let mut out = Vec::new();
         let mut id = 0usize;
         for &s in steps {
             match s {
-                Step::Push(_, d) => {
-                    times.push((now + d, id));
+                Step::Push(src, _, d) => {
+                    let key = next_key(&mut ctrs, src);
+                    pending.push((now + d, key, id));
                     id += 1;
                 }
                 Step::Pop => {
-                    let mut sorted = times.clone();
-                    sorted.sort_by_key(|&(t, _)| t);
-                    if let Some(&(t, _)) = sorted.get(pops) {
+                    if let Some(i) =
+                        (0..pending.len()).min_by_key(|&i| (pending[i].0, pending[i].1))
+                    {
+                        let (t, _, e) = pending.swap_remove(i);
                         now = t;
-                        pops += 1;
+                        out.push((t, e));
                     }
                 }
             }
         }
-        times.sort_by_key(|&(t, _)| t);
-        times
+        pending.sort();
+        out.extend(pending.into_iter().map(|(t, _, e)| (t, e)));
+        out
     };
     assert_eq!(
         reference, expected,
@@ -160,7 +185,11 @@ fn sharded_far_future_delays_stay_sorted() {
                         1 => 20_000 + rng.gen_range(0u64..20_000),
                         _ => rng.gen_range(0u64..1 << 40),
                     };
-                    Step::Push(rng.gen_range(0u64..TILES as u64) as usize, d)
+                    Step::Push(
+                        rng.gen_range(0u64..TILES as u64) as usize,
+                        rng.gen_range(0u64..TILES as u64) as usize,
+                        d,
+                    )
                 } else {
                     Step::Pop
                 }
@@ -170,11 +199,12 @@ fn sharded_far_future_delays_stay_sorted() {
     }
 }
 
-/// Dense same-cycle bursts across partitions: stability across the
-/// mailbox merge (ties at one cycle spread over N partitions must pop
-/// in global push order) is the whole point.
+/// Dense same-cycle bursts across partitions: ties at one cycle spread
+/// over N partitions must pop in canonical-key order — by source tile,
+/// then by each tile's own push order — independent of partition count
+/// and of the order the pushes were committed.
 #[test]
-fn sharded_same_cycle_bursts_keep_global_push_order() {
+fn sharded_same_cycle_bursts_keep_canonical_key_order() {
     for case in 0..64u64 {
         let mut rng = SplitMix64::new(0x5a4d_3000 + case);
         let mut sched = Vec::new();
@@ -182,6 +212,7 @@ fn sharded_same_cycle_bursts_keep_global_push_order() {
             let base = rng.gen_range(0u64..64);
             for _ in 0..rng.gen_range(1usize..32) {
                 sched.push(Step::Push(
+                    rng.gen_range(0u64..TILES as u64) as usize,
                     rng.gen_range(0u64..TILES as u64) as usize,
                     base + rng.gen_range(0u64..3) * 7,
                 ));
@@ -194,7 +225,7 @@ fn sharded_same_cycle_bursts_keep_global_push_order() {
     }
 }
 
-/// The mailbox path specifically: handlers that always schedule into
+/// The outbox path specifically: handlers that always schedule into
 /// *other* partitions (every event enveloped) still merge into the
 /// single-queue order.
 #[test]
@@ -205,34 +236,43 @@ fn all_cross_partition_traffic_merges_deterministically() {
         let mut sharded: ShardedQueue<usize> =
             ShardedQueue::with_kind(EventQueueKind::Wheel, TILES, parts, 0);
         let mut single: EventQueue<usize> = EventQueue::with_kind(EventQueueKind::Wheel);
+        let mut ctrs = [0u64; TILES];
         let mut id = 0usize;
         // Seed one event per partition, then let each pop push 0..3
         // events into deliberately remote tiles.
         for tile in [0usize, 2, 4, 6] {
             let t = rng.gen_range(0u64..10);
-            sharded.push(tile, t, id);
-            single.push_at(t, id);
+            let key = next_key(&mut ctrs, tile);
+            sharded.push(tile, 0, tile, t, id);
+            single.push_at_seq(t, key, id);
             id += 1;
         }
         let mut out_s = Vec::new();
         let mut out_1 = Vec::new();
         while let Some((t, p, e)) = sharded.pop_global() {
             out_s.push((t, e));
-            out_1.extend(single.pop());
+            out_1.extend(single.pop().map(|(pt, pe)| {
+                assert_eq!(pt, t, "case {case}: single-queue time diverged");
+                (pt, pe)
+            }));
             if id < 120 {
+                // The popped event's handler runs at some tile of the
+                // active partition (block size = TILES/parts = 2).
+                let src = p * 2 + rng.gen_range(0u64..2) as usize;
                 for _ in 0..1 + rng.gen_range(0u64..2) {
                     // A tile guaranteed to live in a different partition
-                    // than the active one (tiles/parts = 2 per block).
+                    // than the active one.
                     let remote = ((p + 1 + rng.gen_range(0u64..3) as usize) % parts) * 2;
                     let t2 = t + rng.gen_range(0u64..40);
-                    sharded.push(remote, t2, id);
-                    single.push_at(t2, id);
+                    let key = next_key(&mut ctrs, src);
+                    sharded.push(src, t, remote, t2, id);
+                    single.push_at_seq(t2, key, id);
                     id += 1;
                 }
             }
         }
-        while let Some(e) = single.pop() {
-            out_1.push(e);
+        while let Some((t, e)) = single.pop() {
+            out_1.push((t, e));
         }
         assert_eq!(out_s, out_1, "case {case}");
         assert!(

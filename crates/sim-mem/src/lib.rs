@@ -14,8 +14,16 @@
 //! ## Paged storage and the per-thread page pool
 //!
 //! The word store is paged ([`PAGE_WORDS`] words per page) rather than one
-//! flat `Vec`: absent pages read as zero, and resident pages are plain
-//! boxed slices. Pages released by a dropped `SimMemory` park in a
+//! flat `Vec`: absent pages read as zero. Pages hang off a fixed-shape
+//! two-level radix of atomic pointers (root → chunk → page) so that the
+//! relaxed PDES executor's partition threads can fault pages in
+//! concurrently — installation is a zeroed-page compare-and-swap, which is
+//! winner-independent, and the radix never reallocates, so a mid-window
+//! read never races a table growth. Word reads and writes themselves are
+//! plain (non-atomic) accesses: the coherence protocol guarantees that a
+//! writable copy of a line is exclusive, so two partitions never touch the
+//! same word in the same safe window (see `lr-machine`'s relaxed-executor
+//! docs). Pages released by a dropped `SimMemory` park in a
 //! per-host-thread pool and are handed (re-zeroed) to the next `SimMemory`
 //! built on that thread — so a bench sweep running thousands of grid cells
 //! on a pool of worker threads stops paying one heap allocation per page
@@ -37,6 +45,8 @@ pub use alloc::Allocator;
 use lr_sim_core::tracefmt::MemImage;
 use lr_sim_core::{Addr, LINE_SIZE};
 use std::cell::RefCell;
+use std::ptr::null_mut;
+use std::sync::atomic::{AtomicPtr, Ordering};
 
 /// Base of the simulated heap. Address 0 stays unmapped so that `Addr(0)`
 /// can serve as the null pointer.
@@ -45,10 +55,30 @@ pub const HEAP_BASE: u64 = 0x1000;
 /// Words per storage page (4 KiB pages).
 pub const PAGE_WORDS: usize = 512;
 
+/// Root radix fan-out (chunks).
+const ROOT_SLOTS: usize = 4096;
+
+/// Pages per chunk. `ROOT_SLOTS × CHUNK_PAGES × PAGE_WORDS` words =
+/// 16 GiB of simulated heap, far above any workload here.
+const CHUNK_PAGES: usize = 1024;
+
 /// Upper bound on pooled pages per host thread (4 MiB of parked pages).
 const POOL_MAX_PAGES: usize = 1024;
 
-type Page = Box<[u64]>;
+type Page = Box<[u64; PAGE_WORDS]>;
+
+/// Middle radix level: page slots, installed on first touch.
+struct Chunk {
+    pages: [AtomicPtr<u64>; CHUNK_PAGES],
+}
+
+impl Chunk {
+    fn new() -> Box<Chunk> {
+        Box::new(Chunk {
+            pages: std::array::from_fn(|_| AtomicPtr::new(null_mut())),
+        })
+    }
+}
 
 thread_local! {
     /// Per-host-thread free list of released pages (see module docs).
@@ -62,8 +92,21 @@ fn take_page() -> Page {
             page.fill(0);
             page
         }
-        None => vec![0u64; PAGE_WORDS].into_boxed_slice(),
+        None => vec![0u64; PAGE_WORDS]
+            .into_boxed_slice()
+            .try_into()
+            .expect("page size mismatch"),
     })
+}
+
+/// Park a page in the calling thread's pool (dropped if full).
+fn park_page(page: Page) {
+    PAGE_POOL.with(|p| {
+        let mut pool = p.borrow_mut();
+        if pool.len() < POOL_MAX_PAGES {
+            pool.push(page);
+        }
+    });
 }
 
 /// Number of pages parked in the calling thread's pool (test hook).
@@ -72,11 +115,20 @@ pub fn pooled_pages() -> usize {
 }
 
 /// Authoritative simulated memory: a paged, zero-initialized word store
-/// plus the heap allocator.
-#[derive(Debug)]
+/// plus the heap allocator. Cheap to construct: the radix root is one
+/// 32 KiB null-pointer table, chunks and pages materialize on first
+/// write.
 pub struct SimMemory {
-    pages: Vec<Option<Page>>,
+    root: Box<[AtomicPtr<Chunk>]>,
     alloc: Allocator,
+}
+
+impl std::fmt::Debug for SimMemory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimMemory")
+            .field("alloc", &self.alloc)
+            .finish_non_exhaustive()
+    }
 }
 
 impl Default for SimMemory {
@@ -89,24 +141,31 @@ impl Drop for SimMemory {
     fn drop(&mut self) {
         // Park this memory's pages for the next simulation on this host
         // thread (a sweep cell's drop site and its successor's build
-        // site share the worker thread).
-        PAGE_POOL.with(|p| {
-            let mut pool = p.borrow_mut();
-            for page in self.pages.iter_mut().filter_map(Option::take) {
-                if pool.len() >= POOL_MAX_PAGES {
-                    break;
-                }
-                pool.push(page);
+        // site share the worker thread), then free the chunks.
+        for slot in self.root.iter() {
+            let chunk = slot.swap(null_mut(), Ordering::Acquire);
+            if chunk.is_null() {
+                continue;
             }
-        });
+            let chunk = unsafe { Box::from_raw(chunk) };
+            for page in chunk.pages.iter() {
+                let p = page.swap(null_mut(), Ordering::Acquire);
+                if !p.is_null() {
+                    park_page(unsafe { Box::from_raw(p.cast::<[u64; PAGE_WORDS]>()) });
+                }
+            }
+        }
     }
 }
 
 impl SimMemory {
     /// An empty memory with an empty heap.
     pub fn new() -> Self {
+        let root = (0..ROOT_SLOTS)
+            .map(|_| AtomicPtr::new(null_mut()))
+            .collect();
         SimMemory {
-            pages: Vec::new(),
+            root,
             alloc: Allocator::new(HEAP_BASE),
         }
     }
@@ -118,28 +177,75 @@ impl SimMemory {
             "access below heap base: {addr} (null deref?)"
         );
         assert!(addr.0.is_multiple_of(8), "unaligned word access at {addr}");
-        ((addr.0 - HEAP_BASE) / 8) as usize
+        let i = ((addr.0 - HEAP_BASE) / 8) as usize;
+        assert!(
+            i < ROOT_SLOTS * CHUNK_PAGES * PAGE_WORDS,
+            "access beyond the simulated heap ceiling: {addr}"
+        );
+        i
+    }
+
+    /// Resident page holding word index `i`, or null.
+    #[inline]
+    fn page_ptr(&self, i: usize) -> *mut u64 {
+        let pi = i / PAGE_WORDS;
+        let chunk = self.root[pi / CHUNK_PAGES].load(Ordering::Acquire);
+        if chunk.is_null() {
+            return null_mut();
+        }
+        unsafe { (*chunk).pages[pi % CHUNK_PAGES].load(Ordering::Acquire) }
+    }
+
+    /// Resident page holding word index `i`, faulting the chunk and a
+    /// zeroed page in on first touch. Concurrent installs race benignly:
+    /// both candidates are zeroed, the compare-and-swap loser is parked
+    /// back in the pool, and every thread proceeds with the winner.
+    fn ensure_page(&self, i: usize) -> *mut u64 {
+        let pi = i / PAGE_WORDS;
+        let slot = &self.root[pi / CHUNK_PAGES];
+        let mut chunk = slot.load(Ordering::Acquire);
+        if chunk.is_null() {
+            let fresh = Box::into_raw(Chunk::new());
+            match slot.compare_exchange(null_mut(), fresh, Ordering::AcqRel, Ordering::Acquire) {
+                Ok(_) => chunk = fresh,
+                Err(winner) => {
+                    drop(unsafe { Box::from_raw(fresh) });
+                    chunk = winner;
+                }
+            }
+        }
+        let pslot = unsafe { &(*chunk).pages[pi % CHUNK_PAGES] };
+        let mut page = pslot.load(Ordering::Acquire);
+        if page.is_null() {
+            let fresh = Box::into_raw(take_page()).cast::<u64>();
+            match pslot.compare_exchange(null_mut(), fresh, Ordering::AcqRel, Ordering::Acquire) {
+                Ok(_) => page = fresh,
+                Err(winner) => {
+                    park_page(unsafe { Box::from_raw(fresh.cast::<[u64; PAGE_WORDS]>()) });
+                    page = winner;
+                }
+            }
+        }
+        page
     }
 
     /// Read the 64-bit word at `addr` (8-byte aligned). Unwritten memory
     /// reads as zero.
     pub fn read_word(&self, addr: Addr) -> u64 {
         let i = Self::word_index(addr);
-        match self.pages.get(i / PAGE_WORDS) {
-            Some(Some(page)) => page[i % PAGE_WORDS],
-            _ => 0,
+        let page = self.page_ptr(i);
+        if page.is_null() {
+            0
+        } else {
+            unsafe { *page.add(i % PAGE_WORDS) }
         }
     }
 
     /// Write the 64-bit word at `addr` (8-byte aligned).
     pub fn write_word(&mut self, addr: Addr, value: u64) {
         let i = Self::word_index(addr);
-        let pi = i / PAGE_WORDS;
-        if pi >= self.pages.len() {
-            self.pages.resize_with(pi + 1, || None);
-        }
-        let page = self.pages[pi].get_or_insert_with(take_page);
-        page[i % PAGE_WORDS] = value;
+        let page = self.ensure_page(i);
+        unsafe { *page.add(i % PAGE_WORDS) = value };
     }
 
     /// Zero `[start, start + words)`; only touches resident pages
@@ -148,11 +254,11 @@ impl SimMemory {
         let mut i = start;
         let end = start + words;
         while i < end {
-            let pi = i / PAGE_WORDS;
             let off = i % PAGE_WORDS;
             let run = (PAGE_WORDS - off).min(end - i);
-            if let Some(Some(page)) = self.pages.get_mut(pi) {
-                page[off..off + run].fill(0);
+            let page = self.page_ptr(i);
+            if !page.is_null() {
+                unsafe { std::slice::from_raw_parts_mut(page.add(off), run) }.fill(0);
             }
             i += run;
         }
@@ -195,11 +301,22 @@ impl SimMemory {
     /// sorted order with free-list stack order preserved.
     pub fn snapshot(&self) -> MemImage {
         let mut image = self.alloc.snapshot();
-        for (idx, page) in self.pages.iter().enumerate() {
-            let Some(page) = page else { continue };
-            let used = page.len() - page.iter().rev().take_while(|&&w| w == 0).count();
-            if used > 0 {
-                image.pages.push((idx as u64, page[..used].to_vec()));
+        for (ri, slot) in self.root.iter().enumerate() {
+            let chunk = slot.load(Ordering::Acquire);
+            if chunk.is_null() {
+                continue;
+            }
+            for (ci, pslot) in unsafe { &(*chunk).pages }.iter().enumerate() {
+                let p = pslot.load(Ordering::Acquire);
+                if p.is_null() {
+                    continue;
+                }
+                let page = unsafe { std::slice::from_raw_parts(p, PAGE_WORDS) };
+                let used = page.len() - page.iter().rev().take_while(|&&w| w == 0).count();
+                if used > 0 {
+                    let idx = (ri * CHUNK_PAGES + ci) as u64;
+                    image.pages.push((idx, page[..used].to_vec()));
+                }
             }
         }
         image
@@ -209,17 +326,12 @@ impl SimMemory {
     /// image. The result is behaviorally identical to the snapshotted
     /// memory: same reads everywhere, same future allocation addresses.
     pub fn restore(image: &MemImage) -> Self {
-        let mut mem = SimMemory {
-            pages: Vec::new(),
-            alloc: Allocator::restore(HEAP_BASE, image),
-        };
+        let mut mem = SimMemory::new();
+        mem.alloc = Allocator::restore(HEAP_BASE, image);
         for (idx, words) in &image.pages {
-            let pi = *idx as usize;
-            if pi >= mem.pages.len() {
-                mem.pages.resize_with(pi + 1, || None);
-            }
-            let page = mem.pages[pi].get_or_insert_with(take_page);
-            page[..words.len()].copy_from_slice(words);
+            let i = *idx as usize * PAGE_WORDS;
+            let page = mem.ensure_page(i);
+            unsafe { std::slice::from_raw_parts_mut(page, words.len()) }.copy_from_slice(words);
         }
         mem
     }
