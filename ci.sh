@@ -83,6 +83,17 @@ echo "== PDES scaling smoke (asserts identical stats + batch occupancy) =="
 # relaxed series commit more than one event per window batch.
 LR_NO_JSON=1 cargo run -q --release --offline -p lr-bench --bin lr-bench -- --scenario pdes_scaling --smoke > /dev/null
 
+echo "== lock showdown smoke (asserts zero allocator msgs + combiner ledger) =="
+# Delegation locks (MCS/CLH/FC/CCSynch + lease hybrids) vs the paper's
+# TTS/leased locks over the same delegated stack. The scenario asserts,
+# in-cell, that steady state sends zero simulated allocator messages
+# (node pools are pre-allocated), that every delegated op is combined
+# exactly once, and that the stack's push/pop/empty ledger balances.
+# As a ScenarioKind::Sim entry it also rides every --kind sim A/B gate
+# above (event-queue, engine-shards, commit-mode) and the record/replay
+# gate below.
+LR_NO_JSON=1 cargo run -q --release --offline -p lr-bench --bin lr-bench -- --scenario lock_showdown --smoke > /dev/null
+
 echo "== record/replay: every sim scenario must replay byte-identical =="
 # Record every deterministic simulation of a smoke sweep as a trace,
 # then re-drive each trace engine-only: the replayed MachineStats must

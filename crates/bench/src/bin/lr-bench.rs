@@ -57,7 +57,7 @@ ENVIRONMENT:
                     simulated output is byte-identical for any value)
 ";
 
-/// Per-thread ops for `--smoke`: small enough that all 18 scenarios
+/// Per-thread ops for `--smoke`: small enough that all 19 scenarios
 /// finish in seconds, large enough that every metric is exercised.
 const SMOKE_OPS: u64 = 8;
 

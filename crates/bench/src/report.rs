@@ -6,7 +6,9 @@
 //! output is a [`Report`]: the banner + Table 1 header, one aligned
 //! human-readable line and one `CSV,` line per row, and a
 //! `BENCH_<slug>.json` file containing every row with its complete raw
-//! [`lr_sim_core::MachineStats`] dump.
+//! [`lr_sim_core::MachineStats`] dump, plus every `CSVX,` extras line
+//! (scenario-specific columns: combiner stats, latency histograms,
+//! growth factors) in an `extras` array.
 //!
 //! The JSON file is kept valid mid-run by flushing through a temp file
 //! and an atomic rename: a reader sees either the previous complete
@@ -105,6 +107,12 @@ pub struct Report {
     /// serialized and appended exactly once.
     body: String,
     rows: usize,
+    /// Serialized `CSVX,` extras so far (JSON string literals, already
+    /// comma-joined) — the scenario-specific columns that don't fit the
+    /// fixed row schema (combiner stats, latency histograms, growth
+    /// factors, executor shape) land in the document's `extras` array.
+    extras: String,
+    n_extras: usize,
     /// Warn at most once per report about JSON write failures.
     warned: bool,
 }
@@ -147,6 +155,8 @@ impl Report {
             json_path,
             body: String::new(),
             rows: 0,
+            extras: String::new(),
+            n_extras: 0,
             warned: false,
         }
     }
@@ -187,10 +197,28 @@ impl Report {
         self.flush_json();
     }
 
-    /// Print an auxiliary line (the `CSVX,` extras some scenarios emit
-    /// around their rows). Not part of the JSON document.
+    /// Print an auxiliary prose line (scenario footers). Not part of
+    /// the JSON document — use [`Report::extra`] for `CSVX,` data.
     pub fn line(&mut self, out: &mut dyn Write, s: &str) {
         let _ = writeln!(out, "{s}");
+    }
+
+    /// Print a `CSVX,` extras line and append it to the JSON document's
+    /// `extras` array, so the scenario-specific columns (combiner
+    /// stats, latency histograms, growth factors, executor shape)
+    /// survive into `BENCH_*.json` alongside the fixed-schema rows.
+    pub fn extra(&mut self, out: &mut dyn Write, s: &str) {
+        let _ = writeln!(out, "{s}");
+        if self.json_path.is_some() {
+            if self.n_extras > 0 {
+                self.extras.push_str(",\n");
+            }
+            self.extras.push('"');
+            self.extras.push_str(&json_escape(s));
+            self.extras.push('"');
+        }
+        self.n_extras += 1;
+        self.flush_json();
     }
 
     /// Final flush (the per-row flushes already published every row;
@@ -208,9 +236,10 @@ impl Report {
             return;
         };
         let doc = format!(
-            "{{\"bench\":\"{}\",\"rows\":[\n{}\n]}}\n",
+            "{{\"bench\":\"{}\",\"rows\":[\n{}\n],\"extras\":[{}]}}\n",
             json_escape(&self.name),
-            self.body
+            self.body,
+            self.extras
         );
         let tmp = path.with_extension("json.tmp");
         let res = std::fs::write(&tmp, doc).and_then(|()| std::fs::rename(&tmp, path));
@@ -246,12 +275,14 @@ mod tests {
         let mut out: Vec<u8> = Vec::new();
         let mut rep = Report::begin(&mut out, "T: x", &cfg, &JsonPolicy::disabled());
         rep.row(&mut out, &sample_row("s", 2));
-        rep.line(&mut out, "CSVX,s,2,extra,1.0");
+        rep.extra(&mut out, "CSVX,s,2,extra,1.0");
+        rep.line(&mut out, "footer prose");
         rep.finish(&mut out);
         let text = String::from_utf8(out).unwrap();
         assert!(text.contains("T: x"));
         assert!(text.contains("CSV,s,2,1.500000,10.000,2.0000,9.0000,0.2500"));
         assert!(text.contains("CSVX,s,2,extra,1.0"));
+        assert!(text.contains("footer prose"));
         assert!(!text.contains("JSON ->"), "JSON disabled but advertised");
     }
 
@@ -269,9 +300,14 @@ mod tests {
         assert!(mid.starts_with("{\"bench\":\"fig_x_demo\""));
         assert_eq!(mid.matches('{').count(), mid.matches('}').count());
         rep.row(&mut out, &sample_row("a", 2));
+        rep.extra(&mut out, "CSVX,demo,a,2,lat_p99,\"7\"");
         rep.finish(&mut out);
         let done = std::fs::read_to_string(&path).unwrap();
         assert_eq!(done.matches("\"series\":\"a\"").count(), 2);
+        assert!(
+            done.contains("\"extras\":[\"CSVX,demo,a,2,lat_p99,\\\"7\\\"\"]"),
+            "CSVX extras missing from JSON document: {done}"
+        );
         assert!(
             !path.with_extension("json.tmp").exists(),
             "temp file left behind"

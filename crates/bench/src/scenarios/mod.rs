@@ -21,6 +21,7 @@ pub mod fig4_multiqueue;
 pub mod fig4_tl2;
 pub mod fig5_pagerank;
 pub mod fig5_tl2_swhw;
+pub mod lock_showdown;
 pub mod pdes_scaling;
 pub mod tab_adaptive;
 pub mod tab_backoff;
@@ -31,10 +32,11 @@ pub mod tab_msg_constancy;
 pub mod trace_replay;
 pub mod validation_native;
 
-/// All 18 scenarios (15 paper experiments plus the engine-throughput,
-/// PDES-scaling, and trace-replay infrastructure benches), in canonical
-/// (figure, table, validation) order; host-measured scenarios last.
-static REGISTRY: [&Scenario; 18] = [
+/// All 19 scenarios (15 paper experiments, the delegation-lock
+/// showdown, plus the engine-throughput, PDES-scaling, and trace-replay
+/// infrastructure benches), in canonical (figure, table, validation)
+/// order; host-measured scenarios last.
+static REGISTRY: [&Scenario; 19] = [
     &fig2_stack::SCENARIO,
     &fig3_counter::SCENARIO,
     &fig3_queue::SCENARIO,
@@ -49,6 +51,7 @@ static REGISTRY: [&Scenario; 18] = [
     &tab_lease_sensitivity::SCENARIO,
     &tab_mesi::SCENARIO,
     &tab_adaptive::SCENARIO,
+    &lock_showdown::SCENARIO,
     &validation_native::SCENARIO,
     &engine_throughput::SCENARIO,
     &pdes_scaling::SCENARIO,

@@ -160,13 +160,21 @@ fn run_cell(ctx: &CellCtx) -> CellOut {
             info.commit_batches > 0,
             "relaxed run committed no window batches"
         );
-        assert!(
-            occupancy > 1.0,
-            "relaxed commit-batch occupancy {occupancy:.2} <= 1 event/batch \
-             ({} events in {} batches)",
-            info.events,
-            info.commit_batches
-        );
+        // Occupancy above one event per batch is only guaranteed when
+        // the run genuinely partitions and is long enough to open real
+        // safe windows: the shard count clamps to 1 on small hosts, and
+        // tiny smoke configs (e.g. `--smoke`'s 8 ops) can legitimately
+        // commit mostly singleton batches. Guarding by shape keeps the
+        // assert meaningful without tripping spuriously.
+        if info.shards > 1 && threads >= 2 && ops >= 64 {
+            assert!(
+                occupancy > 1.0,
+                "relaxed commit-batch occupancy {occupancy:.2} <= 1 event/batch \
+                 ({} events in {} batches)",
+                info.events,
+                info.commit_batches
+            );
+        }
     }
     let events_per_sec = info.events as f64 / wall;
     let mut cell = CellOut::row(BenchRow::host_only(

@@ -274,12 +274,12 @@ impl<'a> Emitter<'a> {
         let report = self.report.as_mut().expect("opened above");
         if let Some(annotate) = cell.scenario.annotate {
             for line in annotate(&self.series_rows, &co.row) {
-                report.line(self.out, &line);
+                report.extra(self.out, &line);
             }
         }
         report.row(self.out, &co.row);
         for line in &co.post {
-            report.line(self.out, line);
+            report.extra(self.out, line);
         }
         self.series_rows.push(co.row);
     }

@@ -14,9 +14,11 @@
 //! | Hash table | [`hashtable`] | per-bucket lock / leased lock |
 //! | Binary search tree | [`bst`] | base / leased |
 //! | Sequential skiplist | [`seq_skiplist`] | (substrate for locks/MultiQueues) |
+//! | Delegated stack/counter | [`delegated`] | MCS / CLH / FC / CCSynch (+lease hybrids) |
 //! | Host-atomics stack/queue | [`native`] | validation bench |
 
 pub mod bst;
+pub mod delegated;
 pub mod harris_list;
 pub mod hashtable;
 pub mod multiqueue;
@@ -29,6 +31,9 @@ pub mod stack;
 pub mod two_lock_queue;
 
 pub use bst::Bst;
+pub use delegated::{
+    CounterApply, DelegatedCounter, DelegatedStack, StackApply, STACK_EMPTY, STACK_POP, STACK_PUSH,
+};
 pub use harris_list::HarrisList;
 pub use hashtable::HashTable;
 pub use multiqueue::{MqVariant, MultiQueue};

@@ -206,7 +206,8 @@ fn main() {
                     println!("wrote {}", dir.join(name).display());
                 }
                 println!(
-                    "lr-fuzz: corpus regenerated — {} traces ({} seeds x 3 variants)",
+                    "lr-fuzz: corpus regenerated — {} traces ({} seeds + 1 delegation \
+                     workload, x 3 variants)",
                     written.len(),
                     seeds
                 );

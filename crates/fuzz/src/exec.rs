@@ -17,10 +17,11 @@
 //! hold: the counter ledger ([`Workload::counter_ledger`]) and the
 //! `app_ops` count. A violation of any of these is a [`Finding`].
 
-use crate::gen::{GenOp, Workload};
+use crate::gen::{GenOp, Workload, DLOCK_ALGO_COUNT, MAX_COUNTERS};
 use lr_machine::{Addr, CommitMode, EventQueueKind, Machine, SystemConfig, ThreadCtx, ThreadFn};
 use lr_sim_core::tracefmt::{self, MachineTrace};
 use lr_sim_core::CoherenceProtocol;
+use lr_sync::{CsApply, Dlock, DlockHandle, DLOCK_ALGOS};
 
 /// One machine-configuration axis point.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -97,9 +98,55 @@ pub struct RunOutput {
     pub app_ops: u64,
 }
 
-/// Build the per-thread closure for one program.
-fn thread_fn(prog: Vec<GenOp>, counters: Vec<Addr>, scratch: Vec<Addr>) -> ThreadFn {
+/// The delegated critical section for [`GenOp::DlockFaa`]: `op` names
+/// the counter cell, `arg` is the FAA delta. `Copy` (a [`CsApply`]
+/// requirement) forces the fixed-size cell array; unused slots alias
+/// cell 0 and are never indexed (the generator bounds `cell`).
+#[derive(Clone, Copy)]
+struct FuzzApply {
+    counters: [Addr; MAX_COUNTERS],
+}
+
+impl CsApply for FuzzApply {
+    fn apply(&self, ctx: &mut ThreadCtx, op: u64, arg: u64) -> u64 {
+        ctx.faa(self.counters[op as usize], arg)
+    }
+}
+
+/// Which delegation-lock algorithms a workload actually uses, as a
+/// presence mask over `DLOCK_ALGOS` indices. Drives setup so workloads
+/// without `DlockFaa` ops allocate no lock pools at all (their memory
+/// layout — and thus their traces — stay exactly as before the op
+/// existed).
+fn used_dlock_algos(w: &Workload) -> [bool; DLOCK_ALGO_COUNT] {
+    let mut used = [false; DLOCK_ALGO_COUNT];
+    for prog in &w.programs {
+        for op in prog {
+            if let GenOp::DlockFaa { algo, .. } = op {
+                used[*algo] = true;
+            }
+        }
+    }
+    used
+}
+
+/// Build the per-thread closure for one program. `dlocks[i]` is `Some`
+/// exactly when the workload delegates through `DLOCK_ALGOS[i]`.
+fn thread_fn(
+    tid: usize,
+    prog: Vec<GenOp>,
+    counters: Vec<Addr>,
+    scratch: Vec<Addr>,
+    dlocks: Vec<Option<Dlock>>,
+) -> ThreadFn {
+    let mut apply = FuzzApply {
+        counters: [Addr(0); MAX_COUNTERS],
+    };
+    for (slot, &a) in apply.counters.iter_mut().zip(counters.iter().cycle()) {
+        *slot = a;
+    }
     Box::new(move |ctx: &mut ThreadCtx| {
+        let mut handles: Vec<Option<DlockHandle>> = vec![None; dlocks.len()];
         for op in &prog {
             match *op {
                 GenOp::Faa { cell, delta } => {
@@ -139,6 +186,13 @@ fn thread_fn(prog: Vec<GenOp>, counters: Vec<Addr>, scratch: Vec<Addr>) -> Threa
                     ctx.xchg(p, value.wrapping_add(1));
                     ctx.free(p);
                 }
+                GenOp::DlockFaa { algo, cell, delta } => {
+                    let d = dlocks[algo]
+                        .as_ref()
+                        .expect("setup allocated a pool for every used algorithm");
+                    let h = handles[algo].get_or_insert_with(|| d.handle(tid));
+                    d.run(ctx, h, &apply, cell as u64, delta);
+                }
                 GenOp::Work { cycles } => ctx.work(cycles),
             }
             ctx.count_op();
@@ -157,15 +211,34 @@ pub fn record_workload(w: &Workload, variant: Variant) -> Result<RunOutput, Stri
     cfg.seed ^= w.seed.rotate_left(17);
 
     let mut machine = Machine::new(cfg);
-    let (counter_addrs, scratch_addrs) = machine.setup(|m| {
+    let used = used_dlock_algos(w);
+    let threads = w.threads();
+    let (counter_addrs, scratch_addrs, dlocks) = machine.setup(|m| {
         let c: Vec<Addr> = (0..w.counters).map(|_| m.alloc_line_aligned(8)).collect();
         let s: Vec<Addr> = (0..w.scratch).map(|_| m.alloc_line_aligned(8)).collect();
-        (c, s)
+        // One pre-allocated lock (node pool and all) per algorithm the
+        // workload actually delegates through; steady state then sends
+        // zero allocator messages for lock bookkeeping.
+        let d: Vec<Option<Dlock>> = DLOCK_ALGOS
+            .iter()
+            .zip(used.iter())
+            .map(|(&algo, &u)| u.then(|| Dlock::init(m, algo, threads)))
+            .collect();
+        (c, s, d)
     });
     let progs: Vec<ThreadFn> = w
         .programs
         .iter()
-        .map(|p| thread_fn(p.clone(), counter_addrs.clone(), scratch_addrs.clone()))
+        .enumerate()
+        .map(|(tid, p)| {
+            thread_fn(
+                tid,
+                p.clone(),
+                counter_addrs.clone(),
+                scratch_addrs.clone(),
+                dlocks.clone(),
+            )
+        })
         .collect();
     let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
         machine.run_recorded(progs)

@@ -9,9 +9,11 @@
 //!
 //! Two invariants are generated *into* every workload:
 //!
-//! * **counter ledger** — counter cells are touched only by FAA ops, so
-//!   each one's final value must equal the (wrapping) sum of the deltas
-//!   addressed to it, under every protocol/lease/queue configuration;
+//! * **counter ledger** — counter cells are touched only by FAA ops
+//!   (plain, leased, or delegated through a lock — the executing thread
+//!   may differ but the instruction is still `faa`), so each one's
+//!   final value must equal the (wrapping) sum of the deltas addressed
+//!   to it, under every protocol/lease/queue configuration;
 //! * **op count** — workers call `count_op` exactly once per [`GenOp`],
 //!   so the machine's `app_ops` must equal [`Workload::total_ops`].
 //!
@@ -34,6 +36,10 @@ pub const MAX_COUNTERS: usize = 3;
 /// always has a distinct pair.
 pub const MIN_SCRATCH: usize = 2;
 pub const MAX_SCRATCH: usize = 6;
+/// Number of delegation-lock algorithms a [`GenOp::DlockFaa`] can name.
+/// The executor maps the index into `lr_sync::DLOCK_ALGOS`; the
+/// generator stays pure data.
+pub const DLOCK_ALGO_COUNT: usize = 6;
 
 /// One generated instruction. `cell` indices name counter or scratch
 /// cells (the executor maps them to simulated line-aligned addresses).
@@ -61,6 +67,17 @@ pub enum GenOp {
     /// malloc → write → xchg → free of a fresh block (allocator and
     /// trace-format churn; exercises `Malloc`/`Free` records).
     AllocChurn { words: u64, value: u64 },
+    /// FAA on a counter cell delegated through one of the software
+    /// delegation locks (`algo` indexes `lr_sync::DLOCK_ALGOS`: MCS,
+    /// MCS+lease, CLH, flat combining, FC+lease, CCSynch). The critical
+    /// section is a real `faa`, so the op stays ledger-tracked — but the
+    /// add may be *executed by a different thread* (the combiner), which
+    /// is exactly the cross-thread replay coupling worth fuzzing.
+    DlockFaa {
+        algo: usize,
+        cell: usize,
+        delta: u64,
+    },
     /// Local compute: advances worker-local time only.
     Work { cycles: u64 },
 }
@@ -173,9 +190,64 @@ impl Workload {
                 words: rng.gen_range(1u64..=4),
                 value: rng.next_u64(),
             },
+            90..=93 => GenOp::DlockFaa {
+                algo: rng.gen_range(0u64..DLOCK_ALGO_COUNT as u64) as usize,
+                cell: counter_pick.sample(rng),
+                delta: rng.gen_range(1u64..=1 << 20),
+            },
             _ => GenOp::Work {
                 cycles: rng.gen_range(1u64..=200),
             },
+        }
+    }
+
+    /// Generate a delegation-heavy workload: maximum threads, and every
+    /// thread's first [`DLOCK_ALGO_COUNT`] ops cover all six lock
+    /// algorithms by construction, so one corpus entry pins combiner
+    /// handoff behaviour for the whole family under full contention.
+    /// Used by `--regen-corpus` for the `dlock`-prefixed entries.
+    pub fn delegation(seed: u64) -> Workload {
+        let mut rng = SplitMix64::new(seed ^ 0xde1e_6a7e_d10c_c5ee);
+        let threads = MAX_THREADS;
+        let counters = MAX_COUNTERS;
+        let scratch = MIN_SCRATCH;
+        let counter_pick = Zipf::new(counters, 0.5 + rng.next_f64());
+        let programs = (0..threads)
+            .map(|_| {
+                let len = rng.gen_range(24..=MAX_OPS);
+                (0..len)
+                    .map(|j| {
+                        if j < DLOCK_ALGO_COUNT {
+                            GenOp::DlockFaa {
+                                algo: j,
+                                cell: counter_pick.sample(&mut rng),
+                                delta: rng.gen_range(1u64..=1 << 20),
+                            }
+                        } else {
+                            match rng.gen_range(0u64..100) {
+                                0..=69 => GenOp::DlockFaa {
+                                    algo: rng.gen_range(0u64..DLOCK_ALGO_COUNT as u64) as usize,
+                                    cell: counter_pick.sample(&mut rng),
+                                    delta: rng.gen_range(1u64..=1 << 20),
+                                },
+                                70..=84 => GenOp::Faa {
+                                    cell: counter_pick.sample(&mut rng),
+                                    delta: rng.gen_range(1u64..=1 << 20),
+                                },
+                                _ => GenOp::Work {
+                                    cycles: rng.gen_range(1u64..=200),
+                                },
+                            }
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        Workload {
+            seed,
+            counters,
+            scratch,
+            programs,
         }
     }
 
@@ -195,7 +267,10 @@ impl Workload {
         let mut ledger = vec![0u64; self.counters];
         for prog in &self.programs {
             for op in prog {
-                if let GenOp::Faa { cell, delta } | GenOp::LeasedFaa { cell, delta } = op {
+                if let GenOp::Faa { cell, delta }
+                | GenOp::LeasedFaa { cell, delta }
+                | GenOp::DlockFaa { cell, delta, .. } = op
+                {
                     ledger[*cell] = ledger[*cell].wrapping_add(*delta);
                 }
             }
@@ -237,9 +312,36 @@ mod tests {
                             assert!(a < w.scratch && b < w.scratch && a != b);
                         }
                         GenOp::AllocChurn { words, .. } => assert!((1..=4).contains(&words)),
+                        GenOp::DlockFaa { algo, cell, delta } => {
+                            assert!(algo < DLOCK_ALGO_COUNT);
+                            assert!(cell < w.counters);
+                            assert!(delta >= 1);
+                        }
                         GenOp::Work { cycles } => assert!((1..=200).contains(&cycles)),
                     }
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn delegation_workload_covers_every_algorithm_per_thread() {
+        for seed in 0..8 {
+            let w = Workload::delegation(seed);
+            assert_eq!(w, Workload::delegation(seed), "must be deterministic");
+            assert_eq!(w.threads(), MAX_THREADS);
+            for prog in &w.programs {
+                let mut seen = [false; DLOCK_ALGO_COUNT];
+                for op in prog {
+                    if let GenOp::DlockFaa { algo, cell, delta } = *op {
+                        assert!(algo < DLOCK_ALGO_COUNT && cell < w.counters && delta >= 1);
+                        seen[algo] = true;
+                    }
+                }
+                assert_eq!(
+                    seen, [true; DLOCK_ALGO_COUNT],
+                    "every thread must exercise every lock algorithm"
+                );
             }
         }
     }
@@ -259,10 +361,17 @@ mod tests {
                         delta: u64::MAX,
                     },
                 ],
-                vec![GenOp::LeasedFaa { cell: 1, delta: 2 }],
+                vec![
+                    GenOp::LeasedFaa { cell: 1, delta: 2 },
+                    GenOp::DlockFaa {
+                        algo: 3,
+                        cell: 0,
+                        delta: 7,
+                    },
+                ],
             ],
         };
-        assert_eq!(w.counter_ledger(), vec![5, 1]); // MAX + 2 wraps to 1
-        assert_eq!(w.total_ops(), 4);
+        assert_eq!(w.counter_ledger(), vec![12, 1]); // MAX + 2 wraps to 1
+        assert_eq!(w.total_ops(), 5);
     }
 }

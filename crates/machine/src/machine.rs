@@ -43,20 +43,39 @@ use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 static SHARDS_FROM_ENV: OnceLock<usize> = OnceLock::new();
 
+fn parse_shards_env() -> usize {
+    match std::env::var("LR_ENGINE_SHARDS") {
+        Err(_) => 1,
+        Ok(v) => match v.parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => panic!("LR_ENGINE_SHARDS={v:?} is not a positive shard count"),
+        },
+    }
+}
+
 /// The process-wide default engine-partition count, from
 /// `LR_ENGINE_SHARDS` (default 1 = the classic single event loop).
 /// Parsed once; a bad value aborts rather than silently running the
 /// wrong engine. Each machine clamps the count to its simulated core
 /// count — partitions are slices of tiles, so there can never be more
 /// partitions than tiles.
+///
+/// The value is cached process-wide on first read: setting
+/// `LR_ENGINE_SHARDS` from *inside* the process afterwards (e.g.
+/// `std::env::set_var` in a test) can never take effect. Debug builds
+/// assert the environment still matches the cache on every read so such
+/// a stale configuration fails loudly instead of silently running the
+/// wrong partition count — tests that need a specific count should use
+/// [`Machine::with_engine_shards`] instead of mutating the environment.
 pub fn engine_shards_from_env() -> usize {
-    *SHARDS_FROM_ENV.get_or_init(|| match std::env::var("LR_ENGINE_SHARDS") {
-        Err(_) => 1,
-        Ok(v) => match v.parse::<usize>() {
-            Ok(n) if n >= 1 => n,
-            _ => panic!("LR_ENGINE_SHARDS={v:?} is not a positive shard count"),
-        },
-    })
+    let cached = *SHARDS_FROM_ENV.get_or_init(parse_shards_env);
+    debug_assert_eq!(
+        cached,
+        parse_shards_env(),
+        "LR_ENGINE_SHARDS changed after its first read was cached; \
+         per-machine control belongs to Machine::with_engine_shards"
+    );
+    cached
 }
 
 /// How a partitioned engine commits each safe window.
@@ -83,18 +102,34 @@ impl std::fmt::Display for CommitMode {
 
 static COMMIT_FROM_ENV: OnceLock<CommitMode> = OnceLock::new();
 
-/// The process-wide default commit mode, from `LR_ENGINE_COMMIT`
-/// (`lockstep` | `relaxed`; default relaxed — the modes only differ in
-/// host execution shape, never in simulated results).
-pub fn engine_commit_from_env() -> CommitMode {
-    *COMMIT_FROM_ENV.get_or_init(|| match std::env::var("LR_ENGINE_COMMIT") {
+fn parse_commit_env() -> CommitMode {
+    match std::env::var("LR_ENGINE_COMMIT") {
         Err(_) => CommitMode::Relaxed,
         Ok(v) => match v.as_str() {
             "lockstep" => CommitMode::Lockstep,
             "relaxed" => CommitMode::Relaxed,
             _ => panic!("LR_ENGINE_COMMIT={v:?} is not \"lockstep\" or \"relaxed\""),
         },
-    })
+    }
+}
+
+/// The process-wide default commit mode, from `LR_ENGINE_COMMIT`
+/// (`lockstep` | `relaxed`; default relaxed — the modes only differ in
+/// host execution shape, never in simulated results).
+///
+/// Cached process-wide on first read, like [`engine_shards_from_env`]:
+/// debug builds assert the environment still matches the cache on every
+/// subsequent read, so an in-process `set_var` misfires loudly. Tests
+/// should pin the mode per machine via [`Machine::with_commit_mode`].
+pub fn engine_commit_from_env() -> CommitMode {
+    let cached = *COMMIT_FROM_ENV.get_or_init(parse_commit_env);
+    debug_assert_eq!(
+        cached,
+        parse_commit_env(),
+        "LR_ENGINE_COMMIT changed after its first read was cached; \
+         per-machine control belongs to Machine::with_commit_mode"
+    );
+    cached
 }
 
 /// The tile that owns the simulated heap allocator. `Malloc`/`Free`
@@ -309,6 +344,12 @@ pub struct EngineInfo {
     pub commit_batches: u64,
     /// Largest single per-partition window batch committed.
     pub max_batch: u64,
+    /// Heap ops (`Malloc`/`Free`) routed as messages to the allocator
+    /// home tile — each one a NoC round trip charged to the issuing
+    /// thread. Steady-state scenarios built on pre-allocated pools
+    /// (the delegation locks) assert this stays 0, so the home-tile
+    /// hotspot can never distort a lock comparison.
+    pub alloc_msgs: u64,
 }
 
 /// Executor observability counters, read off the event store after a
@@ -325,6 +366,9 @@ fn queue_info(q: &ShardedQueue<Ev>) -> EngineInfo {
         lookahead: q.lookahead(),
         commit_batches: q.commit_batches(),
         max_batch: q.max_batch(),
+        // Counted per partition while applying `Ev::MemReq`; summed in
+        // by the run loop, which owns the partition contexts.
+        alloc_msgs: 0,
     }
 }
 
@@ -459,6 +503,9 @@ struct PartCtx {
     /// budget (the exact global count is only read at executor
     /// synchronization points).
     applied: u64,
+    /// `Ev::MemReq` events (heap ops routed to the allocator home tile)
+    /// this partition applied; summed into [`EngineInfo::alloc_msgs`].
+    alloc_msgs: u64,
 }
 
 /// The [`CohContext`] the engine sees: the tile-sliced shared state plus
@@ -1014,7 +1061,7 @@ impl Machine {
             cfg,
             engine,
             shared,
-            pctx: _,
+            pctx,
             scratch: _,
             mem,
             transport,
@@ -1041,7 +1088,8 @@ impl Machine {
             );
         }
 
-        let info = queue_info(&shared.queue);
+        let mut info = queue_info(&shared.queue);
+        info.alloc_msgs = pctx.iter().map(|c| c.alloc_msgs).sum();
         let mut stats = engine.stats();
         stats.total_cycles = finish_time.into_inner();
         stats.app_ops = exit_ops.iter().sum();
@@ -1196,6 +1244,7 @@ impl EngineCore<'_> {
                 }
             }
             Ev::MemReq { tid, op } => {
+                self.pctx[p].alloc_msgs += 1;
                 let value = match op {
                     Op::Malloc { size, align } => self.mem.alloc(size, align).0,
                     Op::Free(a) => {
