@@ -94,6 +94,24 @@ echo "== lock showdown smoke (asserts zero allocator msgs + combiner ledger) =="
 # gate below.
 LR_NO_JSON=1 cargo run -q --release --offline -p lr-bench --bin lr-bench -- --scenario lock_showdown --smoke > /dev/null
 
+echo "== NUMA serving smoke (asserts op ledger + cross-socket traffic shape) =="
+# Zipfian KV serving over the multi-socket topology: plain MSI vs
+# lease/release vs node replication at 1/2/4 sockets. The scenario
+# asserts, in-cell, that every key lands exactly on the pre-generated
+# op ledger under all three protocols, that app_ops matches the issued
+# count, that single-socket cells send zero cross-socket messages (the
+# sockets=1 degeneracy), and that multi-socket cells with workers on
+# more than one socket actually cross the link. As a ScenarioKind::Sim
+# entry it also rides every --kind sim A/B gate above (event-queue,
+# engine-shards, commit-mode) and the record/replay gate below.
+LR_NO_JSON=1 cargo run -q --release --offline -p lr-bench --bin lr-bench -- --scenario numa_serving --smoke > /dev/null
+# The kilo-core cell: 1024 simulated cores across 4 sockets, driven by
+# the partitioned relaxed executor — the scale the NUMA tier exists for.
+# The same in-cell ledger and cross-socket asserts gate it.
+LR_ENGINE_SHARDS=4 LR_ENGINE_COMMIT=relaxed LR_NO_JSON=1 \
+    cargo run -q --release --offline -p lr-bench --bin lr-bench -- \
+    --scenario numa_serving --threads 1024 --ops 8 --series .s4 > /dev/null
+
 echo "== record/replay: every sim scenario must replay byte-identical =="
 # Record every deterministic simulation of a smoke sweep as a trace,
 # then re-drive each trace engine-only: the replayed MachineStats must

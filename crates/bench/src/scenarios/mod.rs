@@ -22,6 +22,7 @@ pub mod fig4_tl2;
 pub mod fig5_pagerank;
 pub mod fig5_tl2_swhw;
 pub mod lock_showdown;
+pub mod numa_serving;
 pub mod pdes_scaling;
 pub mod tab_adaptive;
 pub mod tab_backoff;
@@ -32,11 +33,11 @@ pub mod tab_msg_constancy;
 pub mod trace_replay;
 pub mod validation_native;
 
-/// All 19 scenarios (15 paper experiments, the delegation-lock
-/// showdown, plus the engine-throughput, PDES-scaling, and trace-replay
-/// infrastructure benches), in canonical (figure, table, validation)
-/// order; host-measured scenarios last.
-static REGISTRY: [&Scenario; 19] = [
+/// All 20 scenarios (15 paper experiments, the delegation-lock
+/// showdown, the NUMA serving comparison, plus the engine-throughput,
+/// PDES-scaling, and trace-replay infrastructure benches), in canonical
+/// (figure, table, validation) order; host-measured scenarios last.
+static REGISTRY: [&Scenario; 20] = [
     &fig2_stack::SCENARIO,
     &fig3_counter::SCENARIO,
     &fig3_queue::SCENARIO,
@@ -52,6 +53,7 @@ static REGISTRY: [&Scenario; 19] = [
     &tab_mesi::SCENARIO,
     &tab_adaptive::SCENARIO,
     &lock_showdown::SCENARIO,
+    &numa_serving::SCENARIO,
     &validation_native::SCENARIO,
     &engine_throughput::SCENARIO,
     &pdes_scaling::SCENARIO,

@@ -72,12 +72,18 @@ fn simulate(
     commit: CommitMode,
     shards: usize,
     record: bool,
+    uniform: bool,
 ) -> (MachineStats, u64, EngineInfo) {
     // At least 4 tiles so the 4-partition series genuinely partitions.
     let cfg = SystemConfig::with_cores(threads.max(4));
     let mut m = Machine::new(cfg)
         .with_engine_shards(shards)
         .with_commit_mode(commit);
+    if uniform {
+        // A/B reference: fall back to the scalar (worst-pair) lookahead
+        // instead of the distance-aware per-partition-pair matrix.
+        m = m.with_uniform_lookahead();
+    }
     if record {
         // Only the measured run records; the in-cell reference run
         // would otherwise write a second trace under the same label.
@@ -127,7 +133,7 @@ fn run_cell(ctx: &CellCtx) -> CellOut {
     let (series, threads, ops) = (ctx.series, ctx.threads, ctx.ops);
     let (commit, shards) = MODES[series];
     let t0 = Instant::now();
-    let (stats, counter, info) = simulate(ctx, threads, ops, commit, shards, true);
+    let (stats, counter, info) = simulate(ctx, threads, ops, commit, shards, true, false);
     let wall = t0.elapsed().as_secs_f64().max(1e-9);
     let json = stats.to_json();
     if series > 0 {
@@ -135,7 +141,7 @@ fn run_cell(ctx: &CellCtx) -> CellOut {
         // partition count nor the commit mode may be visible in any
         // simulated observable.
         let (ref_stats, ref_counter, ref_info) =
-            simulate(ctx, threads, ops, CommitMode::Lockstep, 1, false);
+            simulate(ctx, threads, ops, CommitMode::Lockstep, 1, false, false);
         assert_eq!(
             json,
             ref_stats.to_json(),
@@ -176,6 +182,31 @@ fn run_cell(ctx: &CellCtx) -> CellOut {
             );
         }
     }
+    // Distance-aware pair-lookahead A/B: re-run relaxed multi-partition
+    // cells with the scalar (worst-pair) lookahead and report the
+    // commit-batch occupancy gain the per-pair matrix buys. Simulated
+    // results must be identical either way — lookahead only reshapes
+    // the safe windows, never the event order observables.
+    let mut pair_gain = String::new();
+    if commit == CommitMode::Relaxed && info.shards > 1 {
+        let (u_stats, u_counter, u_info) = simulate(ctx, threads, ops, commit, shards, false, true);
+        assert_eq!(
+            json,
+            u_stats.to_json(),
+            "stats diverged between pair and uniform lookahead"
+        );
+        assert_eq!(
+            counter, u_counter,
+            "memory diverged under uniform lookahead"
+        );
+        let u_occ = if u_info.commit_batches > 0 {
+            u_info.events as f64 / u_info.commit_batches as f64
+        } else {
+            0.0
+        };
+        let gain = if u_occ > 0.0 { occupancy / u_occ } else { 1.0 };
+        pair_gain = format!(",uniform_occupancy,{u_occ:.2},pair_occupancy_gain,{gain:.3}");
+    }
     let events_per_sec = info.events as f64 / wall;
     let mut cell = CellOut::row(BenchRow::host_only(
         SCENARIO.series[series],
@@ -185,7 +216,7 @@ fn run_cell(ctx: &CellCtx) -> CellOut {
     cell.post.push(format!(
         "CSVX,pdes_scaling,{},{},sim_events_per_sec,{:.0},events,{},commit,{},shards,{},\
          cross_events,{},concurrent_events,{},epochs,{},commit_batches,{},max_batch,{},\
-         batch_occupancy,{:.2},lookahead,{},stats_fp,{:016x},wall_secs,{:.4}",
+         batch_occupancy,{:.2},lookahead,{},stats_fp,{:016x},wall_secs,{:.4}{}",
         SCENARIO.series[series],
         threads,
         events_per_sec,
@@ -200,7 +231,8 @@ fn run_cell(ctx: &CellCtx) -> CellOut {
         occupancy,
         info.lookahead,
         fingerprint(&json),
-        wall
+        wall,
+        pair_gain
     ));
     cell
 }

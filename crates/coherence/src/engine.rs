@@ -151,20 +151,13 @@ thread_local! {
     static CUR: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
 }
 
-fn bit(c: CoreId) -> u64 {
-    1u64 << c.idx()
-}
-
-fn cores_in(mask: u64) -> impl Iterator<Item = CoreId> {
-    (0..64u16).filter(move |i| mask & (1 << i) != 0).map(CoreId)
-}
-
 impl CoherenceEngine {
     /// Build the engine for `cfg.num_cores` tiles.
     pub fn new(cfg: &SystemConfig) -> Self {
         assert!(
-            cfg.num_cores >= 1 && cfg.num_cores <= 64,
-            "sharer bitmasks support up to 64 cores"
+            cfg.num_cores >= 1 && cfg.num_cores <= crate::CoreSet::CAPACITY,
+            "sharer sets support up to {} cores",
+            crate::CoreSet::CAPACITY
         );
         let l1 = (0..cfg.num_cores)
             .map(|_| SetAssocCache::new(cfg.l1_sets(), cfg.l1_ways))
@@ -194,10 +187,43 @@ impl CoherenceEngine {
         self.mesh.min_cross_latency()
     }
 
-    /// Home tile (L2 slice / directory) of a line: stride interleaving.
+    /// Per-partition-pair refinement of
+    /// [`CoherenceEngine::noc_min_lookahead`]: entry `[p][q]` is the
+    /// minimum NoC latency of any message from a tile of partition `p`
+    /// to a tile of partition `q` under `map`. Mesh-distant — and above
+    /// all cross-socket — partition pairs admit much wider safe windows
+    /// than the global minimum over all tile pairs. The matrix is
+    /// symmetric (the mesh metric is), as the sharded queue requires.
+    pub fn pair_lookahead(&self, map: &lr_sim_core::PartitionMap) -> Vec<Vec<Cycle>> {
+        let parts = map.partitions();
+        let mut blocks = vec![(usize::MAX, 0usize); parts];
+        for t in 0..map.tiles() {
+            let b = &mut blocks[map.partition_of(t)];
+            b.0 = b.0.min(t);
+            b.1 = b.1.max(t + 1);
+        }
+        (0..parts)
+            .map(|p| {
+                (0..parts)
+                    .map(|q| self.mesh.min_latency_between(blocks[p], blocks[q]))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Home tile (L2 slice / directory) of a line: stride interleaving
+    /// within the line's *home socket*. The socket is chosen by the
+    /// 1 GiB region the line lives in (`line >> 24`, i.e. byte address
+    /// `>> 30`), so memory placed in a socket's arena is homed on that
+    /// socket's directory slices and reached without crossing the
+    /// inter-socket link. With `sockets == 1` this is exactly the old
+    /// flat stride interleaving `line % num_cores`.
     #[inline]
     pub fn home_of(&self, line: LineAddr) -> CoreId {
-        CoreId((line.0 % self.cfg.num_cores as u64) as u16)
+        let sockets = self.cfg.sockets as u64;
+        let tps = (self.cfg.num_cores / self.cfg.sockets) as u64;
+        let s = (line.0 >> 24) % sockets;
+        CoreId((s * tps + line.0 % tps) as u16)
     }
 
     // ---- tile-ownership guard -------------------------------------------
@@ -353,6 +379,7 @@ impl CoherenceEngine {
 
     fn msg(&mut self, from: CoreId, to: CoreId, class: MsgClass) -> Cycle {
         let hops = self.mesh.flit_hops(from, to, class);
+        let socket_hops = self.mesh.socket_flit_hops(from, to, class);
         let lat = self.mesh.latency(from, to, class);
         let ts = self.cur_stats();
         match class {
@@ -360,6 +387,10 @@ impl CoherenceEngine {
             MsgClass::Data => ts.msgs_data += 1,
         }
         ts.flit_hops += hops;
+        if socket_hops > 0 {
+            ts.cross_socket_msgs += 1;
+            ts.socket_flit_hops += socket_hops;
+        }
         lat
     }
 
@@ -609,16 +640,16 @@ impl CoherenceEngine {
                     // invalidation *arrives* at its tile; every arrival
                     // is strictly before the grant below, since the
                     // grant waits out max(to_s + ack) ≥ to_s + 1.
-                    let others = mask & !bit(core);
+                    let others = mask.without(core);
                     let mut inv_lat = 0;
-                    for s in cores_in(others) {
+                    for s in others.iter() {
                         let to_s = self.msg(home, s, MsgClass::Control);
                         let ack = self.msg(s, core, MsgClass::Control);
                         inv_lat = inv_lat.max(to_s + ack);
                         ctx.schedule(to_s, s, CohEvent::InvArrive { line });
                         self.cur_stats().invalidations += 1;
                     }
-                    let upgrade = mask & bit(core) != 0;
+                    let upgrade = mask.contains(core);
                     let data_lat = if upgrade {
                         // Permission-only grant.
                         self.msg(home, core, MsgClass::Control)
@@ -634,10 +665,15 @@ impl CoherenceEngine {
                 }
             }
             DirState::Modified(o) if o == core => {
-                // The requester still owns the line (e.g. a redundant
-                // upgrade after a race); confirm ownership.
-                let lat = self.msg(home, core, MsgClass::Control);
-                ctx.schedule(t - now + lat, core, CohEvent::GrantArrive(x));
+                // The requester is the directory's owner of record, yet
+                // it missed in L1 — hits never reach the directory, so
+                // its copy is gone: an eviction whose writeback is still
+                // in flight (and will be dropped on arrival, because
+                // this transaction holds the channel). Serve from the
+                // home slice like any evicted-owner bounce; crucially
+                // `grant_from_home` also rewrites the directory (a read
+                // re-fetch must land as Shared, not stay Modified).
+                self.grant_from_home(now, t, x, ctx);
             }
             DirState::Modified(o) => {
                 let lat = self.msg(home, o, MsgClass::Control);
@@ -671,14 +707,14 @@ impl CoherenceEngine {
             DirState::Modified(core)
         } else {
             match *dir {
-                DirState::Shared(mask) => DirState::Shared(mask | bit(core)),
+                DirState::Shared(mask) => DirState::Shared(mask.with(core)),
                 // MESI: a sole reader of an uncached line gets Exclusive;
                 // the directory tracks it like any exclusive owner.
                 _ if mesi => {
                     x.grant_exclusive = true;
                     DirState::Modified(core)
                 }
-                _ => DirState::Shared(bit(core)),
+                _ => DirState::Shared(crate::CoreSet::only(core)),
             }
         };
         let lat = self.cfg.l2_data_latency + self.msg(home, core, MsgClass::Data);
@@ -793,7 +829,7 @@ impl CoherenceEngine {
             DirState::Modified(req)
         } else {
             *self.l1_mut(o).peek_mut(line).unwrap() = L1State::Shared;
-            DirState::Shared(bit(o) | bit(req))
+            DirState::Shared(crate::CoreSet::only(o).with(req))
         };
         if owner_state == L1State::Modified {
             // Only dirty copies write back; an Exclusive (clean) copy is
@@ -858,8 +894,8 @@ impl CoherenceEngine {
         let home = self.home_of(line);
         if let Some(dir) = self.l2_mut(home).peek_mut(line) {
             if let DirState::Shared(mask) = *dir {
-                let m = mask & !bit(from);
-                *dir = if m == 0 {
+                let m = mask.without(from);
+                *dir = if m.is_empty() {
                     DirState::Uncached
                 } else {
                     DirState::Shared(m)
@@ -1044,7 +1080,7 @@ impl CoherenceEngine {
             Inserted::Evicted(vline, vdir) => match vdir {
                 DirState::Uncached => {}
                 DirState::Shared(mask) => {
-                    for s in cores_in(mask) {
+                    for s in mask.iter() {
                         let lat = self.msg(home, s, MsgClass::Control);
                         ctx.schedule(lat, s, CohEvent::BackInval { line: vline });
                         self.cur_stats().invalidations += 1;
@@ -1128,7 +1164,7 @@ impl CoherenceEngine {
                     }
                     L1State::Shared => match dir {
                         DirState::Shared(mask) => {
-                            assert!(mask & bit(c) != 0, "sharer bit missing for {c} {line}")
+                            assert!(mask.contains(c), "sharer bit missing for {c} {line}")
                         }
                         other => panic!("S copy at {c} for {line} but dir={other:?}"),
                     },
@@ -1148,8 +1184,8 @@ impl CoherenceEngine {
                         );
                     }
                     DirState::Shared(mask) => {
-                        assert!(mask != 0, "empty sharer mask for {line}");
-                        for s in cores_in(mask) {
+                        assert!(!mask.is_empty(), "empty sharer set for {line}");
+                        for s in mask.iter() {
                             assert_eq!(
                                 self.l1[s.idx()].peek(line),
                                 Some(&L1State::Shared),

@@ -81,13 +81,106 @@ impl L1State {
     }
 }
 
+/// A set of cores: the directory's sharer list. A fixed 1024-bit bitset
+/// (`Copy`, 128 bytes), so directories scale to the multi-socket
+/// configurations — the previous representation was a single `u64`
+/// word, capping the machine at 64 cores.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct CoreSet([u64; CoreSet::WORDS]);
+
+impl CoreSet {
+    const WORDS: usize = 16;
+    /// Largest representable core count.
+    pub const CAPACITY: usize = Self::WORDS * 64;
+    /// The empty set.
+    pub const EMPTY: CoreSet = CoreSet([0; Self::WORDS]);
+
+    /// The singleton set `{c}`.
+    #[inline]
+    pub fn only(c: CoreId) -> CoreSet {
+        Self::EMPTY.with(c)
+    }
+
+    /// The set whose low 64 members are given by `mask` (bit `i` ⇒ core
+    /// `i`) — mirrors the old `u64` directory representation; used by
+    /// tests that spell sharer sets as literals.
+    pub fn from_mask(mask: u64) -> CoreSet {
+        let mut s = Self::EMPTY;
+        s.0[0] = mask;
+        s
+    }
+
+    /// This set with `c` added.
+    #[inline]
+    #[must_use]
+    pub fn with(mut self, c: CoreId) -> CoreSet {
+        self.0[c.idx() / 64] |= 1 << (c.idx() % 64);
+        self
+    }
+
+    /// This set with `c` removed.
+    #[inline]
+    #[must_use]
+    pub fn without(mut self, c: CoreId) -> CoreSet {
+        self.0[c.idx() / 64] &= !(1 << (c.idx() % 64));
+        self
+    }
+
+    /// Is `c` a member?
+    #[inline]
+    pub fn contains(&self, c: CoreId) -> bool {
+        self.0[c.idx() / 64] & (1 << (c.idx() % 64)) != 0
+    }
+
+    /// Is the set empty?
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.0.iter().all(|&w| w == 0)
+    }
+
+    /// Number of members.
+    pub fn count(&self) -> usize {
+        self.0.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Members in ascending core order (word-skipping, so iteration cost
+    /// scales with membership, not capacity).
+    pub fn iter(self) -> impl Iterator<Item = CoreId> {
+        (0..Self::WORDS).flat_map(move |w| {
+            let mut bits = self.0[w];
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let b = bits.trailing_zeros();
+                    bits &= bits - 1;
+                    Some(CoreId((w * 64 + b as usize) as u16))
+                }
+            })
+        })
+    }
+}
+
+impl std::fmt::Debug for CoreSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("{")?;
+        for (i, c) in self.iter().enumerate() {
+            if i > 0 {
+                f.write_str(",")?;
+            }
+            write!(f, "{}", c.idx())?;
+        }
+        f.write_str("}")
+    }
+}
+
 /// Directory knowledge about one line (stored in its home L2 slice).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DirState {
     /// No L1 holds the line; L2/DRAM data is current.
     Uncached,
-    /// Bitmask of cores holding the line in Shared state.
-    Shared(u64),
+    /// The set of cores holding the line in Shared state.
+    Shared(CoreSet),
     /// One core holds the line in Modified state.
     Modified(CoreId),
 }

@@ -102,7 +102,10 @@ fn cold_load_misses_then_hits() {
     assert_eq!(ctx.completions[0].0, 7);
     assert!(ctx.completions[0].1 > 0);
     assert_eq!(e.l1_state(c0, L), Some(L1State::Shared));
-    assert_eq!(e.dir_state(L), Some(DirState::Shared(1)));
+    assert_eq!(
+        e.dir_state(L),
+        Some(DirState::Shared(CoreSet::from_mask(1)))
+    );
     assert_eq!(e.stats().l2_misses, 1);
 
     // Second load: pure L1 hit, completes synchronously.
@@ -134,7 +137,10 @@ fn store_grants_modified_and_invalidation_on_second_reader() {
     run(&mut e, &mut ctx);
     assert_eq!(e.l1_state(c0, L), Some(L1State::Shared));
     assert_eq!(e.l1_state(c1, L), Some(L1State::Shared));
-    assert_eq!(e.dir_state(L), Some(DirState::Shared(0b11)));
+    assert_eq!(
+        e.dir_state(L),
+        Some(DirState::Shared(CoreSet::from_mask(0b11)))
+    );
     assert_eq!(e.stats().owner_probes, 1);
     e.check_invariants();
 }
@@ -150,7 +156,10 @@ fn upgrade_invalidates_other_sharers() {
         e.access(now, t, c, L, AccessKind::Load, false, true, &mut ctx);
         run(&mut e, &mut ctx);
     }
-    assert_eq!(e.dir_state(L), Some(DirState::Shared(0b111)));
+    assert_eq!(
+        e.dir_state(L),
+        Some(DirState::Shared(CoreSet::from_mask(0b111)))
+    );
 
     // c1 upgrades: c0 and c2 lose their copies.
     let now = ctx.queue.now();
@@ -441,7 +450,10 @@ fn mesi_second_reader_downgrades_exclusive_cleanly() {
     run(&mut e, &mut ctx);
     assert_eq!(e.l1_state(c0, L), Some(L1State::Shared));
     assert_eq!(e.l1_state(c1, L), Some(L1State::Shared));
-    assert_eq!(e.dir_state(L), Some(DirState::Shared(0b11)));
+    assert_eq!(
+        e.dir_state(L),
+        Some(DirState::Shared(CoreSet::from_mask(0b11)))
+    );
     assert_eq!(e.stats().cores[0].l1_writebacks, 0, "E is clean");
     e.check_invariants();
 }
@@ -624,4 +636,75 @@ fn home_distribution_is_striped() {
     for (_, n) in homes {
         assert_eq!(n, 8);
     }
+}
+
+#[test]
+fn socket_aware_home_map_degenerates_and_localizes() {
+    // sockets = 1: exactly the old flat stride interleaving.
+    let e = CoherenceEngine::new(&cfg(8));
+    for l in (0..4096u64).step_by(37) {
+        assert_eq!(e.home_of(LineAddr(l)).idx() as u64, l % 8);
+    }
+    // sockets = 2, 8 cores: socket picked by the 1 GiB region
+    // (line >> 24), slice by stride *within* that socket's tiles.
+    let mut c = cfg(8);
+    c.sockets = 2;
+    let e = CoherenceEngine::new(&c);
+    assert_eq!(
+        e.home_of(LineAddr(5)),
+        CoreId(1),
+        "region 0 homes on socket 0"
+    );
+    assert_eq!(
+        e.home_of(LineAddr((1 << 24) | 6)),
+        CoreId(4 + 2),
+        "region 1 homes on socket 1"
+    );
+    // Every line still maps to a valid tile, and each socket's regions
+    // use only that socket's tiles.
+    for l in (0..(3u64 << 24)).step_by((1 << 21) + 13) {
+        let h = e.home_of(LineAddr(l));
+        assert!(h.idx() < 8);
+        assert_eq!(h.idx() / 4, ((l >> 24) % 2) as usize);
+    }
+}
+
+#[test]
+fn cross_socket_access_counts_numa_traffic() {
+    let mut c = cfg(4);
+    c.sockets = 2;
+    let mut e = CoherenceEngine::new(&c);
+    let mut ctx = MockCtx::new();
+    // Line homed in socket 1's region, accessed from core 0 (socket 0):
+    // the request and the grant both cross the inter-socket link.
+    let l = LineAddr(1 << 24);
+    assert_eq!(e.home_of(l), CoreId(2));
+    let r = e.access(0, 1, CoreId(0), l, AccessKind::Load, false, true, &mut ctx);
+    assert!(r.is_none());
+    run(&mut e, &mut ctx);
+    assert_eq!(ctx.completions.len(), 1);
+    let st = e.stats();
+    assert!(
+        st.cross_socket_msgs >= 2,
+        "request + grant should cross the link, got {}",
+        st.cross_socket_msgs
+    );
+    assert!(st.socket_flit_hops > 0);
+    // The link hops are charged at the (more expensive) inter-socket
+    // energy rate on top of the mesh flit energy.
+    let base = {
+        let mut m = c.energy.clone();
+        m.socket_flit_hop_nj = 0.0;
+        st.energy_nj(&m)
+    };
+    assert!(st.energy_nj(&c.energy) > base);
+
+    // The same access on a single-socket machine reports zero NUMA
+    // traffic (counters stay all-zero, keeping JSON goldens identical).
+    let mut e1 = CoherenceEngine::new(&cfg(4));
+    let mut ctx1 = MockCtx::new();
+    e1.access(0, 1, CoreId(0), l, AccessKind::Load, false, true, &mut ctx1);
+    run(&mut e1, &mut ctx1);
+    assert_eq!(e1.stats().cross_socket_msgs, 0);
+    assert_eq!(e1.stats().socket_flit_hops, 0);
 }

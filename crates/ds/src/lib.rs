@@ -15,6 +15,7 @@
 //! | Binary search tree | [`bst`] | base / leased |
 //! | Sequential skiplist | [`seq_skiplist`] | (substrate for locks/MultiQueues) |
 //! | Delegated stack/counter | [`delegated`] | MCS / CLH / FC / CCSynch (+lease hybrids) |
+//! | Replicated counter/KV (node replication) | [`replicated`] | plain MSI / lease hybrid |
 //! | Host-atomics stack/queue | [`native`] | validation bench |
 
 pub mod bst;
@@ -26,6 +27,7 @@ pub mod native;
 pub mod pq;
 pub mod pugh_skiplist;
 pub mod queue;
+pub mod replicated;
 pub mod seq_skiplist;
 pub mod stack;
 pub mod two_lock_queue;
@@ -41,6 +43,10 @@ pub use native::{NativeQueue, NativeStack};
 pub use pq::PriorityQueue;
 pub use pugh_skiplist::LockingSkipList;
 pub use queue::{MsQueue, QueueVariant};
+pub use replicated::{
+    CounterReplica, KvReplica, ReplHandle, Replicated, ReplicatedCounter, ReplicatedKv, KV_ADD,
+    KV_GET, KV_MISS, KV_PUT,
+};
 pub use seq_skiplist::SeqSkipList;
 pub use stack::{StackVariant, TreiberStack};
 pub use two_lock_queue::{TwoLockQueue, TwoLockVariant};

@@ -207,7 +207,7 @@ fn main() {
                 }
                 println!(
                     "lr-fuzz: corpus regenerated — {} traces ({} seeds + 1 delegation \
-                     workload, x 3 variants)",
+                     + 1 replicated workload, x 3 variants)",
                     written.len(),
                     seeds
                 );

@@ -18,6 +18,7 @@
 //! `app_ops` count. A violation of any of these is a [`Finding`].
 
 use crate::gen::{GenOp, Workload, DLOCK_ALGO_COUNT, MAX_COUNTERS};
+use lr_ds::ReplicatedCounter;
 use lr_machine::{Addr, CommitMode, EventQueueKind, Machine, SystemConfig, ThreadCtx, ThreadFn};
 use lr_sim_core::tracefmt::{self, MachineTrace};
 use lr_sim_core::CoherenceProtocol;
@@ -94,6 +95,10 @@ pub struct RunOutput {
     pub trace: MachineTrace,
     /// Final value of every counter cell, read from post-run memory.
     pub counters: Vec<u64>,
+    /// Linearized final value of the node-replicated counter (the log
+    /// fold; also asserts every replica matches its applied prefix), or
+    /// `None` when the workload has no [`GenOp::ReplicatedOp`].
+    pub replicated: Option<u64>,
     /// Final `app_ops` stat.
     pub app_ops: u64,
 }
@@ -138,6 +143,7 @@ fn thread_fn(
     counters: Vec<Addr>,
     scratch: Vec<Addr>,
     dlocks: Vec<Option<Dlock>>,
+    repl: Option<ReplicatedCounter>,
 ) -> ThreadFn {
     let mut apply = FuzzApply {
         counters: [Addr(0); MAX_COUNTERS],
@@ -147,6 +153,7 @@ fn thread_fn(
     }
     Box::new(move |ctx: &mut ThreadCtx| {
         let mut handles: Vec<Option<DlockHandle>> = vec![None; dlocks.len()];
+        let mut repl_handle = None;
         for op in &prog {
             match *op {
                 GenOp::Faa { cell, delta } => {
@@ -193,6 +200,13 @@ fn thread_fn(
                     let h = handles[algo].get_or_insert_with(|| d.handle(tid));
                     d.run(ctx, h, &apply, cell as u64, delta);
                 }
+                GenOp::ReplicatedOp { delta } => {
+                    let rc = repl
+                        .as_ref()
+                        .expect("setup allocated the replicated counter for this workload");
+                    let h = repl_handle.get_or_insert_with(|| rc.handle(tid));
+                    rc.add(ctx, h, delta);
+                }
                 GenOp::Work { cycles } => ctx.work(cycles),
             }
             ctx.count_op();
@@ -209,11 +223,25 @@ pub fn record_workload(w: &Workload, variant: Variant) -> Result<RunOutput, Stri
     // Decouple the machine's internal seed from the default so campaign
     // seeds also vary backoff/arbitration randomness, deterministically.
     cfg.seed ^= w.seed.rotate_left(17);
+    // Workloads that drive the node-replicated counter run on a
+    // two-socket topology whenever the thread count allows it, so the
+    // fuzzer replays real cross-socket log traffic; everything else
+    // keeps the flat single-socket machine (and its traces) unchanged.
+    let has_repl = w.has_replicated();
+    let sockets = if has_repl && w.threads().is_multiple_of(2) {
+        2
+    } else {
+        1
+    };
+    cfg.sockets = sockets;
 
     let mut machine = Machine::new(cfg);
     let used = used_dlock_algos(w);
     let threads = w.threads();
-    let (counter_addrs, scratch_addrs, dlocks) = machine.setup(|m| {
+    // The lease/release hybrid of the replicated counter rides the
+    // hostile-lease variant; the plain NR path rides MSI and MESI.
+    let repl_lease = variant == Variant::LeaseTight;
+    let (counter_addrs, scratch_addrs, dlocks, repl) = machine.setup(|m| {
         let c: Vec<Addr> = (0..w.counters).map(|_| m.alloc_line_aligned(8)).collect();
         let s: Vec<Addr> = (0..w.scratch).map(|_| m.alloc_line_aligned(8)).collect();
         // One pre-allocated lock (node pool and all) per algorithm the
@@ -224,7 +252,16 @@ pub fn record_workload(w: &Workload, variant: Variant) -> Result<RunOutput, Stri
             .zip(used.iter())
             .map(|(&algo, &u)| u.then(|| Dlock::init(m, algo, threads)))
             .collect();
-        (c, s, d)
+        let r = has_repl.then(|| {
+            let log_cap = w
+                .programs
+                .iter()
+                .flatten()
+                .filter(|op| matches!(op, GenOp::ReplicatedOp { .. }))
+                .count() as u64;
+            ReplicatedCounter::init(m, sockets, threads / sockets, threads, log_cap, repl_lease)
+        });
+        (c, s, d, r)
     });
     let progs: Vec<ThreadFn> = w
         .programs
@@ -237,6 +274,7 @@ pub fn record_workload(w: &Workload, variant: Variant) -> Result<RunOutput, Stri
                 counter_addrs.clone(),
                 scratch_addrs.clone(),
                 dlocks.clone(),
+                repl.clone(),
             )
         })
         .collect();
@@ -251,11 +289,28 @@ pub fn record_workload(w: &Workload, variant: Variant) -> Result<RunOutput, Stri
             .unwrap_or_else(|| "non-string panic payload".to_string());
         format!("live run panicked: {msg}")
     })?;
+    // `final_value` panics if any replica diverged from its applied log
+    // prefix; fold that into a live-abort finding, not a farm crash.
+    let replicated = match repl.as_ref() {
+        Some(rc) => Some(
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| rc.final_value(&run.mem)))
+                .map_err(|p| {
+                    let msg = p
+                        .downcast_ref::<String>()
+                        .cloned()
+                        .or_else(|| p.downcast_ref::<&str>().map(|s| s.to_string()))
+                        .unwrap_or_else(|| "non-string panic payload".to_string());
+                    format!("replica consistency check panicked: {msg}")
+                })?,
+        ),
+        None => None,
+    };
     Ok(RunOutput {
         counters: counter_addrs
             .iter()
             .map(|&a| run.mem.read_word(a))
             .collect(),
+        replicated,
         app_ops: run.stats.app_ops,
         trace: run.trace,
     })
@@ -281,6 +336,15 @@ pub fn check_variant(w: &Workload, variant: Variant) -> Result<usize, Finding> {
                 out.counters, ledger
             ),
         ));
+    }
+    if let Some(got) = out.replicated {
+        let want = w.replicated_ledger();
+        if got != want {
+            return Err(finding(
+                "ledger",
+                format!("replicated counter ended at {got}, log ledger says {want}"),
+            ));
+        }
     }
     if out.app_ops != w.total_ops() {
         return Err(finding(

@@ -21,7 +21,7 @@
 //! (exponent drawn from `[0.5, 1.5]`) so generated runs exercise the
 //! contended regimes the paper's mechanism exists for.
 
-use lr_sim_core::SplitMix64;
+use lr_sim_core::{SplitMix64, Zipf};
 
 /// Thread-count range of a generated workload.
 pub const MIN_THREADS: usize = 2;
@@ -78,6 +78,13 @@ pub enum GenOp {
         cell: usize,
         delta: u64,
     },
+    /// Add `delta` to the workload's shared node-replicated counter
+    /// (`lr_ds::ReplicatedCounter`): the op is published to a per-socket
+    /// flat-combining slot, appended to the shared operation log by a
+    /// combiner, and applied to every socket's replica — ledger-tracked
+    /// (the authoritative value is the log fold), and the deepest
+    /// cross-thread coupling the fuzzer replays.
+    ReplicatedOp { delta: u64 },
     /// Local compute: advances worker-local time only.
     Work { cycles: u64 },
 }
@@ -94,32 +101,6 @@ pub struct Workload {
     pub scratch: usize,
     /// One straight-line program per simulated thread.
     pub programs: Vec<Vec<GenOp>>,
-}
-
-/// Zipfian sampler over `n` ranks via inverse-CDF lookup.
-struct Zipf {
-    cdf: Vec<f64>,
-}
-
-impl Zipf {
-    fn new(n: usize, s: f64) -> Self {
-        let mut cdf = Vec::with_capacity(n);
-        let mut acc = 0.0;
-        for i in 0..n {
-            acc += 1.0 / ((i + 1) as f64).powf(s);
-            cdf.push(acc);
-        }
-        let total = acc;
-        for c in &mut cdf {
-            *c /= total;
-        }
-        Zipf { cdf }
-    }
-
-    fn sample(&self, rng: &mut SplitMix64) -> usize {
-        let x = rng.next_f64();
-        self.cdf.partition_point(|&c| c < x).min(self.cdf.len() - 1)
-    }
 }
 
 impl Workload {
@@ -195,6 +176,9 @@ impl Workload {
                 cell: counter_pick.sample(rng),
                 delta: rng.gen_range(1u64..=1 << 20),
             },
+            94..=95 => GenOp::ReplicatedOp {
+                delta: rng.gen_range(1u64..=1 << 20),
+            },
             _ => GenOp::Work {
                 cycles: rng.gen_range(1u64..=200),
             },
@@ -251,6 +235,53 @@ impl Workload {
         }
     }
 
+    /// Generate a replication-heavy workload: maximum threads, and every
+    /// thread's first op goes through the node-replicated counter by
+    /// construction, so corpus entries recorded under a multi-socket
+    /// topology pin log-append/replica-sync/combiner behaviour under
+    /// full contention. Used by `--regen-corpus` for the
+    /// `numa`-prefixed entries.
+    pub fn replicated(seed: u64) -> Workload {
+        let mut rng = SplitMix64::new(seed ^ 0x2e91_1ca7_ed00_c0de);
+        let threads = MAX_THREADS;
+        let counters = MIN_COUNTERS;
+        let scratch = MIN_SCRATCH;
+        let counter_pick = Zipf::new(counters, 0.5 + rng.next_f64());
+        let programs = (0..threads)
+            .map(|_| {
+                let len = rng.gen_range(16..=MAX_OPS);
+                (0..len)
+                    .map(|j| {
+                        if j == 0 {
+                            GenOp::ReplicatedOp {
+                                delta: rng.gen_range(1u64..=1 << 20),
+                            }
+                        } else {
+                            match rng.gen_range(0u64..100) {
+                                0..=59 => GenOp::ReplicatedOp {
+                                    delta: rng.gen_range(1u64..=1 << 20),
+                                },
+                                60..=79 => GenOp::Faa {
+                                    cell: counter_pick.sample(&mut rng),
+                                    delta: rng.gen_range(1u64..=1 << 20),
+                                },
+                                _ => GenOp::Work {
+                                    cycles: rng.gen_range(1u64..=200),
+                                },
+                            }
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        Workload {
+            seed,
+            counters,
+            scratch,
+            programs,
+        }
+    }
+
     pub fn threads(&self) -> usize {
         self.programs.len()
     }
@@ -276,6 +307,32 @@ impl Workload {
             }
         }
         ledger
+    }
+
+    /// Expected final value of the shared node-replicated counter: the
+    /// wrapping sum of all [`GenOp::ReplicatedOp`] deltas across all
+    /// threads. Holds under every machine configuration (the log fold is
+    /// socket-count independent).
+    pub fn replicated_ledger(&self) -> u64 {
+        let mut sum = 0u64;
+        for prog in &self.programs {
+            for op in prog {
+                if let GenOp::ReplicatedOp { delta } = op {
+                    sum = sum.wrapping_add(*delta);
+                }
+            }
+        }
+        sum
+    }
+
+    /// Whether any program contains a [`GenOp::ReplicatedOp`]. The
+    /// executor allocates the replicated counter only when this holds,
+    /// so workloads without the op keep their pre-existing memory layout
+    /// (and recorded traces) unchanged.
+    pub fn has_replicated(&self) -> bool {
+        self.programs
+            .iter()
+            .any(|p| p.iter().any(|op| matches!(op, GenOp::ReplicatedOp { .. })))
     }
 }
 
@@ -317,6 +374,7 @@ mod tests {
                             assert!(cell < w.counters);
                             assert!(delta >= 1);
                         }
+                        GenOp::ReplicatedOp { delta } => assert!(delta >= 1),
                         GenOp::Work { cycles } => assert!((1..=200).contains(&cycles)),
                     }
                 }
@@ -344,6 +402,28 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn replicated_workload_leads_with_replicated_ops() {
+        for seed in 0..8 {
+            let w = Workload::replicated(seed);
+            assert_eq!(w, Workload::replicated(seed), "must be deterministic");
+            assert_eq!(w.threads(), MAX_THREADS);
+            assert!(w.has_replicated());
+            let mut sum = 0u64;
+            for prog in &w.programs {
+                assert!(matches!(prog[0], GenOp::ReplicatedOp { .. }));
+                for op in prog {
+                    if let GenOp::ReplicatedOp { delta } = *op {
+                        assert!(delta >= 1);
+                        sum = sum.wrapping_add(delta);
+                    }
+                }
+            }
+            assert_eq!(w.replicated_ledger(), sum);
+        }
+        assert!(!Workload::delegation(0).has_replicated());
     }
 
     #[test]

@@ -40,7 +40,10 @@ fn first_seeds_are_clean() {
 fn checked_in_corpus_replays_clean_with_ownership_assertions() {
     let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../corpus");
     let (files, ops) = check_corpus(&dir).unwrap_or_else(|f| panic!("{f:?}"));
-    assert_eq!(files, 15, "(4 seeds + 1 delegation workload) x 3 variants");
+    assert_eq!(
+        files, 18,
+        "(4 seeds + 1 delegation + 1 replicated workload) x 3 variants"
+    );
     assert!(ops > 0);
 }
 
@@ -108,8 +111,8 @@ fn corpus_regen_is_deterministic_and_checkable() {
     assert_eq!(wrote_a, wrote_b);
     assert_eq!(
         wrote_a.len(),
-        9,
-        "(2 seeds + 1 delegation workload) x 3 variants"
+        12,
+        "(2 seeds + 1 delegation + 1 replicated workload) x 3 variants"
     );
     for name in &wrote_a {
         assert_eq!(
@@ -119,7 +122,7 @@ fn corpus_regen_is_deterministic_and_checkable() {
         );
     }
     let (files, ops) = check_corpus(&a).unwrap_or_else(|f| panic!("{f:?}"));
-    assert_eq!(files, 9);
+    assert_eq!(files, 12);
     assert!(ops > 0);
     let _ = std::fs::remove_dir_all(&a);
     let _ = std::fs::remove_dir_all(&b);

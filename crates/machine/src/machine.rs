@@ -697,6 +697,9 @@ pub struct Machine {
     commit: Option<CommitMode>,
     /// When set, a live run records itself and writes the trace here.
     trace_out: Option<TraceOutput>,
+    /// Skip the distance-aware per-partition-pair lookahead matrix and
+    /// run the uniform scalar window (the pre-refinement behaviour).
+    uniform_lookahead: bool,
 }
 
 // The `lr-bench` sweep driver constructs and runs one `Machine` per
@@ -713,7 +716,7 @@ const _: () = {
 impl Machine {
     /// A machine with the given configuration and an empty heap.
     pub fn new(cfg: SystemConfig) -> Self {
-        assert!(cfg.num_cores >= 1 && cfg.num_cores <= 64);
+        assert!(cfg.num_cores >= 1 && cfg.num_cores <= lr_coherence::CoreSet::CAPACITY);
         Machine {
             cfg,
             mem: SimMemory::new(),
@@ -722,6 +725,7 @@ impl Machine {
             engine_shards: None,
             commit: None,
             trace_out: None,
+            uniform_lookahead: false,
         }
     }
 
@@ -742,6 +746,16 @@ impl Machine {
     /// the CI gate prove it; production callers keep the default.
     pub fn with_engine_shards(mut self, n: usize) -> Self {
         self.engine_shards = Some(n.max(1));
+        self
+    }
+
+    /// Fall back to the uniform scalar lookahead instead of the
+    /// distance-aware per-partition-pair matrix. Simulated results are
+    /// byte-identical either way (the matrix only widens safe windows,
+    /// it never reorders commits); this exists for the occupancy A/B
+    /// in the `pdes_scaling` benchmark scenario.
+    pub fn with_uniform_lookahead(mut self) -> Self {
+        self.uniform_lookahead = true;
         self
     }
 
@@ -925,7 +939,22 @@ impl Machine {
         let pre_image = record.then(|| mem.snapshot());
         let sink: Option<RecordSink> =
             record.then(|| Arc::new(Mutex::new((0..n).map(|_| None).collect())));
-        let queue = ShardedQueue::with_kind(kind, cfg.num_cores, shards, lookahead);
+        let mut queue = ShardedQueue::with_kind(kind, cfg.num_cores, shards, lookahead);
+        // Distance-aware refinement: a pair of partitions exchanges
+        // events no faster than the cheapest NoC message between their
+        // tile blocks, so mesh-distant (and above all cross-socket)
+        // pairs admit proportionally wider safe windows. The same
+        // eviction-race cap as the scalar applies per pair, which also
+        // keeps every entry ≥ the scalar.
+        if queue.map().partitions() > 1 && !self.uniform_lookahead {
+            let cap = cfg.l2_tag_latency + cfg.l2_data_latency + 1;
+            let m: Vec<Vec<Cycle>> = engine
+                .pair_lookahead(&queue.map())
+                .into_iter()
+                .map(|row| row.into_iter().map(|v| v.min(cap)).collect())
+                .collect();
+            queue.set_pair_lookahead(m);
+        }
         let parts = queue.map().partitions();
         let mut shared = Shared {
             queue,

@@ -610,3 +610,56 @@ fn trace_ring_buffer_does_not_perturb_results() {
     // without it.
     assert_eq!(run(0), run(64));
 }
+
+/// Single-socket degeneracy at the machine level: with `sockets == 1`
+/// the multi-socket machinery must be completely invisible — the
+/// socket-link knobs (latency, energy rate) cannot perturb one byte of
+/// the stats JSON, no cross-socket counter appears in it, and turning
+/// the knobs only matters once a second socket exists.
+#[test]
+fn single_socket_stats_ignore_socket_knobs() {
+    let run = |sockets: usize, link: u64, nj: f64| {
+        let mut c = cfg(8);
+        c.sockets = sockets;
+        c.socket_link_latency = link;
+        c.energy.socket_flit_hop_nj = nj;
+        let mut m = Machine::new(c);
+        let a = m.setup(|mem| mem.alloc_line_aligned(8));
+        let progs: Vec<ThreadFn> = (0..8)
+            .map(|_| {
+                Box::new(move |ctx: &mut lr_machine::ThreadCtx| {
+                    for _ in 0..25 {
+                        ctx.faa(a, 1);
+                        ctx.count_op();
+                    }
+                }) as ThreadFn
+            })
+            .collect();
+        m.run(progs)
+    };
+    let base = run(1, 40, 0.2);
+    let cranked = run(1, 4_000, 99.0);
+    assert_eq!(
+        base.to_json(),
+        cranked.to_json(),
+        "socket knobs leaked into a single-socket run"
+    );
+    assert_eq!(base.cross_socket_msgs, 0);
+    assert!(
+        !base.to_json().contains("cross_socket"),
+        "sockets=1 JSON must keep the pre-NUMA byte layout"
+    );
+    // The same knobs are very much visible once a second socket exists:
+    // the contended line's traffic crosses the link, the counter shows
+    // up in the JSON, and the slower link stretches the run.
+    let two = run(2, 40, 0.2);
+    assert!(two.cross_socket_msgs > 0);
+    assert!(two.to_json().contains("cross_socket_msgs"));
+    let slow = run(2, 4_000, 0.2);
+    assert!(
+        slow.total_cycles > two.total_cycles,
+        "a 100x slower socket link must stretch a cross-socket run"
+    );
+    // (Message *counts* may shift with the interleaving; only the
+    // latency signature is asserted.)
+}

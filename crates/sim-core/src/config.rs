@@ -74,6 +74,10 @@ pub struct EnergyModel {
     pub dram_access_nj: f64,
     /// Dynamic energy per flit per mesh hop, nJ.
     pub flit_hop_nj: f64,
+    /// Dynamic energy per flit traversing an inter-socket link, nJ.
+    /// Off-package links drive long board traces / serdes and cost an
+    /// order of magnitude more per flit than an on-die mesh hop.
+    pub socket_flit_hop_nj: f64,
     /// Dynamic energy per retired instruction, nJ.
     pub instruction_nj: f64,
     /// Static (leakage) energy per core per cycle, nJ.
@@ -87,6 +91,7 @@ impl Default for EnergyModel {
             l2_access_nj: 0.4,
             dram_access_nj: 20.0,
             flit_hop_nj: 0.02,
+            socket_flit_hop_nj: 0.2,
             instruction_nj: 0.05,
             static_core_nj_per_cycle: 0.05,
         }
@@ -120,6 +125,15 @@ pub struct SystemConfig {
     pub protocol: CoherenceProtocol,
     /// Per-hop mesh link latency, cycles.
     pub mesh_hop_latency: Cycle,
+    /// Number of sockets (NUMA nodes). Tiles are numbered socket-major:
+    /// tiles `[s·(num_cores/sockets), (s+1)·(num_cores/sockets))` form
+    /// socket `s`, each socket running its own 2-D mesh. `num_cores`
+    /// must be a multiple of `sockets`. 1 (the default) is the paper's
+    /// single-socket machine and is bit-exact with the flat mesh.
+    pub sockets: usize,
+    /// Latency of one inter-socket link traversal, cycles. Charged once
+    /// per cross-socket message on top of the mesh hops at either end.
+    pub socket_link_latency: Cycle,
     /// Flits in a control (data-less) coherence message.
     pub control_flits: u32,
     /// Flits in a data-carrying coherence message (64 B line + header).
@@ -155,6 +169,8 @@ impl Default for SystemConfig {
             dram_latency: 100,
             protocol: CoherenceProtocol::default(),
             mesh_hop_latency: 2,
+            sockets: 1,
+            socket_link_latency: 40,
             control_flits: 1,
             data_flits: 9,
             instruction_cost: 1,
@@ -174,6 +190,25 @@ impl SystemConfig {
             num_cores: n,
             ..SystemConfig::default()
         }
+    }
+
+    /// Tiles per socket. Panics if `num_cores` is not a multiple of
+    /// `sockets` — the topology has no notion of a partially filled
+    /// socket.
+    pub fn tiles_per_socket(&self) -> usize {
+        assert!(self.sockets >= 1, "at least one socket");
+        assert!(
+            self.num_cores.is_multiple_of(self.sockets),
+            "num_cores ({}) must be a multiple of sockets ({})",
+            self.num_cores,
+            self.sockets
+        );
+        self.num_cores / self.sockets
+    }
+
+    /// Socket housing core/tile index `t` (socket-major numbering).
+    pub fn socket_of(&self, t: usize) -> usize {
+        t / self.tiles_per_socket()
     }
 
     /// Number of L1 sets implied by capacity/ways/line size.

@@ -15,6 +15,7 @@ pub mod stats;
 pub mod trace;
 pub mod tracefmt;
 mod wheel;
+pub mod zipf;
 
 pub use config::{CoherenceProtocol, EnergyModel, LeaseConfig, SystemConfig};
 pub use event::{EventQueue, EventQueueKind};
@@ -23,6 +24,7 @@ pub use shard::{PartitionMap, ShardedQueue};
 pub use stats::{CoreStats, MachineStats};
 pub use trace::{TraceAccess, TraceEvent, TraceRecord, TraceRing, TraceSink};
 pub use tracefmt::{config_fingerprint, MachineTrace, MemImage, OpRecord, TraceError, TraceOp};
+pub use zipf::Zipf;
 
 /// Simulated time, in core cycles (1 GHz ⇒ 1 cycle = 1 ns).
 pub type Cycle = u64;

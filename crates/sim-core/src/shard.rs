@@ -120,6 +120,13 @@ pub struct ShardedQueue<E> {
     map: PartitionMap,
     /// Minimum cross-partition delivery delay (NoC lookahead).
     lookahead: Cycle,
+    /// Optional distance-aware refinement: `pair_la[p][q]` is the
+    /// minimum delivery delay of any event sent from a tile of
+    /// partition `p` to a tile of partition `q` (mesh-distant and
+    /// cross-socket pairs admit wider safe windows than the global
+    /// minimum). Symmetric, and never below `lookahead`. `None` falls
+    /// back to the uniform scalar everywhere.
+    pair_la: Option<Vec<Vec<Cycle>>>,
     /// Per-src-tile push counters — the low 48 key bits.
     tile_ctr: Vec<u64>,
     now: Cycle,
@@ -155,6 +162,7 @@ impl<E> ShardedQueue<E> {
                 .collect(),
             map,
             lookahead,
+            pair_la: None,
             tile_ctr: vec![0; tiles],
             now: 0,
             cross: vec![0; n],
@@ -242,6 +250,48 @@ impl<E> ShardedQueue<E> {
         self.lookahead
     }
 
+    /// Install a per-partition-pair lookahead matrix (see the `pair_la`
+    /// field). Entries must be symmetric and at least the scalar
+    /// `lookahead` — the matrix *refines* the global bound, it never
+    /// relaxes it. Symmetry matters for soundness: the echo bound below
+    /// collapses any multi-hop return chain `p → a → … → b → p` to
+    /// `min over q of la[p][q] + la[q][p]` via the triangle inequality
+    /// of the underlying NoC metric, which requires `la[p][q] ==
+    /// la[q][p]`.
+    pub fn set_pair_lookahead(&mut self, la: Vec<Vec<Cycle>>) {
+        let n = self.parts.len();
+        assert_eq!(la.len(), n, "pair-lookahead matrix must be {n}x{n}");
+        for (p, row) in la.iter().enumerate() {
+            assert_eq!(row.len(), n, "pair-lookahead matrix must be {n}x{n}");
+            for (q, &v) in row.iter().enumerate() {
+                if p != q {
+                    assert!(
+                        v >= self.lookahead,
+                        "pair lookahead [{p}][{q}]={v} below scalar {}",
+                        self.lookahead
+                    );
+                    assert_eq!(v, la[q][p], "pair lookahead must be symmetric");
+                }
+            }
+        }
+        self.pair_la = Some(la);
+    }
+
+    /// The installed pair matrix, if any.
+    pub fn pair_lookahead(&self) -> Option<&[Vec<Cycle>]> {
+        self.pair_la.as_deref()
+    }
+
+    /// Minimum delivery delay for a `src` partition → `dest` partition
+    /// event (`src != dest`).
+    #[inline]
+    fn la_between(&self, src: usize, dest: usize) -> Cycle {
+        match &self.pair_la {
+            Some(m) => m[src][dest],
+            None => self.lookahead,
+        }
+    }
+
     /// Schedule `payload` at `time` for the partition owning
     /// `dest_tile`, pushed by the handler of an event at tile
     /// `src_tile` whose timestamp is `send_now` (pre-run setup passes
@@ -282,12 +332,12 @@ impl<E> ShardedQueue<E> {
             self.parts[dest].push_at_seq(time, key, payload);
         } else {
             debug_assert!(
-                time >= send_now + self.lookahead,
+                time >= send_now + self.la_between(src, dest),
                 "cross-partition event violates lookahead: t={} < send={} + lookahead={} \
                  (partition {src} -> {dest})",
                 time,
                 send_now,
-                self.lookahead,
+                self.la_between(src, dest),
             );
             self.cross[src] += 1;
             self.outboxes[src][dest].push(Envelope { time, key, payload });
@@ -426,18 +476,28 @@ impl<E> ShardedQueue<E> {
             .map(|p| {
                 // Every event that can still reach `p` traces back
                 // (through zero or more same-partition steps and one or
-                // more cross-partition hops, each hop adding at least
-                // `la`) to an event queued *right now*. A chain
-                // originating at another partition needs one hop; a
-                // chain originating at `p` itself must leave and come
-                // back — two hops. `p`'s purely local future is ordered
-                // by its own queue and needs no bound.
+                // more cross-partition hops, a `q → r` hop adding at
+                // least `la_between(q, r)`) to an event queued *right
+                // now*. A chain originating at another partition `q`
+                // needs one hop costing at least `la_between(q, p)` —
+                // multi-hop detours through some partition `r` cost
+                // `la(q,r) + la(r,p) ≥ la(q,p)` because the matrix
+                // entries are minima of a shortest-path NoC metric
+                // (triangle inequality). A chain originating at `p`
+                // itself must leave and come back — the cheapest
+                // round-trip over any intermediate. `p`'s purely local
+                // future is ordered by its own queue and needs no
+                // bound.
                 let one_hop = (0..n)
                     .filter(|&q| q != p)
-                    .filter_map(|q| heads[q])
+                    .filter_map(|q| Some(add(heads[q]?, self.la_between(q, p).max(1))))
+                    .min();
+                let echo = (0..n)
+                    .filter(|&q| q != p)
+                    .map(|q| self.la_between(p, q).max(1) + self.la_between(q, p).max(1))
                     .min()
-                    .map(|m| add(m, la));
-                let two_hop = heads[p].map(|h| add(h, 2 * la));
+                    .unwrap_or(2 * la);
+                let two_hop = heads[p].map(|h| add(h, echo));
                 one_hop
                     .into_iter()
                     .chain(two_hop)
@@ -629,5 +689,116 @@ mod tests {
         assert!(q.begin_window().is_none());
         assert_eq!(q.commit_batches(), 2);
         assert_eq!(q.max_batch(), 1);
+    }
+
+    #[test]
+    fn uniform_pair_matrix_reproduces_scalar_bounds() {
+        let mut q: ShardedQueue<u32> = ShardedQueue::with_kind(EventQueueKind::Wheel, 2, 2, 5);
+        q.set_pair_lookahead(vec![vec![0, 5], vec![5, 0]]);
+        q.push(0, 0, 0, 10, 0);
+        q.push(1, 0, 1, 10, 1);
+        let bounds = q.begin_window().unwrap();
+        // Identical to the scalar case above: the matrix refines, and a
+        // uniform matrix refines to exactly the old behaviour.
+        assert_eq!(bounds, vec![15, 15]);
+    }
+
+    #[test]
+    fn distance_aware_matrix_widens_bounds() {
+        // Two "far" partitions (e.g. different sockets): pair delay 40
+        // vs global scalar 2 — each side's safe window grows 40/2 = 20x.
+        let mut q: ShardedQueue<u32> = ShardedQueue::with_kind(EventQueueKind::Wheel, 4, 2, 2);
+        q.set_pair_lookahead(vec![vec![0, 40], vec![40, 0]]);
+        q.push(0, 0, 0, 10, 0);
+        q.push(2, 0, 2, 10, 1);
+        let bounds = q.begin_window().unwrap();
+        assert_eq!(bounds, vec![50, 50]);
+        q.pop_bounded(0, bounds[0]);
+        q.pop_bounded(1, bounds[1]);
+        // Echo bound: with only p0 populated, p0's own events are safe
+        // up to head + cheapest round-trip (40 out + 40 back), while p1
+        // is bounded by p0's head one hop away.
+        q.push(0, 50, 0, 60, 2);
+        let bounds = q.begin_window().unwrap();
+        assert_eq!(bounds, vec![60 + 80, 60 + 40]);
+    }
+
+    #[test]
+    fn windowed_draining_matches_pop_global_with_pair_matrix() {
+        // Non-uniform symmetric matrix (entries ≥ scalar 2, triangle
+        // inequality holds); handlers push cross-partition follow-ups
+        // honouring the per-pair delay. Window-driven execution must
+        // produce the same per-partition pop sequences as pop_global.
+        let la = [
+            vec![0, 2, 7, 9],
+            vec![2, 0, 5, 7],
+            vec![7, 5, 0, 2],
+            vec![9, 7, 2, 0],
+        ];
+        let build = || {
+            let mut q: ShardedQueue<u64> = ShardedQueue::with_kind(EventQueueKind::Wheel, 4, 4, 2);
+            q.set_pair_lookahead(la.to_vec());
+            for tile in 0..4usize {
+                q.push(tile, 0, tile, tile as Cycle, tile as u64);
+            }
+            q
+        };
+        let follow = |q: &mut ShardedQueue<u64>, t: Cycle, p: usize, v: u64| {
+            if v < 60 {
+                let dest = ((v * 7 + 3) % 4) as usize;
+                let delay = la[p][dest].max(1) + v % 3;
+                q.push(p, t, dest, t + delay, v + 4);
+            }
+        };
+        let mut seq_order: Vec<Vec<(Cycle, u64)>> = vec![Vec::new(); 4];
+        let mut a = build();
+        while let Some((t, p, v)) = a.pop_global() {
+            seq_order[p].push((t, v));
+            follow(&mut a, t, p, v);
+        }
+        let mut win_order: Vec<Vec<(Cycle, u64)>> = vec![Vec::new(); 4];
+        let mut b = build();
+        while let Some(bounds) = b.begin_window() {
+            for p in 0..4 {
+                while let Some((t, v)) = b.pop_bounded(p, bounds[p]) {
+                    win_order[p].push((t, v));
+                    follow(&mut b, t, p, v);
+                }
+            }
+        }
+        assert_eq!(seq_order, win_order);
+        assert_eq!(a.processed(), b.processed());
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "violates lookahead")]
+    fn pair_lookahead_violation_is_caught_in_debug() {
+        // 5 cycles satisfies the scalar lookahead (2) but not the pair
+        // entry (9): the per-pair debug assert must fire.
+        let mut q: ShardedQueue<u32> = ShardedQueue::with_kind(EventQueueKind::Wheel, 4, 4, 2);
+        q.set_pair_lookahead(vec![
+            vec![0, 2, 7, 9],
+            vec![2, 0, 5, 7],
+            vec![7, 5, 0, 2],
+            vec![9, 7, 2, 0],
+        ]);
+        q.push(0, 0, 0, 0, 0);
+        q.pop_global();
+        q.push(0, 0, 3, 5, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "symmetric")]
+    fn asymmetric_pair_matrix_is_rejected() {
+        let mut q: ShardedQueue<u32> = ShardedQueue::with_kind(EventQueueKind::Wheel, 2, 2, 1);
+        q.set_pair_lookahead(vec![vec![0, 3], vec![4, 0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "below scalar")]
+    fn pair_matrix_below_scalar_is_rejected() {
+        let mut q: ShardedQueue<u32> = ShardedQueue::with_kind(EventQueueKind::Wheel, 2, 2, 5);
+        q.set_pair_lookahead(vec![vec![0, 3], vec![3, 0]]);
     }
 }

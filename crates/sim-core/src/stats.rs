@@ -112,6 +112,12 @@ pub struct MachineStats {
     pub msgs_data: u64,
     /// Total flit-hops traversed on the mesh.
     pub flit_hops: u64,
+    /// Coherence messages that crossed an inter-socket link (both
+    /// classes). Always 0 on a single-socket machine.
+    pub cross_socket_msgs: u64,
+    /// Total flits that traversed inter-socket links (the off-package
+    /// energy-model quantity). Always 0 on a single-socket machine.
+    pub socket_flit_hops: u64,
     /// Total cycles requests spent waiting in directory FIFO queues.
     pub dir_queue_wait_cycles: Cycle,
     /// Maximum occupancy observed in any per-line directory queue.
@@ -147,6 +153,8 @@ impl MachineStats {
         self.msgs_control += o.msgs_control;
         self.msgs_data += o.msgs_data;
         self.flit_hops += o.flit_hops;
+        self.cross_socket_msgs += o.cross_socket_msgs;
+        self.socket_flit_hops += o.socket_flit_hops;
         self.dir_queue_wait_cycles += o.dir_queue_wait_cycles;
         self.max_dir_queue_len = self.max_dir_queue_len.max(o.max_dir_queue_len);
         self.app_ops += o.app_ops;
@@ -179,6 +187,7 @@ impl MachineStats {
             + l2_accesses as f64 * m.l2_access_nj
             + self.l2_misses as f64 * m.dram_access_nj
             + self.flit_hops as f64 * m.flit_hop_nj
+            + self.socket_flit_hops as f64 * m.socket_flit_hop_nj
             + t.instructions as f64 * m.instruction_nj
             + self.cores.len() as f64 * self.total_cycles as f64 * m.static_core_nj_per_cycle
     }
@@ -242,6 +251,18 @@ impl MachineStats {
             self.dir_queue_wait_cycles,
             self.max_dir_queue_len,
         );
+        // NUMA counters are emitted only when nonzero so that
+        // single-socket runs (where they are identically 0) serialize
+        // byte-for-byte as they did before the multi-socket topology
+        // existed — the corpus goldens and A/B byte-diff gates depend
+        // on that.
+        if self.cross_socket_msgs != 0 || self.socket_flit_hops != 0 {
+            let _ = write!(
+                s,
+                ",\"cross_socket_msgs\":{},\"socket_flit_hops\":{}",
+                self.cross_socket_msgs, self.socket_flit_hops,
+            );
+        }
         s.push_str(",\"cores\":[");
         for (i, c) in self.cores.iter().enumerate() {
             if i > 0 {
@@ -412,6 +433,26 @@ mod tests {
             "unbalanced braces in {j}"
         );
         assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn numa_counters_conditional_in_json_and_counted_in_energy() {
+        let mut s = MachineStats::new(1);
+        // Single-socket runs never set these; JSON must not mention them.
+        assert!(!s.to_json().contains("cross_socket_msgs"));
+        let m = EnergyModel::default();
+        let base = s.energy_nj(&m);
+        s.cross_socket_msgs = 4;
+        s.socket_flit_hops = 36;
+        let j = s.to_json();
+        assert!(j.contains("\"cross_socket_msgs\":4"));
+        assert!(j.contains("\"socket_flit_hops\":36"));
+        assert!((s.energy_nj(&m) - base - 36.0 * m.socket_flit_hop_nj).abs() < 1e-9);
+        let mut t = MachineStats::new(1);
+        t.merge_from(&s);
+        t.merge_from(&s);
+        assert_eq!(t.cross_socket_msgs, 8);
+        assert_eq!(t.socket_flit_hops, 72);
     }
 
     #[test]

@@ -36,7 +36,10 @@ use crate::{Addr, Cycle};
 /// File magic: identifies an `lr-replay` trace.
 pub const TRACE_MAGIC: [u8; 8] = *b"LRTRACE\0";
 /// Current format version; bumped on any incompatible layout change.
-pub const TRACE_VERSION: u32 = 1;
+/// v2 added the multi-socket topology fields (`sockets`,
+/// `socket_link_latency`, `socket_flit_hop_nj`) to the config block and
+/// widened the core-count bound to 1024.
+pub const TRACE_VERSION: u32 = 2;
 /// Conventional file extension for trace files on disk.
 pub const TRACE_EXT: &str = "lrt";
 
@@ -367,6 +370,8 @@ fn encode_config(out: &mut Vec<u8>, c: &SystemConfig) {
         CoherenceProtocol::Mesi => 1,
     });
     put_varint(out, c.mesh_hop_latency);
+    put_varint(out, c.sockets as u64);
+    put_varint(out, c.socket_link_latency);
     put_varint(out, u64::from(c.control_flits));
     put_varint(out, u64::from(c.data_flits));
     put_varint(out, c.instruction_cost);
@@ -378,6 +383,7 @@ fn encode_config(out: &mut Vec<u8>, c: &SystemConfig) {
     put_f64(out, c.energy.l2_access_nj);
     put_f64(out, c.energy.dram_access_nj);
     put_f64(out, c.energy.flit_hop_nj);
+    put_f64(out, c.energy.socket_flit_hop_nj);
     put_f64(out, c.energy.instruction_nj);
     put_f64(out, c.energy.static_core_nj_per_cycle);
     put_u64_le(out, c.seed);
@@ -403,6 +409,8 @@ fn decode_config(cur: &mut Cursor<'_>) -> Result<SystemConfig, TraceError> {
             _ => return Err(TraceError::Malformed("protocol")),
         },
         mesh_hop_latency: cur.varint("mesh_hop_latency")?,
+        sockets: cur.varint_usize("sockets")?,
+        socket_link_latency: cur.varint("socket_link_latency")?,
         control_flits: cur.varint_u32("control_flits")?,
         data_flits: cur.varint_u32("data_flits")?,
         instruction_cost: cur.varint("instruction_cost")?,
@@ -417,6 +425,7 @@ fn decode_config(cur: &mut Cursor<'_>) -> Result<SystemConfig, TraceError> {
             l2_access_nj: cur.f64("l2_access_nj")?,
             dram_access_nj: cur.f64("dram_access_nj")?,
             flit_hop_nj: cur.f64("flit_hop_nj")?,
+            socket_flit_hop_nj: cur.f64("socket_flit_hop_nj")?,
             instruction_nj: cur.f64("instruction_nj")?,
             static_core_nj_per_cycle: cur.f64("static_core_nj_per_cycle")?,
         },
@@ -425,14 +434,19 @@ fn decode_config(cur: &mut Cursor<'_>) -> Result<SystemConfig, TraceError> {
         watchdog_max_events: cur.varint("watchdog_max_events")?,
     };
     // Semantic bounds a decoded config must satisfy before any consumer
-    // does arithmetic with it: the machine layer supports 1–64 cores,
-    // and the cache geometry must yield at least one set per level
-    // (zero ways or a sub-line capacity would divide by zero in the
-    // set-index math; an absurd capacity would overflow it). The
+    // does arithmetic with it: the machine layer supports 1–1024 cores,
+    // the socket layout must be well-formed (at least one socket,
+    // evenly dividing the cores — `tiles_per_socket` would panic
+    // otherwise), and the cache geometry must yield at least one set
+    // per level (zero ways or a sub-line capacity would divide by zero
+    // in the set-index math; an absurd capacity would overflow it). The
     // checksum only guards against *corruption*; these guard against
     // *crafted* inputs.
-    if cfg.num_cores < 1 || cfg.num_cores > 64 {
+    if cfg.num_cores < 1 || cfg.num_cores > 1024 {
         return Err(TraceError::Malformed("num_cores"));
+    }
+    if cfg.sockets < 1 || cfg.sockets > 64 || !cfg.num_cores.is_multiple_of(cfg.sockets) {
+        return Err(TraceError::Malformed("sockets"));
     }
     let sets = |kib: usize, ways: usize| -> Option<usize> {
         let lines = kib.checked_mul(1024)? / crate::LINE_SIZE as usize;
@@ -958,6 +972,7 @@ mod tests {
         l1_kib: u64,
         l1_ways: u64,
         l2_ways: u64,
+        sockets: u64,
         control_flits: u64,
         data_flits: u64,
         max_num_leases: u64,
@@ -971,6 +986,7 @@ mod tests {
                 l1_kib: c.l1_kib as u64,
                 l1_ways: c.l1_ways as u64,
                 l2_ways: c.l2_ways as u64,
+                sockets: c.sockets as u64,
                 control_flits: u64::from(c.control_flits),
                 data_flits: u64::from(c.data_flits),
                 max_num_leases: c.lease.max_num_leases as u64,
@@ -993,6 +1009,8 @@ mod tests {
         put_varint(&mut out, c.dram_latency);
         out.push(0);
         put_varint(&mut out, c.mesh_hop_latency);
+        put_varint(&mut out, raw.sockets);
+        put_varint(&mut out, c.socket_link_latency);
         put_varint(&mut out, raw.control_flits);
         put_varint(&mut out, raw.data_flits);
         put_varint(&mut out, c.instruction_cost);
@@ -1004,6 +1022,7 @@ mod tests {
         put_f64(&mut out, c.energy.l2_access_nj);
         put_f64(&mut out, c.energy.dram_access_nj);
         put_f64(&mut out, c.energy.flit_hop_nj);
+        put_f64(&mut out, c.energy.socket_flit_hop_nj);
         put_f64(&mut out, c.energy.instruction_nj);
         put_f64(&mut out, c.energy.static_core_nj_per_cycle);
         put_u64_le(&mut out, c.seed);
@@ -1060,7 +1079,7 @@ mod tests {
 
     #[test]
     fn out_of_range_core_count_is_malformed() {
-        for num_cores in [0, 65, 1 << 33] {
+        for num_cores in [0, 1025, 1 << 33] {
             assert_eq!(
                 decode_raw_config(&RawConfig {
                     num_cores,
@@ -1069,8 +1088,34 @@ mod tests {
                 Err(TraceError::Malformed("num_cores"))
             );
         }
+        for num_cores in [64, 1024] {
+            assert!(decode_raw_config(&RawConfig {
+                num_cores,
+                ..RawConfig::default()
+            })
+            .is_ok());
+        }
+    }
+
+    #[test]
+    fn bad_socket_layout_is_malformed() {
+        // Zero sockets, absurd socket counts, and a socket count that
+        // does not divide the cores (tiles_per_socket would panic
+        // downstream) must all fail closed.
+        for (num_cores, sockets) in [(64, 0), (64, 65), (64, 3), (4, 8)] {
+            assert_eq!(
+                decode_raw_config(&RawConfig {
+                    num_cores,
+                    sockets,
+                    ..RawConfig::default()
+                }),
+                Err(TraceError::Malformed("sockets")),
+                "cores={num_cores} sockets={sockets}"
+            );
+        }
         assert!(decode_raw_config(&RawConfig {
             num_cores: 64,
+            sockets: 4,
             ..RawConfig::default()
         })
         .is_ok());

@@ -1,0 +1,93 @@
+//! Seeded Zipfian sampler.
+//!
+//! One implementation shared by the fuzzer's workload generator and the
+//! `numa_serving` benchmark scenario, so both draw from the *same*
+//! distribution for a given `(n, s, seed)` — hoisted from `lr-fuzz::gen`
+//! without changing the sampling sequence (the inverse-CDF build and the
+//! `partition_point` lookup are preserved exactly; existing fuzz seeds
+//! keep producing the same workloads).
+
+use crate::SplitMix64;
+
+/// Zipfian sampler over `n` ranks via inverse-CDF lookup.
+///
+/// Rank `i` (0-based) is drawn with probability proportional to
+/// `1 / (i + 1)^s`; `s = 0` is uniform, `s ≈ 1` the classic web-serving
+/// skew the paper's contended workloads model.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build the sampler for `n` ranks with exponent `s`.
+    pub fn new(n: usize, s: f64) -> Self {
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for i in 0..n {
+            acc += 1.0 / ((i + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Draw one rank in `[0, n)`.
+    pub fn sample(&self, rng: &mut SplitMix64) -> usize {
+        let x = rng.next_f64();
+        self.cdf.partition_point(|&c| c < x).min(self.cdf.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn samples_stay_in_range_and_are_deterministic() {
+        let z = Zipf::new(16, 0.99);
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..1000 {
+            let x = z.sample(&mut a);
+            assert!(x < 16);
+            assert_eq!(x, z.sample(&mut b));
+        }
+    }
+
+    #[test]
+    fn low_ranks_dominate_under_skew() {
+        let z = Zipf::new(64, 1.2);
+        let mut rng = SplitMix64::new(7);
+        let mut counts = [0u32; 64];
+        for _ in 0..20_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[1]);
+        assert!(counts[0] > 10 * counts[32].max(1));
+        // Uniform (s = 0) spreads mass: rank 0 gets roughly 1/64.
+        let u = Zipf::new(64, 0.0);
+        let mut hits = 0;
+        for _ in 0..20_000 {
+            if u.sample(&mut rng) == 0 {
+                hits += 1;
+            }
+        }
+        assert!(
+            hits < 1000,
+            "uniform rank-0 mass should be ~312, got {hits}"
+        );
+    }
+
+    #[test]
+    fn single_rank_always_samples_zero() {
+        let z = Zipf::new(1, 1.0);
+        let mut rng = SplitMix64::new(1);
+        for _ in 0..100 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
+    }
+}

@@ -115,6 +115,17 @@ impl Allocator {
         self.live_bytes
     }
 
+    /// Register a block carved outside the bump region (the socket
+    /// arenas) so liveness accounting and snapshot/restore see it like
+    /// any other allocation. Such blocks are permanent: they are never
+    /// passed to `free`, so they can never enter a size-class free list
+    /// and leak arena addresses into the flat heap.
+    pub(crate) fn register_extern(&mut self, addr: Addr, size: u64) {
+        let prev = self.live.insert(addr, size);
+        debug_assert!(prev.is_none(), "extern block registered twice at {addr}");
+        self.live_bytes += size;
+    }
+
     /// Capture allocator state as plain data (page contents are filled
     /// in by [`SimMemory::snapshot`](crate::SimMemory::snapshot)).
     /// Deterministic: maps are emitted in sorted key order; free-list

@@ -52,6 +52,15 @@ use std::sync::atomic::{AtomicPtr, Ordering};
 /// can serve as the null pointer.
 pub const HEAP_BASE: u64 = 0x1000;
 
+/// Size of one socket memory arena (and of the address region the
+/// socket-aware directory home map hashes over): 1 GiB. Socket `s ≥ 1`
+/// bump-allocates from byte `s * SOCKET_REGION_BYTES`; socket 0 owns
+/// the flat heap in region 0.
+pub const SOCKET_REGION_BYTES: u64 = 1 << 30;
+
+/// Socket arenas must fit under the simulated heap ceiling (16 GiB).
+const MAX_SOCKET_ARENAS: usize = 16;
+
 /// Words per storage page (4 KiB pages).
 pub const PAGE_WORDS: usize = 512;
 
@@ -121,6 +130,9 @@ pub fn pooled_pages() -> usize {
 pub struct SimMemory {
     root: Box<[AtomicPtr<Chunk>]>,
     alloc: Allocator,
+    /// Bump pointer of each socket arena (index = socket id; 0 unused —
+    /// socket 0 is the flat heap). Lazily sized; 0 = arena untouched.
+    socket_brk: Vec<u64>,
 }
 
 impl std::fmt::Debug for SimMemory {
@@ -167,6 +179,7 @@ impl SimMemory {
         SimMemory {
             root,
             alloc: Allocator::new(HEAP_BASE),
+            socket_brk: Vec::new(),
         }
     }
 
@@ -280,8 +293,65 @@ impl SimMemory {
         self.alloc(size, LINE_SIZE)
     }
 
+    /// Allocate `size` bytes with the given power-of-two alignment from
+    /// socket `socket`'s memory arena. Socket 0 is the flat heap (a
+    /// plain [`SimMemory::alloc`]); higher sockets bump-allocate from
+    /// the `socket`-th [`SOCKET_REGION_BYTES`] region, whose lines the
+    /// socket-aware directory home map (`lr-coherence`) homes on that
+    /// socket's L2 slices — this is how NUMA-aware structures place
+    /// per-socket replicas next to their readers. Arena blocks are
+    /// permanent: passing one to [`SimMemory::free`] panics.
+    pub fn alloc_in_socket(&mut self, size: u64, align: u64, socket: usize) -> Addr {
+        if socket == 0 {
+            return self.alloc(size, align);
+        }
+        assert!(size > 0, "zero-sized allocation");
+        assert!(
+            align.is_power_of_two() && align >= 8,
+            "bad alignment {align}"
+        );
+        assert!(
+            socket < MAX_SOCKET_ARENAS,
+            "socket {socket} arena beyond the simulated address space"
+        );
+        // Match the flat allocator's false-sharing discipline: blocks of
+        // a line or more never share a cache line.
+        let align = if size >= LINE_SIZE {
+            align.max(LINE_SIZE)
+        } else {
+            align
+        };
+        let base = socket as u64 * SOCKET_REGION_BYTES;
+        assert!(
+            self.alloc.high_water() < SOCKET_REGION_BYTES - HEAP_BASE,
+            "flat heap grew into the socket arenas"
+        );
+        if self.socket_brk.len() <= socket {
+            self.socket_brk.resize(socket + 1, 0);
+        }
+        let brk = &mut self.socket_brk[socket];
+        if *brk == 0 {
+            *brk = base;
+        }
+        let a = brk.next_multiple_of(align);
+        let end = a + size;
+        assert!(
+            end <= base + SOCKET_REGION_BYTES,
+            "socket {socket} arena exhausted"
+        );
+        *brk = end;
+        self.alloc.register_extern(Addr(a), size);
+        // Arena addresses are never recycled, so the words are already
+        // zero (unwritten memory reads as zero).
+        Addr(a)
+    }
+
     /// Return a block to the allocator.
     pub fn free(&mut self, addr: Addr) {
+        assert!(
+            addr.0 < SOCKET_REGION_BYTES,
+            "socket-arena blocks are permanent: free({addr})"
+        );
         self.alloc.free(addr);
     }
 
@@ -328,6 +398,18 @@ impl SimMemory {
     pub fn restore(image: &MemImage) -> Self {
         let mut mem = SimMemory::new();
         mem.alloc = Allocator::restore(HEAP_BASE, image);
+        // Arena bump pointers are recovered from the live map: every
+        // arena block is live forever, so each arena's high-water mark
+        // is the end of its highest block.
+        for &(addr, size) in &image.live {
+            if addr >= SOCKET_REGION_BYTES {
+                let s = (addr / SOCKET_REGION_BYTES) as usize;
+                if mem.socket_brk.len() <= s {
+                    mem.socket_brk.resize(s + 1, 0);
+                }
+                mem.socket_brk[s] = mem.socket_brk[s].max(addr + size);
+            }
+        }
         for (idx, words) in &image.pages {
             let i = *idx as usize * PAGE_WORDS;
             let page = mem.ensure_page(i);
@@ -460,5 +542,47 @@ mod tests {
         assert_eq!(s1, s2);
         assert_eq!(s1.pages.len(), 1);
         assert_eq!(s1.pages[0].1, vec![5]);
+    }
+
+    #[test]
+    fn socket_arenas_allocate_from_their_region() {
+        let mut m = SimMemory::new();
+        let flat = m.alloc_in_socket(64, 8, 0);
+        assert!(flat.0 < SOCKET_REGION_BYTES, "socket 0 is the flat heap");
+        let a = m.alloc_in_socket(64, 8, 1);
+        let b = m.alloc_in_socket(24, 8, 1);
+        let c = m.alloc_in_socket(64, 8, 3);
+        assert_eq!(a.0, SOCKET_REGION_BYTES);
+        assert!(b.0 >= a.0 + 64, "line-sized blocks never share a line");
+        assert_eq!(c.0, 3 * SOCKET_REGION_BYTES);
+        // Arena memory is zero, writable, and counted as live.
+        assert_eq!(m.read_word(a), 0);
+        m.write_word(a, 7);
+        m.write_word(c, 9);
+        assert_eq!(m.read_word(a), 7);
+        assert!(m.live_bytes() >= 64 + 24 + 64);
+    }
+
+    #[test]
+    fn socket_arenas_survive_snapshot_restore() {
+        let mut m = SimMemory::new();
+        let a = m.alloc_in_socket(64, 64, 2);
+        m.write_word(a, 42);
+        let image = m.snapshot();
+        let mut r = SimMemory::restore(&image);
+        assert_eq!(r.read_word(a), 42);
+        assert_eq!(r.live_bytes(), m.live_bytes());
+        // Future arena allocations continue where the original left off.
+        assert_eq!(r.alloc_in_socket(32, 8, 2), m.alloc_in_socket(32, 8, 2));
+        assert_eq!(r.alloc_in_socket(8, 8, 1), m.alloc_in_socket(8, 8, 1));
+        assert_eq!(r.alloc(16, 8), m.alloc(16, 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "permanent")]
+    fn freeing_an_arena_block_panics() {
+        let mut m = SimMemory::new();
+        let a = m.alloc_in_socket(64, 8, 1);
+        m.free(a);
     }
 }

@@ -1,15 +1,25 @@
 //! # lr-sim-noc
 //!
-//! 2-D mesh network-on-chip model for the simulated tiled multicore.
+//! Network-on-chip model for the simulated tiled multicore: one 2-D mesh
+//! per socket, sockets joined by slow inter-socket links.
 //!
 //! The model is analytic (no per-flit contention): a message from tile A to
-//! tile B takes `hops(A,B) · hop_latency + serialization` cycles, where
-//! serialization is one cycle per additional flit, matching Graphite's
-//! default network model at the fidelity the paper's results depend on
-//! (distance-dependent latency, message-count-dependent energy).
+//! tile B within a socket takes `hops(A,B) · hop_latency + serialization`
+//! cycles, where serialization is one cycle per additional flit, matching
+//! Graphite's default network model at the fidelity the paper's results
+//! depend on (distance-dependent latency, message-count-dependent energy).
 //!
-//! Energy accounting is flit-hops: each flit traversing each hop costs a
-//! fixed dynamic energy (see `lr_sim_core::EnergyModel`).
+//! A cross-socket message rides the source mesh to its socket's gateway
+//! tile (local tile 0, where the off-package link attaches), pays one
+//! `socket_link_latency` traversal, then rides the destination mesh from
+//! that socket's gateway to the target tile. With `sockets == 1` every
+//! formula degenerates exactly to the flat single-mesh model the paper
+//! evaluates — bit-for-bit, which the degeneracy tests below pin down.
+//!
+//! Energy accounting is flit-hops per link class: each flit traversing
+//! each mesh hop costs `flit_hop_nj`, and each flit crossing an
+//! inter-socket link costs `socket_flit_hop_nj` (see
+//! `lr_sim_core::EnergyModel`).
 
 use lr_sim_core::{CoreId, Cycle, SystemConfig};
 
@@ -22,44 +32,108 @@ pub enum MsgClass {
     Data,
 }
 
-/// A 2-D mesh of tiles with XY routing.
+/// A multi-socket topology: one 2-D XY-routed mesh per socket, sockets
+/// connected by point-to-point links between gateway tiles.
 #[derive(Debug, Clone)]
 pub struct Mesh {
+    /// Per-socket mesh width.
     width: usize,
     tiles: usize,
+    sockets: usize,
+    /// Tiles per socket.
+    tps: usize,
     hop_latency: Cycle,
+    socket_link_latency: Cycle,
     control_flits: u32,
     data_flits: u32,
 }
 
 impl Mesh {
-    /// Build the mesh for `config.num_cores` tiles, as close to square as
-    /// possible (64 tiles ⇒ 8×8).
+    /// Build the topology for `config.num_cores` tiles spread over
+    /// `config.sockets` sockets. Each socket's mesh is as close to square
+    /// as possible (64 tiles/socket ⇒ 8×8).
     pub fn new(config: &SystemConfig) -> Self {
         let tiles = config.num_cores;
         assert!(tiles > 0);
-        let width = (tiles as f64).sqrt().ceil() as usize;
+        let sockets = config.sockets;
+        let tps = config.tiles_per_socket();
+        let width = (tps as f64).sqrt().ceil() as usize;
         Mesh {
             width,
             tiles,
+            sockets,
+            tps,
             hop_latency: config.mesh_hop_latency,
+            socket_link_latency: config.socket_link_latency,
             control_flits: config.control_flits,
             data_flits: config.data_flits,
         }
     }
 
-    /// `(x, y)` coordinates of a tile.
+    /// Number of sockets.
+    pub fn sockets(&self) -> usize {
+        self.sockets
+    }
+
+    /// Tiles per socket.
+    pub fn tiles_per_socket(&self) -> usize {
+        self.tps
+    }
+
+    /// Socket housing a tile (socket-major numbering).
+    pub fn socket_of(&self, t: CoreId) -> usize {
+        let i = t.idx();
+        assert!(i < self.tiles, "tile {t} out of range");
+        i / self.tps
+    }
+
+    /// Whether a message between two tiles crosses an inter-socket link.
+    pub fn cross_socket(&self, a: CoreId, b: CoreId) -> bool {
+        self.socket_of(a) != self.socket_of(b)
+    }
+
+    /// Local `(x, y)` coordinates of a tile within its socket's mesh.
     fn coords(&self, t: CoreId) -> (usize, usize) {
         let i = t.idx();
         assert!(i < self.tiles, "tile {t} out of range");
-        (i % self.width, i / self.width)
+        let local = i % self.tps;
+        (local % self.width, local / self.width)
     }
 
-    /// Manhattan hop count between two tiles (0 when equal).
-    pub fn hops(&self, a: CoreId, b: CoreId) -> u64 {
+    /// Local Manhattan distance between two tiles of the *same* socket.
+    fn local_dist(&self, a: CoreId, b: CoreId) -> u64 {
         let (ax, ay) = self.coords(a);
         let (bx, by) = self.coords(b);
         (ax.abs_diff(bx) + ay.abs_diff(by)) as u64
+    }
+
+    /// Gateway tile of a socket: local tile 0, where the inter-socket
+    /// link attaches.
+    fn gateway(&self, socket: usize) -> CoreId {
+        CoreId((socket * self.tps) as u16)
+    }
+
+    /// Mesh hop count traversed by a message (0 when equal). For a
+    /// cross-socket message this counts the mesh hops at both ends —
+    /// source tile to source gateway plus destination gateway to
+    /// destination tile; the link traversal itself is not a mesh hop.
+    pub fn hops(&self, a: CoreId, b: CoreId) -> u64 {
+        let (sa, sb) = (self.socket_of(a), self.socket_of(b));
+        if sa == sb {
+            self.local_dist(a, b)
+        } else {
+            self.local_dist(a, self.gateway(sa)) + self.local_dist(self.gateway(sb), b)
+        }
+    }
+
+    /// Inter-socket link traversals of one message: 0 within a socket,
+    /// 1 across (gateway links are point-to-point between all pairs).
+    pub fn socket_crossings(&self, a: CoreId, b: CoreId) -> u64 {
+        if self.cross_socket(a, b) {
+            1
+        } else {
+            0
+        }
     }
 
     fn flits(&self, class: MsgClass) -> u32 {
@@ -72,39 +146,93 @@ impl Mesh {
     /// Latency of one message. Same-tile messages (core to its local L2
     /// slice) cost a single cycle.
     pub fn latency(&self, from: CoreId, to: CoreId, class: MsgClass) -> Cycle {
-        let hops = self.hops(from, to);
-        if hops == 0 {
+        if from == to {
             return 1;
         }
-        hops * self.hop_latency + (self.flits(class) as Cycle - 1)
+        let link = self.socket_crossings(from, to) * self.socket_link_latency;
+        self.hops(from, to) * self.hop_latency + link + (self.flits(class) as Cycle - 1)
     }
 
-    /// Flit-hops consumed by one message (the energy-model quantity).
+    /// Mesh flit-hops consumed by one message (the on-die energy-model
+    /// quantity; inter-socket link flits are counted separately by
+    /// [`socket_flit_hops`](Self::socket_flit_hops)).
     pub fn flit_hops(&self, from: CoreId, to: CoreId, class: MsgClass) -> u64 {
         self.hops(from, to) * self.flits(class) as u64
     }
 
-    /// Minimum latency of any *cross-tile* message: one hop plus the
-    /// serialization of the smallest message class. This is the
-    /// conservative-PDES lookahead of the sharded engine: tiles in
-    /// different partitions are necessarily different tiles, so every
-    /// cross-partition event rides a message that pays at least this
-    /// many cycles — no partition can be preempted by a message sent
-    /// less than this far in its past.
-    pub fn min_cross_latency(&self) -> Cycle {
-        self.hop_latency
-            + (self
-                .flits(MsgClass::Control)
-                .min(self.flits(MsgClass::Data)) as Cycle)
-            - 1
+    /// Inter-socket link flits consumed by one message (the off-package
+    /// energy-model quantity): `flits` per link crossing.
+    pub fn socket_flit_hops(&self, from: CoreId, to: CoreId, class: MsgClass) -> u64 {
+        self.socket_crossings(from, to) * self.flits(class) as u64
     }
 
-    /// Worst-case message latency across the mesh (used for the
+    /// Minimum latency of any *cross-tile* message: the cheaper of one
+    /// mesh hop (two co-socket tiles) and one bare link traversal (two
+    /// gateway tiles), plus the serialization of the smallest message
+    /// class. This is the conservative-PDES lookahead of the sharded
+    /// engine: tiles in different partitions are necessarily different
+    /// tiles, so every cross-partition event rides a message that pays at
+    /// least this many cycles — no partition can be preempted by a
+    /// message sent less than this far in its past.
+    pub fn min_cross_latency(&self) -> Cycle {
+        let ser = (self
+            .flits(MsgClass::Control)
+            .min(self.flits(MsgClass::Data)) as Cycle)
+            - 1;
+        let intra = self.hop_latency + ser;
+        if self.sockets > 1 && self.tps == 1 {
+            // Single-tile sockets: every cross-tile message crosses a link.
+            self.socket_link_latency + ser
+        } else if self.sockets > 1 {
+            intra.min(self.socket_link_latency + ser)
+        } else {
+            intra
+        }
+    }
+
+    /// Minimum latency of any message from a tile in `[a0, a1)` to a tile
+    /// in `[b0, b1)`, excluding same-tile pairs (which never cross a
+    /// partition boundary). Used by the sharded engine to widen the
+    /// per-partition-pair lookahead beyond the global
+    /// [`min_cross_latency`](Self::min_cross_latency) for mesh-distant
+    /// and cross-socket partition pairs.
+    pub fn min_latency_between(&self, a: (usize, usize), b: (usize, usize)) -> Cycle {
+        let ser = (self
+            .flits(MsgClass::Control)
+            .min(self.flits(MsgClass::Data)) as Cycle)
+            - 1;
+        let mut best: Option<Cycle> = None;
+        for ta in a.0..a.1 {
+            for tb in b.0..b.1 {
+                if ta == tb {
+                    continue;
+                }
+                let (ta, tb) = (CoreId(ta as u16), CoreId(tb as u16));
+                let l = self.hops(ta, tb) * self.hop_latency
+                    + self.socket_crossings(ta, tb) * self.socket_link_latency
+                    + ser;
+                best = Some(best.map_or(l, |x: Cycle| x.min(l)));
+            }
+        }
+        best.unwrap_or(Cycle::MAX)
+    }
+
+    /// Worst-case message latency across the machine (used for the
     /// Proposition 2 delay-bound checks in tests).
     pub fn max_latency(&self, class: MsgClass) -> Cycle {
-        let height = self.tiles.div_ceil(self.width);
-        let max_hops = (self.width - 1 + height - 1) as u64;
-        max_hops * self.hop_latency + (self.flits(class) as Cycle - 1)
+        let height = self.tps.div_ceil(self.width);
+        let max_local = (self.width - 1 + height - 1) as u64;
+        let max_hops = if self.sockets > 1 {
+            2 * max_local
+        } else {
+            max_local
+        };
+        let link = if self.sockets > 1 {
+            self.socket_link_latency
+        } else {
+            0
+        };
+        max_hops * self.hop_latency + link + (self.flits(class) as Cycle - 1)
     }
 }
 
@@ -114,6 +242,12 @@ mod tests {
 
     fn mesh(n: usize) -> Mesh {
         Mesh::new(&SystemConfig::with_cores(n))
+    }
+
+    fn numa(n: usize, sockets: usize) -> Mesh {
+        let mut cfg = SystemConfig::with_cores(n);
+        cfg.sockets = sockets;
+        Mesh::new(&cfg)
     }
 
     #[test]
@@ -202,5 +336,158 @@ mod tests {
         assert_eq!(m.hops(CoreId(0), CoreId(1)), 1);
         let m = mesh(8); // 3-wide, 3 rows (last partial)
         assert_eq!(m.hops(CoreId(0), CoreId(7)), 3);
+    }
+
+    /// sockets=1 must be *the* flat mesh: every quantity the coherence
+    /// engine reads agrees with an independently constructed flat model
+    /// for every pair and class.
+    #[test]
+    fn single_socket_degenerates_to_flat_mesh() {
+        for n in [2usize, 8, 16, 64] {
+            let flat = mesh(n);
+            let s1 = numa(n, 1);
+            assert_eq!(s1.sockets(), 1);
+            assert_eq!(s1.min_cross_latency(), flat.min_cross_latency());
+            for a in 0..n as u16 {
+                for b in 0..n as u16 {
+                    let (a, b) = (CoreId(a), CoreId(b));
+                    assert_eq!(s1.hops(a, b), flat.hops(a, b));
+                    assert_eq!(s1.socket_crossings(a, b), 0);
+                    for class in [MsgClass::Control, MsgClass::Data] {
+                        assert_eq!(s1.latency(a, b, class), flat.latency(a, b, class));
+                        assert_eq!(s1.flit_hops(a, b, class), flat.flit_hops(a, b, class));
+                        assert_eq!(s1.socket_flit_hops(a, b, class), 0);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn socket_partitioning_is_socket_major() {
+        let m = numa(16, 4); // 4 sockets × 2x2 mesh
+        assert_eq!(m.tiles_per_socket(), 4);
+        for t in 0..16u16 {
+            assert_eq!(m.socket_of(CoreId(t)), (t / 4) as usize);
+        }
+        assert!(!m.cross_socket(CoreId(0), CoreId(3)));
+        assert!(m.cross_socket(CoreId(3), CoreId(4)));
+    }
+
+    #[test]
+    fn cross_socket_message_pays_link_latency_and_energy() {
+        let m = numa(8, 2); // 2 sockets × 2x2 mesh; link latency 40
+                            // Gateway to gateway: no mesh hops, one link.
+        assert_eq!(m.hops(CoreId(0), CoreId(4)), 0);
+        assert_eq!(m.latency(CoreId(0), CoreId(4), MsgClass::Control), 40);
+        assert_eq!(m.latency(CoreId(0), CoreId(4), MsgClass::Data), 48);
+        assert_eq!(m.socket_flit_hops(CoreId(0), CoreId(4), MsgClass::Data), 9);
+        assert_eq!(m.flit_hops(CoreId(0), CoreId(4), MsgClass::Data), 0);
+        // Corner to corner: 2 mesh hops out + 2 mesh hops in + link.
+        assert_eq!(m.hops(CoreId(3), CoreId(7)), 4);
+        assert_eq!(
+            m.latency(CoreId(3), CoreId(7), MsgClass::Control),
+            4 * 2 + 40
+        );
+        // Intra-socket messages pay no link energy.
+        assert_eq!(m.socket_flit_hops(CoreId(0), CoreId(3), MsgClass::Data), 0);
+    }
+
+    /// Per-hop latency/energy accounting matches a shortest-path oracle
+    /// over the explicit link graph (mesh edges weight `hop_latency`,
+    /// gateway-gateway edges weight `socket_link_latency`), across socket
+    /// boundaries included.
+    #[test]
+    fn latency_matches_shortest_path_oracle() {
+        for (n, sockets) in [(8usize, 2usize), (16, 4), (18, 2), (12, 3), (64, 4)] {
+            let m = numa(n, sockets);
+            let tps = n / sockets;
+            let width = (tps as f64).sqrt().ceil() as usize;
+            // Dijkstra over the explicit weighted graph.
+            let mut adj: Vec<Vec<(usize, Cycle)>> = vec![Vec::new(); n];
+            for t in 0..n {
+                let (s, local) = (t / tps, t % tps);
+                let x = local % width;
+                let mut link = |a: usize, b: usize, w: Cycle| {
+                    adj[a].push((b, w));
+                    adj[b].push((a, w));
+                };
+                if x + 1 < width && local + 1 < tps {
+                    link(t, t + 1, m.hop_latency);
+                }
+                if local + width < tps {
+                    link(t, t + width, m.hop_latency);
+                }
+                // Gateways: full point-to-point graph between sockets.
+                if local == 0 {
+                    for s2 in 0..s {
+                        link(t, s2 * tps, m.socket_link_latency);
+                    }
+                }
+            }
+            for src in 0..n {
+                let mut dist = vec![Cycle::MAX; n];
+                dist[src] = 0;
+                let mut heap = std::collections::BinaryHeap::new();
+                heap.push(std::cmp::Reverse((0u64, src)));
+                while let Some(std::cmp::Reverse((d, u))) = heap.pop() {
+                    if d > dist[u] {
+                        continue;
+                    }
+                    for &(v, w) in &adj[u] {
+                        if d + w < dist[v] {
+                            dist[v] = d + w;
+                            heap.push(std::cmp::Reverse((dist[v], v)));
+                        }
+                    }
+                }
+                for (dst, &best) in dist.iter().enumerate() {
+                    if src == dst {
+                        continue;
+                    }
+                    for class in [MsgClass::Control, MsgClass::Data] {
+                        let ser = match class {
+                            MsgClass::Control => m.control_flits,
+                            MsgClass::Data => m.data_flits,
+                        } as Cycle
+                            - 1;
+                        assert_eq!(
+                            m.latency(CoreId(src as u16), CoreId(dst as u16), class),
+                            best + ser,
+                            "n={n} sockets={sockets} {src}->{dst}"
+                        );
+                        // Energy decomposition: mesh flit-hops count every
+                        // hop_latency edge, socket flit-hops every link edge.
+                        let flits = match class {
+                            MsgClass::Control => m.control_flits,
+                            MsgClass::Data => m.data_flits,
+                        } as u64;
+                        let (a, b) = (CoreId(src as u16), CoreId(dst as u16));
+                        assert_eq!(
+                            m.flit_hops(a, b, class) + m.socket_flit_hops(a, b, class),
+                            (m.hops(a, b) + m.socket_crossings(a, b)) * flits
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn min_latency_between_tile_blocks() {
+        let m = numa(8, 2);
+        // Adjacent blocks within one socket: one hop (2) + 0 ser.
+        assert_eq!(m.min_latency_between((0, 2), (2, 4)), 2);
+        // Blocks in different sockets: link traversal dominates.
+        assert_eq!(m.min_latency_between((0, 4), (4, 8)), 40);
+        // Overlapping blocks still exclude same-tile pairs.
+        assert!(m.min_latency_between((0, 4), (0, 4)) >= m.min_cross_latency());
+        // The global bound is never above any pair bound.
+        let flat = mesh(64);
+        for p in [(0usize, 16usize), (16, 32), (32, 48), (48, 64)] {
+            for q in [(0usize, 16usize), (16, 32), (32, 48), (48, 64)] {
+                assert!(flat.min_latency_between(p, q) >= flat.min_cross_latency());
+            }
+        }
     }
 }
